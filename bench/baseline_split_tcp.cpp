@@ -1,0 +1,150 @@
+// Baseline comparison (the Pathak et al. [9] experiment the paper builds
+// on): end-to-end response time with a split-TCP front-end vs connecting
+// directly to the back-end data center, across client RTT and last-mile
+// loss rates (§6's lossy-wireless discussion).
+//
+// Shapes to reproduce:
+//  - at small client RTT, the two paths are comparable (fetch dominates);
+//  - as RTT grows, split TCP wins and the margin widens;
+//  - last-mile loss widens the margin further (local retransmissions and
+//    the FE's already-open congestion window vs end-to-end recovery).
+//
+// Quick: 10 reps per cell. DYNCDN_FULL=1: 30.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cdn/backend.hpp"
+#include "cdn/client.hpp"
+#include "cdn/deployment.hpp"
+#include "cdn/frontend.hpp"
+#include "net/network.hpp"
+#include "search/content_model.hpp"
+#include "sim/simulator.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace dyncdn;
+using namespace dyncdn::sim::literals;
+
+namespace {
+
+struct Cell {
+  double via_fe_ms = 0;
+  double direct_ms = 0;
+  std::size_t failures = 0;
+};
+
+/// Controlled topology: client --(rtt/2, loss)-- FE --(5ms)-- BE, plus a
+/// direct client--BE path of the same total propagation delay and loss.
+Cell run_cell(double client_rtt_ms, double loss, std::size_t reps,
+              std::uint64_t seed) {
+  sim::Simulator simulator(seed);
+  net::Network network(simulator);
+  search::ContentModel content(search::ContentProfile{}, "Baseline");
+
+  net::Node& client_node = network.add_node("client");
+  net::Node& fe_node = network.add_node("fe");
+  net::Node& be_node = network.add_node("be");
+
+  const auto loss_factory = [loss]() -> std::unique_ptr<net::LossModel> {
+    return net::make_bernoulli_loss(loss);
+  };
+
+  net::LinkConfig access;
+  access.propagation_delay = sim::SimTime::from_milliseconds(client_rtt_ms / 2);
+  access.bandwidth_bps = 50e6;
+  if (loss > 0) access.loss_factory = loss_factory;
+  network.connect(client_node, fe_node, access);
+
+  net::LinkConfig internal;
+  internal.propagation_delay = 5_ms;
+  internal.bandwidth_bps = 1e9;
+  network.connect(fe_node, be_node, internal);
+
+  net::LinkConfig direct;
+  direct.propagation_delay =
+      sim::SimTime::from_milliseconds(client_rtt_ms / 2) + 5_ms;
+  direct.bandwidth_bps = 50e6;
+  if (loss > 0) direct.loss_factory = loss_factory;
+  network.connect(client_node, be_node, direct);
+
+  const cdn::ServiceProfile profile = cdn::google_like_profile();
+  cdn::BackendDataCenter::Config be_cfg;
+  be_cfg.name = "baseline-be";
+  be_cfg.processing = profile.processing;
+  be_cfg.tcp = profile.internal_tcp;
+  cdn::BackendDataCenter backend(be_node, content, be_cfg);
+
+  cdn::FrontEndServer::Config fe_cfg;
+  fe_cfg.name = "baseline-fe";
+  fe_cfg.backend = backend.fetch_endpoint();
+  fe_cfg.service.median_ms = 2.0;
+  fe_cfg.service.sigma = 0.05;
+  fe_cfg.client_tcp = profile.client_tcp;
+  fe_cfg.backend_tcp = profile.internal_tcp;
+  cdn::FrontEndServer frontend(fe_node, content, fe_cfg);
+
+  cdn::QueryClient client(client_node, profile.client_tcp);
+  simulator.run_until(simulator.now() + 3_s);  // warm the FE<->BE path
+
+  const search::Keyword keyword{"baseline comparison",
+                                search::KeywordClass::kGranular, 100};
+
+  Cell cell;
+  std::vector<double> via_fe, direct_ms;
+  for (std::size_t r = 0; r < reps; ++r) {
+    cdn::QueryResult rf, rd;
+    client.submit(frontend.client_endpoint(), keyword,
+                  [&](const cdn::QueryResult& res) { rf = res; });
+    simulator.run();
+    client.submit(backend.direct_endpoint(), keyword,
+                  [&](const cdn::QueryResult& res) { rd = res; });
+    simulator.run();
+    if (rf.failed || rd.failed) {
+      ++cell.failures;
+      continue;
+    }
+    via_fe.push_back(rf.overall_delay().to_milliseconds());
+    direct_ms.push_back(rd.overall_delay().to_milliseconds());
+  }
+  cell.via_fe_ms = stats::median(via_fe);
+  cell.direct_ms = stats::median(direct_ms);
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t reps = bench::full_scale() ? 80 : 24;
+  bench::banner("Baseline — split TCP (via FE) vs direct-to-BE",
+                "median overall delay (ms), " + std::to_string(reps) +
+                    " reps per cell");
+
+  const double rtts[] = {5, 20, 50, 100, 200};
+  const double losses[] = {0.0, 0.01, 0.03};
+
+  for (const double loss : losses) {
+    bench::section("last-mile loss = " + std::to_string(loss));
+    std::printf("%12s %12s %12s %10s\n", "clientRTT", "via FE", "direct",
+                "speedup");
+    for (const double rtt : rtts) {
+      const Cell cell = run_cell(
+          rtt, loss, reps,
+          1000 + static_cast<std::uint64_t>(rtt) +
+              static_cast<std::uint64_t>(loss * 1e4));
+      std::printf("%12.0f %12.1f %12.1f %9.2fx%s\n", rtt, cell.via_fe_ms,
+                  cell.direct_ms, cell.direct_ms / cell.via_fe_ms,
+                  cell.failures > 0
+                      ? (" (" + std::to_string(cell.failures) + " failed)")
+                            .c_str()
+                      : "");
+    }
+  }
+
+  std::printf(
+      "\npaper shapes: split TCP's advantage grows with client RTT and "
+      "with\nlast-mile loss; at very small RTT both paths converge to the "
+      "fetch time.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Shared helpers for the figure-regeneration benches: consistent headers,
+// plottable-series printing, and a tiny ASCII scatter plot so the shape of
+// each reproduced figure is visible directly in terminal output.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dyncdn::bench {
+
+/// True when DYNCDN_FULL=1: run paper-scale repetition counts instead of
+/// the quick defaults (documented per bench).
+inline bool full_scale() {
+  const char* v = std::getenv("DYNCDN_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// When DYNCDN_CSV=<dir> is set, benches additionally write their primary
+/// series as CSV files into that directory for external plotting.
+/// Returns false (and writes nothing) when the variable is unset.
+inline bool write_csv(const std::string& filename,
+                      std::span<const std::string> columns,
+                      std::span<const std::vector<double>> rows_by_column) {
+  const char* dir = std::getenv("DYNCDN_CSV");
+  if (dir == nullptr || dir[0] == '\0') return false;
+  const std::string path = std::string(dir) + "/" + filename;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "DYNCDN_CSV: cannot open %s\n", path.c_str());
+    return false;
+  }
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    std::fprintf(f, "%s%s", c ? "," : "", columns[c].c_str());
+  }
+  std::fprintf(f, "\n");
+  std::size_t rows = 0;
+  for (const auto& col : rows_by_column) rows = std::max(rows, col.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < rows_by_column.size(); ++c) {
+      const auto& col = rows_by_column[c];
+      std::fprintf(f, "%s%.6f", c ? "," : "",
+                   r < col.size() ? col[r] : 0.0);
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  std::printf("  [csv written: %s]\n", path.c_str());
+  return true;
+}
+
+inline void banner(const std::string& title, const std::string& subtitle) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", subtitle.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/// Print aligned (x, y...) rows for plotting.
+inline void print_series(const std::string& x_label,
+                         std::span<const std::string> y_labels,
+                         std::span<const double> xs,
+                         std::span<const std::vector<double>> ys) {
+  std::printf("%12s", x_label.c_str());
+  for (const auto& l : y_labels) std::printf(" %14s", l.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%12.2f", xs[i]);
+    for (const auto& col : ys) {
+      std::printf(" %14.2f", i < col.size() ? col[i] : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+/// Minimal ASCII scatter: y vs x on a width x height grid.
+inline void ascii_scatter(std::span<const double> xs,
+                          std::span<const double> ys, std::size_t width = 72,
+                          std::size_t height = 18, char mark = 'o') {
+  if (xs.empty() || xs.size() != ys.size()) return;
+  const double xmin = *std::min_element(xs.begin(), xs.end());
+  const double xmax = *std::max_element(xs.begin(), xs.end());
+  const double ymin = std::min(0.0, *std::min_element(ys.begin(), ys.end()));
+  const double ymax = *std::max_element(ys.begin(), ys.end());
+  if (xmax <= xmin || ymax <= ymin) return;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t col = static_cast<std::size_t>(
+        (xs[i] - xmin) / (xmax - xmin) * static_cast<double>(width - 1));
+    const std::size_t row = static_cast<std::size_t>(
+        (ys[i] - ymin) / (ymax - ymin) * static_cast<double>(height - 1));
+    grid[height - 1 - row][col] = mark;
+  }
+  std::printf("  y: %.1f .. %.1f\n", ymin, ymax);
+  for (const auto& line : grid) std::printf("  |%s\n", line.c_str());
+  std::printf("  +%s\n", std::string(width, '-').c_str());
+  std::printf("   x: %.1f .. %.1f\n", xmin, xmax);
+}
+
+/// Overlay scatter of two series sharing axes (marks 'G' and 'B').
+inline void ascii_scatter2(std::span<const double> x1,
+                           std::span<const double> y1, char m1,
+                           std::span<const double> x2,
+                           std::span<const double> y2, char m2,
+                           std::size_t width = 72, std::size_t height = 18) {
+  std::vector<double> xs(x1.begin(), x1.end());
+  xs.insert(xs.end(), x2.begin(), x2.end());
+  std::vector<double> ys(y1.begin(), y1.end());
+  ys.insert(ys.end(), y2.begin(), y2.end());
+  if (xs.empty()) return;
+  const double xmin = *std::min_element(xs.begin(), xs.end());
+  const double xmax = *std::max_element(xs.begin(), xs.end());
+  const double ymin = std::min(0.0, *std::min_element(ys.begin(), ys.end()));
+  const double ymax = *std::max_element(ys.begin(), ys.end());
+  if (xmax <= xmin || ymax <= ymin) return;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  auto plot = [&](std::span<const double> px, std::span<const double> py,
+                  char mark) {
+    for (std::size_t i = 0; i < px.size(); ++i) {
+      const std::size_t col = static_cast<std::size_t>(
+          (px[i] - xmin) / (xmax - xmin) * static_cast<double>(width - 1));
+      const std::size_t row = static_cast<std::size_t>(
+          (py[i] - ymin) / (ymax - ymin) * static_cast<double>(height - 1));
+      grid[height - 1 - row][col] = mark;
+    }
+  };
+  plot(x1, y1, m1);
+  plot(x2, y2, m2);
+  std::printf("  y: %.1f .. %.1f   ('%c' vs '%c')\n", ymin, ymax, m1, m2);
+  for (const auto& line : grid) std::printf("  |%s\n", line.c_str());
+  std::printf("  +%s\n", std::string(width, '-').c_str());
+  std::printf("   x: %.1f .. %.1f\n", xmin, xmax);
+}
+
+}  // namespace dyncdn::bench

@@ -1,0 +1,112 @@
+// Figure 7 reproduction (Datasets A): scatter of per-node T_static and
+// T_dynamic vs RTT when every vantage point queries its *default* FE.
+//
+// Paper shape: although Bing's FEs are closer (smaller RTTs), its T_static
+// and T_dynamic are significantly higher AND more variable than Google's —
+// placing FEs close to clients does not by itself deliver performance.
+//
+// Quick: 100 nodes x 10 reps. DYNCDN_FULL=1: 200 x 30.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/inference.hpp"
+#include "search/keywords.hpp"
+#include "stats/descriptive.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/scenario.hpp"
+
+using namespace dyncdn;
+using namespace dyncdn::sim::literals;
+
+namespace {
+
+struct Run {
+  std::string name;
+  std::vector<double> rtt, tsta, tdyn;
+  std::vector<double> all_static, all_dynamic;  // raw per-query values
+};
+
+Run run_service(cdn::ServiceProfile profile, std::size_t clients,
+                std::size_t reps) {
+  testbed::ScenarioOptions opt;
+  opt.profile = profile;
+  opt.client_count = clients;
+  opt.seed = 77;
+  testbed::Scenario scenario(opt);
+  scenario.warm_up();
+
+  testbed::ExperimentOptions eo;
+  eo.reps_per_node = reps;
+  eo.interval = 1300_ms;
+  search::KeywordCatalog catalog(7);
+  eo.keywords = catalog.figure3_keywords();  // cycle realistic variety
+  const auto result = testbed::run_default_fe_experiment(scenario, eo);
+
+  Run run;
+  run.name = profile.name;
+  for (const auto& n : result.per_node) {
+    if (n.samples == 0) continue;
+    run.rtt.push_back(n.rtt_ms);
+    run.tsta.push_back(n.med_static_ms);
+    run.tdyn.push_back(n.med_dynamic_ms);
+  }
+  for (const auto& q : result.all()) {
+    run.all_static.push_back(q.t_static_ms);
+    run.all_dynamic.push_back(q.t_dynamic_ms);
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t clients = bench::full_scale() ? 200 : 100;
+  const std::size_t reps = bench::full_scale() ? 30 : 10;
+  bench::banner("Figure 7 — T_static / T_dynamic vs RTT, default FEs "
+                "(Datasets A)",
+                std::to_string(clients) + " vantage points x " +
+                    std::to_string(reps) + " reps");
+
+  const Run bing = run_service(cdn::bing_like_profile(), clients, reps);
+  const Run google = run_service(cdn::google_like_profile(), clients, reps);
+
+  bench::section("(a) T_static vs RTT  (B = Bing-like, G = Google-like)");
+  bench::ascii_scatter2(bing.rtt, bing.tsta, 'B', google.rtt, google.tsta,
+                        'G');
+  bench::section("(b) T_dynamic vs RTT");
+  bench::ascii_scatter2(bing.rtt, bing.tdyn, 'B', google.rtt, google.tdyn,
+                        'G');
+
+  bench::section("summary statistics (per-query values)");
+  std::printf("%-14s %22s %22s\n", "", "T_static (med/sd)",
+              "T_dynamic (med/sd)");
+  for (const Run* r : {&bing, &google}) {
+    std::printf("%-14s %12.1f / %7.1f %12.1f / %7.1f\n", r->name.c_str(),
+                stats::median(r->all_static), stats::stddev(r->all_static),
+                stats::median(r->all_dynamic), stats::stddev(r->all_dynamic));
+  }
+
+  bench::section("paper-shape summary");
+  const bool closer =
+      stats::median(bing.rtt) < stats::median(google.rtt);
+  const bool slower_static = stats::median(bing.all_static) >
+                             stats::median(google.all_static);
+  const bool slower_dynamic = stats::median(bing.all_dynamic) >
+                              stats::median(google.all_dynamic);
+  const bool more_variable =
+      stats::stddev(bing.all_dynamic) > stats::stddev(google.all_dynamic);
+  std::printf("Bing FEs closer (median RTT %.1f vs %.1f ms): %s\n",
+              stats::median(bing.rtt), stats::median(google.rtt),
+              closer ? "yes" : "no");
+  std::printf("...yet Bing T_static higher:  %s\n",
+              slower_static ? "yes" : "no");
+  std::printf("...and Bing T_dynamic higher: %s\n",
+              slower_dynamic ? "yes" : "no");
+  std::printf("...and Bing more variable:    %s\n",
+              more_variable ? "yes" : "no");
+  std::printf("paper shape %s: proximity does not imply performance\n",
+              (closer && slower_static && slower_dynamic && more_variable)
+                  ? "HOLDS"
+                  : "VIOLATED");
+  return 0;
+}

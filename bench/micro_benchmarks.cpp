@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) of the simulator's hot paths: event
+// queue, RNG streams, end-to-end TCP transfer throughput, reassembly and
+// the statistics kernels used by every figure.
+#include <benchmark/benchmark.h>
+
+#include "analysis/reassembly.hpp"
+#include "capture/recorder.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/regression.hpp"
+#include "tcp/stack.hpp"
+
+namespace {
+
+using namespace dyncdn;
+using namespace dyncdn::sim::literals;
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::int64_t sum = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      q.schedule(sim::SimTime::microseconds(i % 1000), [&sum, i] { sum += i; });
+    }
+    while (!q.empty()) q.pop_and_run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // TCP-like pattern: every event is rescheduled (cancel + schedule).
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::EventId pending;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (pending.valid()) q.cancel(pending);
+      pending = q.schedule(sim::SimTime::microseconds(1000 + i), [] {});
+    }
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(100000);
+
+void BM_RngStreamDraws(benchmark::State& state) {
+  sim::RngStream rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal_median(50.0, 0.2));
+  }
+}
+BENCHMARK(BM_RngStreamDraws);
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  // End-to-end: how fast does the simulator push bytes through a full TCP
+  // connection (handshake + slow start + teardown)?
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator(1);
+    net::Network network(simulator);
+    net::Node& a = network.add_node("a");
+    net::Node& b = network.add_node("b");
+    net::LinkConfig cfg;
+    cfg.propagation_delay = 10_ms;
+    cfg.bandwidth_bps = 1e9;
+    network.connect(a, b, cfg);
+    tcp::TcpStack sa(a), sb(b);
+    std::size_t received = 0;
+    sb.listen(80, [&received](tcp::TcpSocket& s) {
+      tcp::TcpSocket::Callbacks cb;
+      cb.on_data = [&received](net::PayloadRef d) { received += d.length; };
+      s.set_callbacks(std::move(cb));
+    });
+    tcp::TcpSocket& c = sa.connect({b.id(), 80}, {});
+    c.send(net::PayloadRef{
+        net::make_buffer(std::vector<std::uint8_t>(bytes, 0x55)), 0, bytes});
+    c.close();
+    simulator.run();
+    if (received != bytes) state.SkipWithError("transfer incomplete");
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_TcpBulkTransfer)->Arg(100 * 1000)->Arg(1000 * 1000);
+
+void BM_TraceReassembly(benchmark::State& state) {
+  // Build one captured transfer, then measure pure analysis cost.
+  sim::Simulator simulator(1);
+  net::Network network(simulator);
+  net::Node& a = network.add_node("a");
+  net::Node& b = network.add_node("b");
+  net::LinkConfig cfg;
+  cfg.propagation_delay = 5_ms;
+  network.connect(a, b, cfg);
+  capture::RecorderOptions ro;
+  ro.capture_payloads = true;
+  capture::TraceRecorder recorder(b, simulator, ro);
+  tcp::TcpStack sa(a), sb(b);
+  sb.listen(80, [](tcp::TcpSocket& s) {
+    s.set_callbacks(tcp::TcpSocket::Callbacks{});
+  });
+  tcp::TcpSocket& c = sa.connect({b.id(), 80}, {});
+  const std::size_t bytes = 200 * 1000;
+  c.send(net::PayloadRef{
+      net::make_buffer(std::vector<std::uint8_t>(bytes, 0x55)), 0, bytes});
+  simulator.run();
+  const net::FlowId flow = recorder.trace().flows().front();
+
+  for (auto _ : state) {
+    auto stream = analysis::reassemble(recorder.trace(), flow,
+                                       capture::Direction::kReceived);
+    benchmark::DoNotOptimize(stream.length());
+  }
+}
+BENCHMARK(BM_TraceReassembly);
+
+void BM_MovingMedian(benchmark::State& state) {
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>((i * 7919) % 1000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::moving_median(xs, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MovingMedian)->Arg(500)->Arg(5000);
+
+void BM_LinearFit(benchmark::State& state) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.08 * i + 260.0 + (i % 13));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::linear_fit(xs, ys));
+  }
+}
+BENCHMARK(BM_LinearFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

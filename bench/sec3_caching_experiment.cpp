@@ -1,0 +1,90 @@
+// §3 reproduction: "Do FE Servers Cache Search Results?"
+//
+// Protocol (as in the paper): submit the same query repeatedly to a fixed
+// FE, then distinct queries to the same FE, and compare the T_dynamic
+// distributions. Run three ways:
+//   1. against the honest FE (no result cache) -> expect NO caching signal;
+//   2. against a counterfactual FE with result caching enabled -> the
+//      detector must fire (validates the methodology's power);
+//   3. the counterfactual again from a *distant* client -> the cache is
+//      operating but invisible, demonstrating why the probe must be close.
+//
+// Quick: 40 reps. DYNCDN_FULL=1: 120 reps.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/descriptive.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/scenario.hpp"
+
+using namespace dyncdn;
+
+namespace {
+
+std::size_t client_by_rtt(testbed::Scenario& s, bool nearest) {
+  std::size_t best = 0;
+  sim::SimTime best_rtt =
+      nearest ? sim::SimTime::infinity() : sim::SimTime::zero();
+  for (std::size_t i = 0; i < s.clients().size(); ++i) {
+    const sim::SimTime rtt = s.client_fe_rtt(i, 0);
+    if ((nearest && rtt < best_rtt) || (!nearest && rtt > best_rtt)) {
+      best_rtt = rtt;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void run_case(const std::string& label, bool fe_caches, bool near_probe,
+              std::size_t reps) {
+  testbed::ScenarioOptions opt;
+  opt.profile = cdn::google_like_profile();
+  opt.client_count = 24;
+  opt.seed = 33;
+  opt.fe_cache_results = fe_caches;
+  testbed::Scenario scenario(opt);
+  scenario.warm_up();
+
+  const std::size_t probe = client_by_rtt(scenario, near_probe);
+  const double probe_rtt =
+      scenario.client_fe_rtt(probe, 0).to_milliseconds();
+  const auto result =
+      testbed::run_caching_experiment(scenario, probe, 0, reps);
+
+  bench::section(label);
+  std::printf("probe: %s (RTT %.1f ms), %zu+%zu queries\n",
+              scenario.clients()[probe].vantage.name.c_str(), probe_rtt,
+              result.t_dynamic_same_ms.size(),
+              result.t_dynamic_distinct_ms.size());
+  std::printf("T_dynamic same-query:     %s\n",
+              stats::summarize(result.t_dynamic_same_ms).to_string().c_str());
+  std::printf("T_dynamic distinct-query: %s\n",
+              stats::summarize(result.t_dynamic_distinct_ms)
+                  .to_string()
+                  .c_str());
+  std::printf("verdict: %s\n", result.detection.verdict().c_str());
+  std::printf("ground truth: FE cache hits = %zu\n", result.fe_cache_hits);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t reps = bench::full_scale() ? 120 : 40;
+  bench::banner("§3 — Do FE servers cache search results?",
+                "same-query-repeated vs distinct-queries against a fixed FE "
+                "(KS comparison of T_dynamic)");
+
+  run_case("1) honest FE (paper's real-world case)", /*fe_caches=*/false,
+           /*near_probe=*/true, reps);
+  run_case("2) counterfactual caching FE, nearby probe", true, true, reps);
+  run_case("3) counterfactual caching FE, distant probe "
+           "(fetch hides behind delivery)",
+           true, false, reps);
+
+  std::printf(
+      "\npaper conclusion reproduced: with the honest FE the distributions "
+      "are\nconsistent -> FE servers do not appear to cache dynamically "
+      "generated\nsearch results. The counterfactual run shows the method "
+      "would detect\ncaching if it existed (from a low-RTT vantage point).\n");
+  return 0;
+}

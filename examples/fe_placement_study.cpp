@@ -1,0 +1,136 @@
+// FE placement study — the paper's headline trade-off, as a runnable
+// example.
+//
+// A client and a BE data center sit a fixed (one-way) 60ms apart. We slide
+// a front-end server along the path: placement fraction f=0 puts the FE at
+// the client's doorstep, f=1 at the data center. For each placement the
+// client runs repeated queries and we report the measured T_static,
+// T_dynamic, T_delta and overall delay.
+//
+// What to look for: moving the FE closer to the client (smaller f) helps
+// only until T_delta hits zero; past that point the end-to-end time is
+// ruled by the FE-BE fetch time, which *worsens* as the FE moves away
+// from the data center.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cdn/backend.hpp"
+#include "cdn/client.hpp"
+#include "cdn/deployment.hpp"
+#include "cdn/frontend.hpp"
+#include "core/timings.hpp"
+#include "net/network.hpp"
+#include "search/content_model.hpp"
+#include "sim/simulator.hpp"
+#include "stats/descriptive.hpp"
+#include "analysis/timeline.hpp"
+#include "capture/recorder.hpp"
+#include "http/message.hpp"
+
+using namespace dyncdn;
+using namespace dyncdn::sim::literals;
+
+namespace {
+
+struct PlacementResult {
+  double t_static_ms, t_dynamic_ms, t_delta_ms, overall_ms;
+};
+
+PlacementResult run_placement(double fraction, std::size_t reps) {
+  const double total_one_way_ms = 60.0;
+  sim::Simulator simulator(7);
+  net::Network network(simulator);
+  search::ContentModel content(search::ContentProfile{}, "Placement");
+
+  net::Node& client_node = network.add_node("client");
+  net::Node& fe_node = network.add_node("fe");
+  net::Node& be_node = network.add_node("be");
+
+  net::LinkConfig access;
+  access.propagation_delay =
+      sim::SimTime::from_milliseconds(total_one_way_ms * fraction + 0.5);
+  access.bandwidth_bps = 50e6;
+  network.connect(client_node, fe_node, access);
+
+  net::LinkConfig internal;
+  internal.propagation_delay = sim::SimTime::from_milliseconds(
+      total_one_way_ms * (1.0 - fraction) + 0.5);
+  internal.bandwidth_bps = 1e9;
+  network.connect(fe_node, be_node, internal);
+
+  const cdn::ServiceProfile profile = cdn::google_like_profile();
+  cdn::BackendDataCenter::Config be_cfg;
+  be_cfg.processing = profile.processing;
+  be_cfg.processing.load.sigma = 0.02;
+  be_cfg.tcp = profile.internal_tcp;
+  cdn::BackendDataCenter backend(be_node, content, be_cfg);
+
+  cdn::FrontEndServer::Config fe_cfg;
+  fe_cfg.backend = backend.fetch_endpoint();
+  fe_cfg.service.median_ms = 3.0;
+  fe_cfg.service.sigma = 0.02;
+  fe_cfg.client_tcp = profile.client_tcp;
+  fe_cfg.backend_tcp = profile.internal_tcp;
+  cdn::FrontEndServer frontend(fe_node, content, fe_cfg);
+
+  capture::RecorderOptions ro;
+  ro.capture_payloads = true;
+  capture::TraceRecorder recorder(client_node, simulator, ro);
+
+  cdn::QueryClient client(client_node, profile.client_tcp);
+  simulator.run_until(simulator.now() + 3_s);
+  recorder.clear();
+
+  const search::Keyword keyword{"placement study example",
+                                search::KeywordClass::kGranular, 4000};
+  client.submit_repeated(frontend.client_endpoint(), keyword, reps, 1200_ms,
+                         [](const cdn::QueryResult&) {});
+  simulator.run();
+
+  // Boundary: HTTP head block + static prefix. Known exactly in this
+  // self-contained example (the testbed experiments discover it from
+  // cross-query content analysis instead).
+  http::HttpResponse head;
+  head.set_header("Server", content.service_name());
+  head.set_header("Connection", "close");
+  const std::size_t boundary =
+      head.serialize_head().size() + content.static_prefix().size();
+
+  const auto timelines =
+      analysis::extract_all_timelines(recorder.trace(), 80, boundary);
+  const auto timings = core::timings_from_timelines(timelines);
+
+  PlacementResult r{};
+  r.t_static_ms = stats::median(core::extract_static(timings));
+  r.t_dynamic_ms = stats::median(core::extract_dynamic(timings));
+  r.t_delta_ms = stats::median(core::extract_delta(timings));
+  r.overall_ms = stats::median(core::extract_overall(timings));
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FE placement study: client ---60ms--- BE, FE slides along "
+              "the path\n\n");
+  std::printf("%12s %12s %10s %11s %9s %10s\n", "placement f", "clientRTT",
+              "Tstatic", "Tdynamic", "Tdelta", "overall");
+  for (const double f : {0.02, 0.2, 0.4, 0.6, 0.8, 0.98}) {
+    const PlacementResult r = run_placement(f, 9);
+    std::printf("%12.2f %11.0fms %10.1f %11.1f %9.1f %10.1f\n", f,
+                2 * (60.0 * f + 0.5), r.t_static_ms, r.t_dynamic_ms,
+                r.t_delta_ms, r.overall_ms);
+  }
+  std::printf(
+      "\nReading: pushing the FE toward the client (small f) inflates the\n"
+      "FE-BE fetch time (T_delta grows: the fetch no longer hides behind\n"
+      "the static delivery) and the overall delay *worsens* — placing FE\n"
+      "servers ever closer to users is not helpful below the threshold.\n"
+      "Pushing the FE all the way to the data center (f~1) wastes the\n"
+      "split-TCP benefit on the client path. The optimum is the placement\n"
+      "where T_delta has just reached zero: close enough to the data center\n"
+      "that fetching hides behind delivery, and no closer to the user than\n"
+      "that — the paper's central trade-off.\n");
+  return 0;
+}

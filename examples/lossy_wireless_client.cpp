@@ -1,0 +1,129 @@
+// Lossy last hop (§6 discussion): "In an environment where the loss rates
+// are high (e.g., in a wireless network), placing FEs closer to users in
+// fact may significantly improve the user-perceived end-to-end
+// performance."
+//
+// We sweep the FE placement fraction f along a fixed client-BE path
+// (f=0: FE at the client; f=1: FE at the data center) for several loss
+// rates on the client's access leg, and report the median overall delay.
+// On a clean link the optimum sits near the data center (the fetch time,
+// ~C internal round trips, dominates); as the last hop gets lossy, each
+// recovery round trip costs the client-side RTT and the optimum shifts
+// toward the user — §6's point.
+#include <cstdio>
+#include <vector>
+
+#include "cdn/backend.hpp"
+#include "cdn/client.hpp"
+#include "cdn/deployment.hpp"
+#include "cdn/frontend.hpp"
+#include "net/network.hpp"
+#include "search/content_model.hpp"
+#include "sim/simulator.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace dyncdn;
+using namespace dyncdn::sim::literals;
+
+namespace {
+
+double median_overall(double fraction, double loss, std::size_t reps,
+                      std::uint64_t seed) {
+  const double total_one_way_ms = 60.0;
+  sim::Simulator simulator(seed);
+  net::Network network(simulator);
+  search::ContentModel content(search::ContentProfile{}, "Wireless");
+
+  net::Node& client_node = network.add_node("client");
+  net::Node& fe_node = network.add_node("fe");
+  net::Node& be_node = network.add_node("be");
+
+  // The client's (wireless) access leg carries the loss; its latency grows
+  // with the FE's distance from the client.
+  net::LinkConfig access;
+  access.propagation_delay =
+      sim::SimTime::from_milliseconds(2.0 + total_one_way_ms * fraction);
+  access.bandwidth_bps = 20e6;
+  if (loss > 0) {
+    access.loss_factory = [loss] { return net::make_bernoulli_loss(loss); };
+  }
+  network.connect(client_node, fe_node, access);
+
+  net::LinkConfig internal;
+  internal.propagation_delay = sim::SimTime::from_milliseconds(
+      0.5 + total_one_way_ms * (1.0 - fraction));
+  internal.bandwidth_bps = 1e9;
+  network.connect(fe_node, be_node, internal);
+
+  const cdn::ServiceProfile profile = cdn::google_like_profile();
+  cdn::BackendDataCenter::Config be_cfg;
+  be_cfg.processing = profile.processing;
+  be_cfg.processing.load.sigma = 0.02;
+  be_cfg.tcp = profile.internal_tcp;
+  cdn::BackendDataCenter backend(be_node, content, be_cfg);
+
+  cdn::FrontEndServer::Config fe_cfg;
+  fe_cfg.backend = backend.fetch_endpoint();
+  fe_cfg.service.median_ms = 2.0;
+  fe_cfg.service.sigma = 0.02;
+  fe_cfg.client_tcp = profile.client_tcp;
+  fe_cfg.backend_tcp = profile.internal_tcp;
+  cdn::FrontEndServer frontend(fe_node, content, fe_cfg);
+
+  cdn::QueryClient client(client_node, profile.client_tcp);
+  simulator.run_until(simulator.now() + 3_s);
+
+  // A long query: a bigger response means more packets crossing the lossy
+  // hop, like a rich result page on a phone.
+  const search::Keyword keyword{
+      "wireless network loss recovery behaviour study example",
+      search::KeywordClass::kComplex, 5000};
+  std::vector<double> overall;
+  for (std::size_t r = 0; r < reps; ++r) {
+    cdn::QueryResult result;
+    client.submit(frontend.client_endpoint(), keyword,
+                  [&](const cdn::QueryResult& res) { result = res; });
+    simulator.run();
+    if (!result.failed) {
+      overall.push_back(result.overall_delay().to_milliseconds());
+    }
+  }
+  return stats::median(overall);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> fractions{0.1, 0.3, 0.5, 0.7, 0.9};
+  const std::vector<double> losses{0.0, 0.02, 0.06};
+
+  std::printf("Median overall delay (ms); FE at fraction f of the 60ms "
+              "client-BE path (f=0: at the client)\n\n");
+  std::printf("%10s", "loss \\ f");
+  for (const double f : fractions) std::printf(" %9.1f", f);
+  std::printf("   best f\n");
+
+  for (const double loss : losses) {
+    std::printf("%10.2f", loss);
+    double best = 1e18;
+    double best_f = 0;
+    for (const double f : fractions) {
+      const double ms = median_overall(
+          f, loss, 40,
+          300 + static_cast<std::uint64_t>(f * 10 + loss * 1000));
+      std::printf(" %9.1f", ms);
+      if (ms < best) {
+        best = ms;
+        best_f = f;
+      }
+    }
+    std::printf(" %8.1f\n", best_f);
+  }
+
+  std::printf(
+      "\nReading: on a clean link the best placement hugs the data center\n"
+      "(fetch time dominates; the placement threshold). As last-hop loss\n"
+      "grows, recovery round trips — each costing the client-side RTT —\n"
+      "push the optimum toward the user: §6's wireless argument.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "analysis/boundary.hpp"
+
+#include <algorithm>
+
+namespace dyncdn::analysis {
+
+std::size_t common_prefix_boundary(std::span<const std::string> responses) {
+  if (responses.size() < 2) return 0;
+  std::size_t prefix = responses.front().size();
+  const std::string& first = responses.front();
+  for (std::size_t i = 1; i < responses.size() && prefix > 0; ++i) {
+    const std::string& other = responses[i];
+    const std::size_t limit = std::min(prefix, other.size());
+    std::size_t p = 0;
+    while (p < limit && first[p] == other[p]) ++p;
+    prefix = p;
+  }
+  return prefix;
+}
+
+std::size_t common_prefix_boundary(
+    std::span<const ReassembledStream> streams) {
+  std::vector<std::string> bodies;
+  bodies.reserve(streams.size());
+  for (const ReassembledStream& s : streams) bodies.push_back(s.bytes());
+  return common_prefix_boundary(bodies);
+}
+
+std::vector<EventCluster> temporal_clusters(const ReassembledStream& stream,
+                                            sim::SimTime min_gap) {
+  std::vector<EventCluster> clusters;
+
+  // Order arrivals by time (capture order is already temporal, but be
+  // defensive about merged traces).
+  std::vector<ReassembledStream::Segment> segs(stream.segments().begin(),
+                                               stream.segments().end());
+  std::stable_sort(segs.begin(), segs.end(),
+                   [](const auto& a, const auto& b) { return a.at < b.at; });
+
+  for (const auto& s : segs) {
+    if (clusters.empty() || s.at - clusters.back().end >= min_gap) {
+      EventCluster c;
+      c.start = c.end = s.at;
+      c.packet_count = 1;
+      c.first_offset = s.offset;
+      c.bytes = s.length;
+      clusters.push_back(c);
+    } else {
+      EventCluster& c = clusters.back();
+      c.end = s.at;
+      ++c.packet_count;
+      c.first_offset = std::min(c.first_offset, s.offset);
+      c.bytes += s.length;
+    }
+  }
+  return clusters;
+}
+
+std::size_t temporal_boundary_estimate(const ReassembledStream& stream,
+                                       sim::SimTime min_gap) {
+  const auto clusters = temporal_clusters(stream, min_gap);
+  if (clusters.size() < 2) return 0;
+  // The static portion occupies the first cluster; the dynamic portion
+  // begins where the second cluster's lowest offset starts.
+  return clusters[1].first_offset;
+}
+
+}  // namespace dyncdn::analysis

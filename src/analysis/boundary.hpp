@@ -1,0 +1,52 @@
+// Static/dynamic content-boundary discovery.
+//
+// The paper identifies the static portion by application-layer content
+// analysis across responses to *different* queries: bytes common to every
+// response (HTTP header, HTML head, CSS, menu bar) are static; everything
+// after the first divergence is dynamic. It cross-checks with temporal
+// clustering of packet events (Fig. 4). Both techniques are implemented
+// here, operating only on captured data.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/reassembly.hpp"
+#include "sim/time.hpp"
+
+namespace dyncdn::analysis {
+
+/// Longest common prefix (in bytes) across response bodies of different
+/// queries. Returns 0 for fewer than two streams. With responses to
+/// distinct keywords, this is the static-portion length (including the
+/// HTTP header block).
+std::size_t common_prefix_boundary(std::span<const std::string> responses);
+
+/// Convenience overload for reassembled streams.
+std::size_t common_prefix_boundary(std::span<const ReassembledStream> streams);
+
+/// A temporal cluster of packet arrivals (Fig. 4's visual groupings).
+struct EventCluster {
+  sim::SimTime start;
+  sim::SimTime end;
+  std::size_t packet_count = 0;
+  std::size_t first_offset = 0;  // lowest stream offset in the cluster
+  std::size_t bytes = 0;
+};
+
+/// Group the stream's packet arrivals into clusters separated by gaps of
+/// at least `min_gap`. The paper's observation: at low client RTT, the
+/// static and dynamic deliveries form two clearly separated clusters; as
+/// RTT grows the gap shrinks and the clusters merge.
+std::vector<EventCluster> temporal_clusters(const ReassembledStream& stream,
+                                            sim::SimTime min_gap);
+
+/// Estimate the static/dynamic boundary from temporal clustering alone:
+/// the stream offset at which the second cluster begins (0 if the stream
+/// has a single cluster — i.e. RTT beyond the merge threshold).
+std::size_t temporal_boundary_estimate(const ReassembledStream& stream,
+                                       sim::SimTime min_gap);
+
+}  // namespace dyncdn::analysis

@@ -1,0 +1,102 @@
+#include "analysis/reassembly.hpp"
+
+#include <algorithm>
+
+namespace dyncdn::analysis {
+
+std::optional<sim::SimTime> ReassembledStream::byte_time(
+    std::size_t offset) const {
+  std::optional<sim::SimTime> best;
+  for (const Segment& s : segments_) {
+    if (offset >= s.offset && offset < s.offset + s.length) {
+      if (!best || s.at < *best) best = s.at;
+    }
+  }
+  return best;
+}
+
+std::optional<sim::SimTime> ReassembledStream::prefix_complete_time(
+    std::size_t offset) const {
+  // Replay capture order; report the time the prefix [0, offset] is fully
+  // covered for the first time.
+  std::vector<bool> covered(offset + 1, false);
+  std::size_t remaining = offset + 1;
+  for (const Segment& s : segments_) {
+    const std::size_t lo = s.offset;
+    const std::size_t hi = std::min(offset + 1, s.offset + s.length);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!covered[i]) {
+        covered[i] = true;
+        --remaining;
+      }
+    }
+    if (remaining == 0) return s.at;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::SimTime> ReassembledStream::first_packet_reaching(
+    std::size_t offset) const {
+  for (const Segment& s : segments_) {
+    if (s.offset + s.length > offset) return s.at;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::SimTime> ReassembledStream::last_packet_time() const {
+  if (segments_.empty()) return std::nullopt;
+  return segments_.back().at;
+}
+
+std::size_t ReassembledStream::snap_to_segment_end(std::size_t offset) const {
+  std::size_t best = 0;
+  for (const Segment& s : segments_) {
+    const std::size_t end = s.offset + s.length;
+    if (end <= offset) best = std::max(best, end);
+  }
+  return best;
+}
+
+ReassembledStream reassemble(const capture::PacketTrace& trace,
+                             const net::FlowId& flow,
+                             capture::Direction direction) {
+  ReassembledStream out;
+
+  // Normalizer: the sender's SYN sequence number (data begins at ISS + 1).
+  std::optional<std::uint64_t> iss;
+  std::optional<std::uint64_t> min_data_seq;
+  for (const capture::PacketRecord& r : trace.records()) {
+    if (r.direction != direction) continue;
+    if (r.flow_at_capture_node() != flow) continue;
+    if (r.tcp.flags.syn) iss = r.tcp.seq;
+    if (r.payload_size > 0 && (!min_data_seq || r.tcp.seq < *min_data_seq)) {
+      min_data_seq = r.tcp.seq;
+    }
+  }
+  if (!min_data_seq) return out;  // no data captured
+  const std::uint64_t base = iss ? *iss + 1 : *min_data_seq;
+
+  std::string& bytes = out.bytes_;
+  for (const capture::PacketRecord& r : trace.records()) {
+    if (r.direction != direction) continue;
+    if (r.payload_size == 0) continue;
+    if (r.flow_at_capture_node() != flow) continue;
+    if (r.tcp.seq < base) continue;  // pre-data sequence space (SYN)
+    const std::size_t offset = static_cast<std::size_t>(r.tcp.seq - base);
+
+    out.segments_.push_back(
+        ReassembledStream::Segment{offset, r.payload_size, r.timestamp});
+    out.length_ = std::max(out.length_, offset + r.payload_size);
+
+    if (!r.payload.empty()) {
+      if (bytes.size() < offset + r.payload.length) {
+        bytes.resize(offset + r.payload.length, '\0');
+      }
+      const auto span = r.payload.bytes();
+      std::copy(span.begin(), span.end(), bytes.begin() + offset);
+    }
+  }
+  return out;
+}
+
+}  // namespace dyncdn::analysis

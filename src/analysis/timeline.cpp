@@ -1,0 +1,126 @@
+#include "analysis/timeline.hpp"
+
+#include <cstdio>
+
+namespace dyncdn::analysis {
+
+std::string QueryTimeline::to_string() const {
+  if (!valid) return "invalid timeline: " + invalid_reason;
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "rtt=%.2fms t1=%.2f t2=%.2f t3=%.2f t4=%.2f t5=%.2f te=%.2f "
+      "(%zuB, boundary=%zu)",
+      rtt().to_milliseconds(), t1.to_milliseconds(), t2.to_milliseconds(),
+      t3.to_milliseconds(), t4.to_milliseconds(), t5.to_milliseconds(),
+      te.to_milliseconds(), response_bytes, boundary);
+  return buf;
+}
+
+QueryTimeline extract_timeline(const capture::PacketTrace& trace,
+                               const net::FlowId& flow,
+                               std::size_t boundary) {
+  QueryTimeline tl;
+  tl.flow = flow;
+  tl.boundary = boundary;
+
+  const capture::PacketTrace conn = trace.filter_flow(flow);
+  if (conn.empty()) {
+    tl.invalid_reason = "no packets for flow";
+    return tl;
+  }
+
+  // --- control-plane events -----------------------------------------------
+  bool saw_syn = false, saw_synack = false, saw_t1 = false, saw_t2 = false;
+  std::optional<std::uint64_t> client_iss;
+  for (const capture::PacketRecord& r : conn.records()) {
+    const bool sent = r.direction == capture::Direction::kSent;
+    if (sent && r.tcp.flags.syn && !saw_syn) {
+      tl.tb = r.timestamp;
+      client_iss = r.tcp.seq;
+      saw_syn = true;
+    } else if (!sent && r.tcp.flags.syn && r.tcp.flags.ack && !saw_synack) {
+      tl.t_synack = r.timestamp;
+      saw_synack = true;
+    } else if (sent && r.payload_size > 0 && !saw_t1) {
+      tl.t1 = r.timestamp;  // the GET
+      saw_t1 = true;
+    } else if (!sent && saw_t1 && !saw_t2 && r.tcp.flags.ack && client_iss &&
+               r.tcp.ack > *client_iss + 1) {
+      // First packet from the server acknowledging request payload.
+      tl.t2 = r.timestamp;
+      saw_t2 = true;
+    }
+  }
+
+  if (!saw_syn || !saw_synack || !saw_t1 || !saw_t2) {
+    tl.invalid_reason = "incomplete handshake/request events";
+    return tl;
+  }
+
+  // --- response data events ------------------------------------------------
+  const ReassembledStream stream =
+      reassemble(conn, flow, capture::Direction::kReceived);
+  if (stream.empty()) {
+    tl.invalid_reason = "no response data";
+    return tl;
+  }
+  tl.response_bytes = stream.length();
+
+  const auto t3 = stream.first_packet_reaching(0);
+  const auto te = stream.last_packet_time();
+  if (!t3 || !te) {
+    tl.invalid_reason = "response stream incomplete";
+    return tl;
+  }
+  tl.t3 = *t3;
+  tl.te = *te;
+
+  if (boundary == 0 || boundary > stream.length()) {
+    tl.invalid_reason = "boundary outside response";
+    return tl;
+  }
+
+  // Packet-granularity snap: the discovered common prefix may overhang a
+  // few bytes into the dynamic portion (keyword-independent boilerplate
+  // generated at the BE). The packet-level split — which is what the
+  // paper's temporal clustering classifies — falls on the nearest segment
+  // edge at or below the content boundary.
+  std::size_t split = stream.snap_to_segment_end(boundary);
+  if (split == 0) split = boundary;  // boundary inside the first packet
+  tl.boundary = split;
+
+  const auto t4 = stream.prefix_complete_time(split - 1);
+  if (!t4) {
+    tl.invalid_reason = "static portion never completed";
+    return tl;
+  }
+  tl.t4 = *t4;
+
+  if (split < stream.length()) {
+    const auto t5 = stream.first_packet_reaching(split);
+    if (!t5) {
+      tl.invalid_reason = "dynamic portion never observed";
+      return tl;
+    }
+    tl.t5 = *t5;
+  } else {
+    tl.t5 = tl.t4;  // response was entirely static
+  }
+
+  tl.valid = true;
+  return tl;
+}
+
+std::vector<QueryTimeline> extract_all_timelines(
+    const capture::PacketTrace& trace, net::Port server_port,
+    std::size_t boundary) {
+  std::vector<QueryTimeline> out;
+  const capture::PacketTrace service = trace.filter_remote_port(server_port);
+  for (const net::FlowId& flow : service.flows()) {
+    out.push_back(extract_timeline(service, flow, boundary));
+  }
+  return out;
+}
+
+}  // namespace dyncdn::analysis

@@ -1,0 +1,29 @@
+#include "capture/recorder.hpp"
+
+namespace dyncdn::capture {
+
+TraceRecorder::TraceRecorder(net::Node& node, sim::Simulator& simulator,
+                             RecorderOptions options)
+    : simulator_(simulator), options_(options), trace_(node.id()) {
+  node.add_send_tap([this](const net::PacketPtr& p) {
+    record(Direction::kSent, p);
+  });
+  node.add_receive_tap([this](const net::PacketPtr& p) {
+    record(Direction::kReceived, p);
+  });
+}
+
+void TraceRecorder::record(Direction direction, const net::PacketPtr& packet) {
+  if (!recording_) return;
+  PacketRecord r;
+  r.timestamp = simulator_.now();
+  r.direction = direction;
+  r.src = packet->src;
+  r.dst = packet->dst;
+  r.tcp = packet->tcp;
+  r.payload_size = packet->payload.length;
+  if (options_.capture_payloads) r.payload = packet->payload;
+  trace_.add(std::move(r));
+}
+
+}  // namespace dyncdn::capture

@@ -1,0 +1,54 @@
+// TraceRecorder: attaches tcpdump-style taps to a node.
+#pragma once
+
+#include "capture/trace.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyncdn::capture {
+
+struct RecorderOptions {
+  /// Retain full payload bytes (needed for content analysis). Headers-only
+  /// captures are cheaper for long load experiments.
+  bool capture_payloads = true;
+};
+
+/// Records every packet sent or received by one node.
+///
+/// Lifetime: the recorder registers taps on construction; the taps hold a
+/// pointer to it, so it must outlive the node's traffic (recorders are
+/// created once per experiment and kept until analysis completes).
+/// Recording can be paused/resumed between experiment phases.
+class TraceRecorder {
+ public:
+  TraceRecorder(net::Node& node, sim::Simulator& simulator,
+                RecorderOptions options = {});
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  const PacketTrace& trace() const { return trace_; }
+  PacketTrace& trace() { return trace_; }
+
+  void pause() { recording_ = false; }
+  void resume() { recording_ = true; }
+  bool recording() const { return recording_; }
+
+  /// Toggle payload retention (e.g. on for a boundary-discovery phase,
+  /// off for long measurement sweeps to bound memory).
+  void set_capture_payloads(bool v) { options_.capture_payloads = v; }
+  bool capture_payloads() const { return options_.capture_payloads; }
+
+  /// Discard everything captured so far (e.g. between repetitions).
+  void clear() { trace_.clear(); }
+
+ private:
+  void record(Direction direction, const net::PacketPtr& packet);
+
+  sim::Simulator& simulator_;
+  RecorderOptions options_;
+  PacketTrace trace_;
+  bool recording_ = true;
+};
+
+}  // namespace dyncdn::capture

@@ -1,0 +1,37 @@
+// Trace (de)serialization.
+//
+// The paper's workflow is offline: capture on the vantage points, analyze
+// later. These helpers persist a PacketTrace to a line-oriented text format
+// and parse it back, so captures can be written to disk by one process and
+// analyzed by another (see examples/offline_analysis).
+//
+// Format (one record per line, '#' comments, header line first):
+//   # dyncdn-trace v1 node=<id>
+//   <ns> <snd|rcv> <src> <sport> <dst> <dport> <seq> <ack> <win>
+//       <flags> <paylen> [<hex payload>]      (one line per record)
+// Flags is a subset of "SAFR" ('.' when none). Payload hex is present only
+// when the record retained bytes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "capture/trace.hpp"
+
+namespace dyncdn::capture {
+
+/// Serialize to the text format. `with_payloads` controls whether retained
+/// payload bytes are written (they dominate file size).
+std::string serialize_trace(const PacketTrace& trace,
+                            bool with_payloads = true);
+
+/// Parse a serialized trace. Throws std::runtime_error on malformed input.
+PacketTrace parse_trace(std::string_view text);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void save_trace(const PacketTrace& trace, const std::string& path,
+                bool with_payloads = true);
+PacketTrace load_trace(const std::string& path);
+
+}  // namespace dyncdn::capture

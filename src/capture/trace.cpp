@@ -1,0 +1,70 @@
+#include "capture/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dyncdn::capture {
+
+net::FlowId PacketRecord::flow_at_capture_node() const {
+  if (direction == Direction::kSent) {
+    return net::FlowId{net::Endpoint{src, tcp.src_port},
+                       net::Endpoint{dst, tcp.dst_port}};
+  }
+  return net::FlowId{net::Endpoint{dst, tcp.dst_port},
+                     net::Endpoint{src, tcp.src_port}};
+}
+
+std::string PacketRecord::to_string() const {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "%12s %s %u:%u -> %u:%u seq=%llu ack=%llu [%s] %zuB",
+                timestamp.to_string().c_str(), capture::to_string(direction),
+                src.value(), static_cast<unsigned>(tcp.src_port), dst.value(),
+                static_cast<unsigned>(tcp.dst_port),
+                static_cast<unsigned long long>(tcp.seq),
+                static_cast<unsigned long long>(tcp.ack),
+                tcp.flags.to_string().c_str(), payload_size);
+  return buf;
+}
+
+PacketTrace PacketTrace::filter(
+    const std::function<bool(const PacketRecord&)>& pred) const {
+  PacketTrace out(node_);
+  for (const PacketRecord& r : records_) {
+    if (pred(r)) out.add(r);
+  }
+  return out;
+}
+
+PacketTrace PacketTrace::filter_flow(const net::FlowId& flow) const {
+  return filter([&](const PacketRecord& r) {
+    const net::FlowId f = r.flow_at_capture_node();
+    return f == flow || f == flow.reversed();
+  });
+}
+
+PacketTrace PacketTrace::filter_remote_port(net::Port port) const {
+  return filter([&](const PacketRecord& r) {
+    return r.flow_at_capture_node().remote.port == port;
+  });
+}
+
+std::vector<net::FlowId> PacketTrace::flows() const {
+  std::vector<net::FlowId> out;
+  for (const PacketRecord& r : records_) {
+    const net::FlowId f = r.flow_at_capture_node();
+    if (std::find(out.begin(), out.end(), f) == out.end()) out.push_back(f);
+  }
+  return out;
+}
+
+std::string PacketTrace::to_text() const {
+  std::string out;
+  for (const PacketRecord& r : records_) {
+    out += r.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dyncdn::capture

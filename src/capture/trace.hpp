@@ -1,0 +1,82 @@
+// tcpdump-like packet traces.
+//
+// The paper collects "detailed TCPdump with full application-layer
+// payloads" at each measurement node and performs all analysis offline on
+// those traces. We mirror that: a TraceRecorder taps a node, producing a
+// PacketTrace of timestamped records (optionally retaining payload bytes);
+// the analysis module consumes *only* these traces — never simulator
+// internals — so the inference pipeline has no oracle access.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace dyncdn::capture {
+
+enum class Direction : std::uint8_t { kSent, kReceived };
+
+inline const char* to_string(Direction d) {
+  return d == Direction::kSent ? "snd" : "rcv";
+}
+
+/// One captured packet event at a node.
+struct PacketRecord {
+  sim::SimTime timestamp;
+  Direction direction = Direction::kSent;
+  net::NodeId src;
+  net::NodeId dst;
+  net::TcpHeader tcp;
+  std::size_t payload_size = 0;
+  /// Retained payload bytes (empty when the recorder captures headers only).
+  net::PayloadRef payload;
+
+  /// The flow as seen by the capturing node (local endpoint first).
+  net::FlowId flow_at_capture_node() const;
+
+  /// tcpdump-ish one-liner: "12.345ms rcv 5:80 -> 2:40001 seq=.. ..."
+  std::string to_string() const;
+};
+
+/// An ordered sequence of packet records captured at one node.
+class PacketTrace {
+ public:
+  explicit PacketTrace(net::NodeId node = {}) : node_(node) {}
+
+  void add(PacketRecord record) { records_.push_back(std::move(record)); }
+
+  net::NodeId node() const { return node_; }
+  const std::vector<PacketRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  /// Records matching a predicate, preserving order.
+  PacketTrace filter(
+      const std::function<bool(const PacketRecord&)>& pred) const;
+
+  /// Records belonging to one TCP connection (either direction).
+  PacketTrace filter_flow(const net::FlowId& flow) const;
+
+  /// Records whose remote endpoint uses the given port (e.g. 80 selects
+  /// all web traffic regardless of ephemeral client port).
+  PacketTrace filter_remote_port(net::Port port) const;
+
+  /// Distinct flows present, keyed from the capture node's perspective,
+  /// in order of first appearance.
+  std::vector<net::FlowId> flows() const;
+
+  /// Multi-line human-readable dump.
+  std::string to_text() const;
+
+ private:
+  net::NodeId node_;
+  std::vector<PacketRecord> records_;
+};
+
+}  // namespace dyncdn::capture

@@ -1,0 +1,119 @@
+// Back-end data center: generates the dynamic portion of search responses.
+//
+// Serves two protocols:
+//  - the internal fetch protocol on `fetch_port` (persistent connections
+//    from FE servers; HTTP requests tagged X-Query-Id, length-framed
+//    responses), and
+//  - a direct client-facing service on `direct_port` (full static+dynamic
+//    page, connection-close framing) used by the no-FE baseline from
+//    Pathak et al. [9].
+//
+// The BE records per-query ground truth (arrival, processing completion,
+// bytes) that tests use to validate the paper's inference bounds — the
+// analysis pipeline itself never reads these records.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cdn/load_model.hpp"
+#include "net/node.hpp"
+#include "search/content_model.hpp"
+#include "search/keywords.hpp"
+#include "tcp/stack.hpp"
+
+namespace dyncdn::cdn {
+
+/// BE query-processing time model: T_proc = per-query cost drawn from a
+/// LoadModel whose base scales with query word count, with an optional
+/// "hot result cache" discount for very popular keywords.
+struct ProcessingModel {
+  double base_ms = 30.0;
+  double per_word_ms = 8.0;
+  LoadModel load;  // load.median_ms unused; base comes from the fields above
+
+  /// Keywords with popularity rank <= this hit the BE's internal result
+  /// cache and cost `cached_factor` of the normal time. 0 disables.
+  std::size_t result_cache_top_rank = 0;
+  double cached_factor = 0.3;
+
+  /// §6 "search as you type": a query whose text strictly extends a
+  /// recently processed query costs `correlated_factor` of the normal
+  /// time — "the subsequent queries are highly correlated with previous
+  /// queries". Off (0) by default: this models the interactive-search
+  /// extension, not the paper's baseline measurement target.
+  std::size_t correlation_history = 0;
+  double correlated_factor = 0.45;
+
+  double base_for(const search::Keyword& k) const {
+    double ms = base_ms + per_word_ms * static_cast<double>(k.word_count());
+    if (result_cache_top_rank > 0 && k.rank <= result_cache_top_rank) {
+      ms *= cached_factor;
+    }
+    return ms;
+  }
+};
+
+/// Ground-truth record of one query processed by the BE.
+struct BackendQueryRecord {
+  std::uint64_t query_id = 0;
+  std::string keyword;
+  sim::SimTime request_received;
+  sim::SimTime processing_done;  // request_received + T_proc
+  sim::SimTime t_proc;           // the drawn processing time
+  std::size_t dynamic_bytes = 0;
+  bool correlated = false;  // benefited from the §6 prefix-correlation path
+};
+
+class BackendDataCenter {
+ public:
+  struct Config {
+    std::string name = "be";
+    net::Port fetch_port = 9000;
+    net::Port direct_port = 8080;
+    ProcessingModel processing;
+    tcp::TcpConfig tcp;  // stack config (internal links: large windows)
+  };
+
+  BackendDataCenter(net::Node& node, const search::ContentModel& content,
+                    Config config);
+
+  net::Node& node() { return node_; }
+  const Config& config() const { return config_; }
+  net::Endpoint fetch_endpoint() const {
+    return {node_.id(), config_.fetch_port};
+  }
+  net::Endpoint direct_endpoint() const {
+    return {node_.id(), config_.direct_port};
+  }
+
+  const std::vector<BackendQueryRecord>& query_log() const {
+    return query_log_;
+  }
+  std::size_t queries_served() const { return query_log_.size(); }
+  std::size_t active_queries() const { return active_; }
+
+ private:
+  void serve_fetch(tcp::TcpSocket& socket);
+  void serve_direct(tcp::TcpSocket& socket);
+  void process_query(const search::Keyword& keyword, std::uint64_t query_id,
+                     std::function<void(std::string dynamic_body)> done);
+
+  /// True when `text` extends (or repeats) a recently processed query.
+  bool is_correlated(const std::string& text) const;
+  void remember_query(const std::string& text);
+
+  net::Node& node_;
+  const search::ContentModel& content_;
+  Config config_;
+  tcp::TcpStack stack_;
+  sim::RngStream proc_rng_;
+  sim::RngStream content_rng_;
+  std::size_t active_ = 0;
+  std::vector<BackendQueryRecord> query_log_;
+  std::deque<std::string> recent_queries_;  // newest at the back
+};
+
+}  // namespace dyncdn::cdn

@@ -1,0 +1,121 @@
+#include "cdn/client.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+
+namespace dyncdn::cdn {
+
+QueryClient::QueryClient(net::Node& node, tcp::TcpConfig tcp_config)
+    : node_(node), stack_(node, tcp_config) {}
+
+std::string QueryClient::target_for(const search::Keyword& keyword) {
+  std::string t = "/search?q=" + http::url_encode(keyword.text);
+  t += "&rank=" + std::to_string(keyword.rank);
+  t += "&cls=";
+  t += search::to_string(keyword.cls);
+  return t;
+}
+
+void QueryClient::submit(net::Endpoint server, const search::Keyword& keyword,
+                         Handler handler) {
+  sim::Simulator& simulator = node_.network().simulator();
+
+  // All per-query state lives in one shared context captured by the
+  // socket/parser callbacks; it dies with the last callback reference.
+  struct QueryCtx {
+    QueryResult result;
+    Handler handler;
+    std::unique_ptr<http::ResponseParser> parser;
+    tcp::TcpSocket* socket = nullptr;
+    bool reported = false;
+
+    void report() {
+      if (reported) return;
+      reported = true;
+      handler(result);
+    }
+  };
+  auto ctx = std::make_shared<QueryCtx>();
+  ctx->result.keyword = keyword;
+  ctx->result.start = simulator.now();
+  ctx->handler = std::move(handler);
+
+  http::ResponseParser::Callbacks pc;
+  pc.on_headers = [ctx, &simulator](const http::HttpResponse& resp,
+                                    std::optional<std::size_t>) {
+    ctx->result.status = resp.status;
+  };
+  pc.on_body_data = [ctx, &simulator](std::string_view chunk) {
+    if (ctx->result.body_bytes == 0) {
+      ctx->result.first_byte = simulator.now();
+    }
+    ctx->result.body_bytes += chunk.size();
+  };
+  pc.on_complete = [ctx, &simulator](const http::HttpResponse&) {
+    ctx->result.complete = simulator.now();
+  };
+  ctx->parser = std::make_unique<http::ResponseParser>(std::move(pc));
+
+  tcp::TcpSocket::Callbacks cb;
+  const std::string target = target_for(keyword);
+  cb.on_connected = [ctx, &simulator] {
+    ctx->result.connected = simulator.now();
+    ctx->result.request_sent = simulator.now();
+  };
+  cb.on_data = [ctx](net::PayloadRef d) {
+    try {
+      ctx->parser->feed(d.to_text());
+    } catch (const std::exception& e) {
+      ctx->result.failed = true;
+      ctx->result.failure_reason = e.what();
+    }
+  };
+  cb.on_remote_close = [ctx] {
+    try {
+      ctx->parser->finish_stream();
+    } catch (const std::exception& e) {
+      ctx->result.failed = true;
+      ctx->result.failure_reason = e.what();
+    }
+    // The server finished its half; finish ours so the connection tears
+    // down fully instead of lingering in CLOSE_WAIT.
+    if (ctx->socket != nullptr) ctx->socket->close();
+  };
+  cb.on_closed = [ctx] {
+    if (ctx->result.complete == sim::SimTime::zero() && !ctx->result.failed) {
+      ctx->result.failed = true;
+      ctx->result.failure_reason = "connection terminated before response";
+    }
+    ctx->report();
+  };
+
+  tcp::TcpSocket& socket = stack_.connect(server, std::move(cb));
+  ctx->socket = &socket;
+  // The GET is queued now and transmitted the instant the handshake
+  // completes — like a browser writing into a connecting socket.
+  http::HttpRequest req;
+  req.target = target;
+  req.set_header("Host", "search.example");
+  req.set_header("Connection", "close");
+  socket.send_text(req.serialize());
+  // Half-close after the request: we have nothing more to send. The FE
+  // still sends its full response (close-framed) afterwards.
+}
+
+void QueryClient::submit_repeated(net::Endpoint server,
+                                  const search::Keyword& keyword,
+                                  std::size_t count, sim::SimTime interval,
+                                  Handler handler) {
+  sim::Simulator& simulator = node_.network().simulator();
+  for (std::size_t i = 0; i < count; ++i) {
+    simulator.schedule_in(interval * static_cast<std::int64_t>(i),
+                          [this, server, keyword, handler]() {
+                            submit(server, keyword, handler);
+                          });
+  }
+}
+
+}  // namespace dyncdn::cdn

@@ -1,0 +1,69 @@
+// User search-query emulator.
+//
+// "We develop an in-house user search query emulator, which performs
+// exactly the same functionality as the web-based search box." Each
+// submitted query opens a fresh TCP connection (matching the paper's Fig. 2
+// timeline, which starts with the three-way handshake), sends a GET,
+// consumes the close-framed response and reports application-level
+// timestamps. Packet-level timestamps (t3/t4/t5) come from the capture +
+// analysis pipeline, not from this class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/address.hpp"
+#include "net/node.hpp"
+#include "search/keywords.hpp"
+#include "tcp/stack.hpp"
+
+namespace dyncdn::cdn {
+
+/// Application-level observation of one query.
+struct QueryResult {
+  search::Keyword keyword;
+  sim::SimTime start;          // connect() issued (SYN, the paper's tb)
+  sim::SimTime connected;      // handshake complete at client
+  sim::SimTime request_sent;   // GET written (t1; same instant as connected)
+  sim::SimTime first_byte;     // first response byte delivered
+  sim::SimTime complete;       // response fully received (te)
+  std::size_t body_bytes = 0;  // response body size (static + dynamic)
+  int status = 0;
+  bool failed = false;         // reset / truncated response / protocol error
+  std::string failure_reason;
+
+  /// Overall user-perceived delay including the handshake (te - tb).
+  sim::SimTime overall_delay() const { return complete - start; }
+};
+
+class QueryClient {
+ public:
+  using Handler = std::function<void(const QueryResult&)>;
+
+  /// The client owns its node's TCP stack.
+  QueryClient(net::Node& node, tcp::TcpConfig tcp_config = {});
+
+  /// Issue one search query to `server`. `handler` fires when the response
+  /// completes or the connection fails.
+  void submit(net::Endpoint server, const search::Keyword& keyword,
+              Handler handler);
+
+  /// Issue `count` repetitions of the same query, `interval` apart
+  /// (the paper launches queries every 10 seconds). Handler fires per query.
+  void submit_repeated(net::Endpoint server, const search::Keyword& keyword,
+                       std::size_t count, sim::SimTime interval,
+                       Handler handler);
+
+  net::Node& node() { return node_; }
+  tcp::TcpStack& stack() { return stack_; }
+
+  /// Build the GET target for a keyword (q, rank, cls params).
+  static std::string target_for(const search::Keyword& keyword);
+
+ private:
+  net::Node& node_;
+  tcp::TcpStack stack_;
+};
+
+}  // namespace dyncdn::cdn

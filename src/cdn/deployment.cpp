@@ -1,0 +1,112 @@
+#include "cdn/deployment.hpp"
+
+namespace dyncdn::cdn {
+
+namespace {
+/// Shared TCP settings: 2011-era initial windows. The internal (FE<->BE)
+/// receive window is deliberately modest: it fixes the paper's constant C
+/// (round trips to deliver the dynamic body) at roughly
+/// 1 + body/window ≈ 3-4, giving the linear distance scaling of Fig. 9.
+tcp::TcpConfig make_client_tcp() {
+  tcp::TcpConfig c;
+  c.initial_cwnd_segments = 4;
+  return c;
+}
+
+tcp::TcpConfig make_internal_tcp() {
+  tcp::TcpConfig c;
+  c.initial_cwnd_segments = 4;
+  // 3-MSS receive window on the internal path: the dynamic body (~17KB)
+  // takes ceil(17/4.3) = 4 window rounds plus the request trip, so
+  // C ≈ 5 round trips — reproducing the paper's fitted slope of
+  // ~0.08-0.1 ms/mile (C = slope * 124/2 ≈ 5-6).
+  c.receive_buffer = 3 * c.mss;
+  return c;
+}
+}  // namespace
+
+ServiceProfile google_like_profile() {
+  ServiceProfile p;
+  p.name = "GoogleLike";
+
+  // Dedicated FE fleet: low and stable service time.
+  p.fe_service.median_ms = 30.0;
+  p.fe_service.sigma = 0.10;
+  p.fe_service.load_mean = 1.0;
+  p.fe_service.load_amplitude = 0.05;
+  p.fe_service.load_period_s = 180.0;
+  p.fe_service.congestion_per_active = 0.002;
+
+  // Fast, stable BE processing (the paper's fitted intercept: ~34 ms).
+  p.processing.base_ms = 26.0;
+  p.processing.per_word_ms = 3.0;
+  p.processing.load.sigma = 0.08;
+  p.processing.load.load_mean = 1.0;
+  p.processing.load.load_amplitude = 0.04;
+  p.processing.load.load_period_s = 240.0;
+  p.processing.load.congestion_per_active = 0.001;
+  p.processing.result_cache_top_rank = 3;  // hottest queries come cheap
+  p.processing.cached_factor = 0.45;
+
+  // Sparse FE placement: roughly a quarter of metros host a Google FE, so
+  // many clients reach an FE one metro over (Fig. 6: only ~60% of nodes
+  // see <20ms RTT).
+  p.fe_metro_coverage = 0.25;
+  p.last_mile_min_ms = 2.0;
+  p.last_mile_max_ms = 9.0;
+
+  // Lenoir, North Carolina data center (the paper's Fig. 9 choice).
+  p.be_location = {35.91, -81.54};
+  p.be_site_name = "lenoir-nc";
+
+  p.client_tcp = make_client_tcp();
+  p.internal_tcp = make_internal_tcp();
+  return p;
+}
+
+ServiceProfile bing_like_profile() {
+  ServiceProfile p;
+  p.name = "BingLike";
+
+  // Shared (Akamai) FE hosts: higher and far more variable service time —
+  // the paper's speculated cause of Bing's elevated T_static.
+  p.fe_service.median_ms = 110.0;
+  p.fe_service.sigma = 0.35;
+  p.fe_service.load_mean = 1.05;
+  p.fe_service.load_amplitude = 0.35;
+  p.fe_service.load_period_s = 90.0;
+  p.fe_service.congestion_per_active = 0.01;
+
+  // Slow, variable BE processing (fitted intercept: ~260 ms).
+  p.processing.base_ms = 235.0;
+  p.processing.per_word_ms = 10.0;
+  p.processing.load.sigma = 0.20;
+  p.processing.load.load_mean = 1.0;
+  p.processing.load.load_amplitude = 0.15;
+  p.processing.load.load_period_s = 120.0;
+  p.processing.load.congestion_per_active = 0.004;
+  p.processing.result_cache_top_rank = 3;
+  p.processing.cached_factor = 0.45;
+
+  // Akamai: an FE in (almost) every metro, hence the paper's Fig. 6
+  // finding that >80% of PlanetLab nodes see <20ms RTT to a Bing FE (the
+  // remainder is access-network latency, not FE distance).
+  p.fe_metro_coverage = 1.0;
+  p.last_mile_min_ms = 2.0;
+  p.last_mile_max_ms = 9.0;
+
+  // A single distant data center in Virginia (the paper's Fig. 9 choice).
+  p.be_location = {38.75, -77.48};
+  p.be_site_name = "virginia";
+
+  // The FE<->BE path rides the public internet rather than a private
+  // backbone: slightly lossy and less provisioned.
+  p.fe_be_bandwidth_bps = 400e6;
+  p.fe_be_loss = 0.0005;
+
+  p.client_tcp = make_client_tcp();
+  p.internal_tcp = make_internal_tcp();
+  return p;
+}
+
+}  // namespace dyncdn::cdn

@@ -1,0 +1,74 @@
+// Service deployment profiles.
+//
+// The paper contrasts two operational models for the same architecture:
+//   - GoogleLike: the service's own FE fleet. Fewer FEs (farther from
+//     clients), dedicated machines (low, stable FE service time), BE data
+//     centers near the FEs, fast and stable BE processing.
+//   - BingLike: a third-party CDN (Akamai) as the FE fleet. FEs in nearly
+//     every metro (very close to clients), shared machines (higher, more
+//     variable service time), a distant BE data center, slower and more
+//     variable BE processing.
+//
+// All the knobs live here so benches can sweep them; the numbers are
+// calibrated so the reproduced figures match the paper's *shapes* (see
+// EXPERIMENTS.md for the calibration notes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cdn/backend.hpp"
+#include "cdn/frontend.hpp"
+#include "cdn/load_model.hpp"
+#include "net/geo.hpp"
+#include "search/content_model.hpp"
+#include "tcp/config.hpp"
+
+namespace dyncdn::cdn {
+
+struct ServiceProfile {
+  std::string name;
+
+  search::ContentProfile content;
+
+  /// BE query processing (T_proc model).
+  ProcessingModel processing;
+
+  /// FE request-handling service time.
+  LoadModel fe_service;
+
+  /// Fraction of metros that host an FE site (1.0 = every metro, like
+  /// Akamai; lower = clients often reach an FE in another metro).
+  double fe_metro_coverage = 1.0;
+
+  /// BE data-center location.
+  net::GeoPoint be_location;
+  std::string be_site_name;
+
+  /// TCP tuning. Client side uses `client_tcp` (both at clients and at the
+  /// FE's client-facing sockets); `internal_tcp` governs FE<->BE. The
+  /// internal receive window bounds the paper's constant C in
+  /// T_fetch = T_proc + C * RTT_be.
+  tcp::TcpConfig client_tcp;
+  tcp::TcpConfig internal_tcp;
+
+  bool warm_backend_connection = true;
+
+  /// Link parameters.
+  double client_fe_bandwidth_bps = 50e6;   // access links
+  double fe_be_bandwidth_bps = 1e9;        // internal / well-provisioned
+  double fe_be_loss = 0.0;                 // per-packet, each direction
+  /// Last-mile one-way latency added on client<->FE links, per client,
+  /// uniform in [min, max] (models access-network delay).
+  double last_mile_min_ms = 1.0;
+  double last_mile_max_ms = 3.0;
+};
+
+/// Google-style deployment: dedicated FEs, sparse placement, fast BE.
+ServiceProfile google_like_profile();
+
+/// Bing-style deployment: Akamai FEs everywhere, shared load, distant and
+/// slow BE.
+ServiceProfile bing_like_profile();
+
+}  // namespace dyncdn::cdn

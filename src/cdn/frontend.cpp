@@ -1,0 +1,305 @@
+#include "cdn/frontend.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <utility>
+
+#include "http/message.hpp"
+
+namespace dyncdn::cdn {
+
+FrontEndServer::FrontEndServer(net::Node& node,
+                               const search::ContentModel& content,
+                               Config config)
+    : node_(node),
+      content_(content),
+      config_(std::move(config)),
+      stack_(node, config_.client_tcp),
+      service_rng_(node.network().simulator().rng().stream(
+          "fe/" + config_.name + "/service")) {
+  stack_.listen(config_.client_port,
+                [this](tcp::TcpSocket& s) { accept_client(s); });
+  // Open (and optionally warm) the first pool connection eagerly so the
+  // very first query does not pay the handshake.
+  open_backend_conn(config_.warm_backend_connection);
+}
+
+bool FrontEndServer::backend_connected() const {
+  return std::any_of(be_pool_.begin(), be_pool_.end(),
+                     [](const auto& c) { return c->connected; });
+}
+
+// ---------------------------------------------------------------------------
+// Backend connection pool (persistent, multiplexed one-query-per-conn)
+// ---------------------------------------------------------------------------
+
+FrontEndServer::BackendConn* FrontEndServer::idle_backend_conn() {
+  for (const auto& conn : be_pool_) {
+    if (conn->in_flight_query == 0) return conn.get();
+  }
+  return nullptr;
+}
+
+FrontEndServer::BackendConn& FrontEndServer::open_backend_conn(bool warm) {
+  auto owned = std::make_unique<BackendConn>();
+  BackendConn& conn = *owned;
+  be_pool_.push_back(std::move(owned));
+  conn.alive = std::make_shared<bool>(true);
+  auto alive = conn.alive;
+  BackendConn* conn_ptr = &conn;
+
+  http::ResponseParser::Callbacks pc;
+  pc.on_headers = [this, conn_ptr](const http::HttpResponse& resp,
+                                   std::optional<std::size_t>) {
+    conn_ptr->response_id = 0;
+    conn_ptr->response_is_warmup = resp.header("X-Warmup").has_value();
+    if (const auto id = resp.header("X-Query-Id")) {
+      std::from_chars(id->data(), id->data() + id->size(),
+                      conn_ptr->response_id);
+    }
+    auto it = pending_.find(conn_ptr->response_id);
+    if (it != pending_.end()) {
+      fetch_log_[it->second.log_index].first_byte =
+          node_.network().simulator().now();
+    }
+  };
+  pc.on_body_data = [this, conn_ptr](std::string_view chunk) {
+    if (conn_ptr->response_is_warmup) return;
+    auto it = pending_.find(conn_ptr->response_id);
+    if (it == pending_.end()) return;
+    ClientCtx& ctx = *it->second.ctx;
+    if (config_.relay_mode == RelayMode::kStoreAndForward ||
+        config_.cache_results) {
+      ctx.buffered.append(chunk);
+    }
+    if (config_.relay_mode == RelayMode::kStreaming && ctx.alive) {
+      if (!config_.serve_static_immediately) {
+        // Deferred-static ablation: emit head+static before the first
+        // dynamic byte reaches the client.
+        send_head_and_static(ctx);
+      }
+      ctx.socket->send_text(chunk);
+    }
+  };
+  pc.on_complete = [this, conn_ptr](const http::HttpResponse&) {
+    if (conn_ptr->response_is_warmup) {
+      conn_ptr->in_flight_query = 0;
+    } else {
+      auto it = pending_.find(conn_ptr->response_id);
+      conn_ptr->in_flight_query = 0;
+      if (it != pending_.end()) {
+        Pending pending = std::move(it->second);
+        pending_.erase(it);
+
+        fetch_log_[pending.log_index].last_byte =
+            node_.network().simulator().now();
+        ClientCtx& ctx = *pending.ctx;
+
+        if (config_.cache_results) {
+          result_cache_[pending.cache_key] = ctx.buffered;
+        }
+        if (ctx.alive) {
+          if (config_.relay_mode == RelayMode::kStoreAndForward) {
+            if (!config_.serve_static_immediately) send_head_and_static(ctx);
+            ctx.socket->send_text(ctx.buffered);
+          }
+          ctx.socket->close();
+        }
+      }
+    }
+    // This connection is free again: drain one queued fetch, if any.
+    if (!fetch_queue_.empty()) {
+      const std::uint64_t next = fetch_queue_.front();
+      fetch_queue_.erase(fetch_queue_.begin());
+      dispatch_fetch(next);
+    }
+  };
+  conn.parser = std::make_unique<http::ResponseParser>(std::move(pc));
+
+  tcp::TcpSocket::Callbacks cb;
+  cb.on_connected = [this, conn_ptr, alive, warm] {
+    if (!*alive) return;
+    conn_ptr->connected = true;
+    if (warm) {
+      http::HttpRequest warm_req;
+      warm_req.target =
+          "/warmup?bytes=" + std::to_string(config_.warmup_bytes);
+      warm_req.set_header("X-Query-Id", "0");
+      conn_ptr->socket->send_text(warm_req.serialize());
+    }
+  };
+  cb.on_data = [this, conn_ptr, alive](net::PayloadRef d) {
+    if (!*alive) return;
+    try {
+      conn_ptr->parser->feed(d.to_text());
+    } catch (const std::exception&) {
+      // Corrupt BE response stream: drop the connection; in-flight fetch
+      // fails over via backend_conn_lost.
+      conn_ptr->socket->abort();
+      backend_conn_lost(*conn_ptr);
+    }
+  };
+  cb.on_closed = [this, conn_ptr, alive] {
+    if (!*alive) return;
+    backend_conn_lost(*conn_ptr);
+  };
+  conn.socket = &stack_.connect(config_.backend, std::move(cb),
+                                config_.backend_tcp);
+  if (warm) {
+    // The warm-up transfer occupies the connection until it completes.
+    conn.in_flight_query = ~0ULL;
+  }
+  return conn;
+}
+
+void FrontEndServer::backend_conn_lost(BackendConn& conn) {
+  *conn.alive = false;
+
+  // The in-flight fetch on this connection (if any) is unanswerable; tear
+  // the client connection down so the client observes a failure.
+  if (conn.in_flight_query != 0 && conn.in_flight_query != ~0ULL) {
+    auto it = pending_.find(conn.in_flight_query);
+    if (it != pending_.end()) {
+      if (it->second.ctx->alive) it->second.ctx->socket->abort();
+      pending_.erase(it);
+    }
+  }
+  const auto pool_it = std::find_if(
+      be_pool_.begin(), be_pool_.end(),
+      [&conn](const auto& c) { return c.get() == &conn; });
+  if (pool_it != be_pool_.end()) be_pool_.erase(pool_it);
+
+  // Keep queued fetches moving on a fresh connection.
+  if (!fetch_queue_.empty()) {
+    const std::uint64_t next = fetch_queue_.front();
+    fetch_queue_.erase(fetch_queue_.begin());
+    dispatch_fetch(next);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+void FrontEndServer::accept_client(tcp::TcpSocket& socket) {
+  auto ctx = std::make_shared<ClientCtx>();
+  ctx->socket = &socket;
+
+  auto parser = std::make_shared<http::RequestParser>(
+      [this, ctx](http::HttpRequest req) {
+        handle_request(ctx, std::move(req));
+      });
+
+  tcp::TcpSocket::Callbacks cb;
+  cb.on_data = [ctx, parser](net::PayloadRef d) {
+    try {
+      parser->feed(d.to_text());
+    } catch (const std::exception&) {
+      // Malformed request: reset the connection, never crash the server.
+      if (ctx->alive) ctx->socket->abort();
+    }
+  };
+  cb.on_closed = [ctx] { ctx->alive = false; };
+  socket.set_callbacks(std::move(cb));
+}
+
+void FrontEndServer::send_head_and_static(ClientCtx& ctx) {
+  if (!ctx.alive) return;
+  http::HttpResponse head;
+  // Service-level constant headers only: the response head is part of the
+  // static portion the analyzer discovers by cross-query (and cross-FE)
+  // common-prefix comparison, so nothing FE- or query-specific goes here.
+  head.set_header("Server", content_.service_name());
+  head.set_header("Connection", "close");
+  // Close-framed response: the dynamic size is unknown at this point, which
+  // is exactly why the FE can start sending before the BE answers.
+  ctx.socket->send_text(head.serialize_head());
+  ctx.socket->send_text(content_.static_prefix());
+}
+
+void FrontEndServer::handle_request(std::shared_ptr<ClientCtx> ctx,
+                                    http::HttpRequest req) {
+  ++queries_handled_;
+  sim::Simulator& simulator = node_.network().simulator();
+  const sim::SimTime service_delay = config_.service.draw(
+      service_rng_, simulator.now(), active_requests_);
+  ++active_requests_;
+
+  simulator.schedule_in(
+      service_delay, [this, ctx, target = req.target]() {
+        --active_requests_;
+        if (!ctx->alive) return;
+
+        // FE result cache (counterfactual; off per the paper's finding).
+        if (config_.cache_results) {
+          const auto hit = result_cache_.find(target);
+          if (hit != result_cache_.end()) {
+            ++cache_hits_;
+            send_head_and_static(*ctx);
+            ctx->socket->send_text(hit->second);
+            ctx->socket->close();
+            FetchRecord rec;
+            rec.query_id = 0;
+            rec.target = target;
+            rec.served_from_fe_cache = true;
+            const sim::SimTime now = node_.network().simulator().now();
+            rec.fetch_start = rec.first_byte = rec.last_byte = now;
+            fetch_log_.push_back(std::move(rec));
+            return;
+          }
+        }
+
+        // Role 2: forward the query to the BE *now* so fetching overlaps
+        // the static-portion delivery, then (role 1) serve the cached
+        // static prefix immediately.
+        begin_fetch(ctx, target);
+        if (config_.serve_static_immediately) send_head_and_static(*ctx);
+      });
+}
+
+void FrontEndServer::begin_fetch(std::shared_ptr<ClientCtx> ctx,
+                                 const std::string& target) {
+  const std::uint64_t id = next_query_id_++;
+
+  FetchRecord rec;
+  rec.query_id = id;
+  rec.target = target;
+  rec.fetch_start = node_.network().simulator().now();
+  fetch_log_.push_back(rec);
+
+  Pending pending;
+  pending.ctx = std::move(ctx);
+  pending.log_index = fetch_log_.size() - 1;
+  pending.cache_key = target;
+  pending.target = target;
+  pending_.emplace(id, std::move(pending));
+
+  dispatch_fetch(id);
+}
+
+void FrontEndServer::dispatch_fetch(std::uint64_t query_id) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;  // client died while queued
+
+  BackendConn* conn = idle_backend_conn();
+  if (conn == nullptr) {
+    if (config_.max_backend_connections == 0 ||
+        be_pool_.size() < config_.max_backend_connections) {
+      // Grow the pool. New connections skip warm-up: with the window-
+      // limited internal path, the handshake is the only cold cost, and
+      // it is paid while the static portion is still being delivered.
+      conn = &open_backend_conn(/*warm=*/false);
+    } else {
+      fetch_queue_.push_back(query_id);
+      return;
+    }
+  }
+
+  conn->in_flight_query = query_id;
+  http::HttpRequest fetch;
+  fetch.target = it->second.target;
+  fetch.set_header("X-Query-Id", std::to_string(query_id));
+  conn->socket->send_text(fetch.serialize());
+}
+
+}  // namespace dyncdn::cdn

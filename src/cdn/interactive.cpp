@@ -1,0 +1,65 @@
+#include "cdn/interactive.hpp"
+
+#include <utility>
+
+namespace dyncdn::cdn {
+
+InteractiveTyper::InteractiveTyper(QueryClient& client, TypingOptions options,
+                                   std::uint64_t seed)
+    : client_(client), options_(options), rng_(seed) {}
+
+void InteractiveTyper::type(net::Endpoint server,
+                            const search::Keyword& keyword, Handler done) {
+  server_ = server;
+  keyword_ = keyword;
+  next_char_ = 0;
+  outstanding_ = 0;
+  typing_done_ = false;
+  session_ = TypingSessionResult{};
+  done_ = std::move(done);
+  issue_next();
+}
+
+void InteractiveTyper::issue_next() {
+  sim::Simulator& simulator = client_.node().network().simulator();
+
+  // Type characters (without issuing) until the minimum prefix is reached.
+  while (next_char_ < keyword_.text.size() &&
+         next_char_ + 1 < options_.min_prefix) {
+    ++next_char_;
+  }
+
+  if (next_char_ >= keyword_.text.size()) {
+    typing_done_ = true;
+    if (outstanding_ == 0 && done_) done_(session_);
+    return;
+  }
+
+  ++next_char_;
+  const std::string prefix = keyword_.text.substr(0, next_char_);
+
+  // Each keystroke's query is an ordinary search query for the prefix,
+  // over a brand-new connection (QueryClient::submit always opens one).
+  search::Keyword partial = keyword_;
+  partial.text = prefix;
+
+  const std::size_t index = session_.keystrokes.size();
+  session_.keystrokes.push_back(KeystrokeResult{prefix, QueryResult{}});
+  ++session_.connections;
+  ++outstanding_;
+
+  client_.submit(server_, partial, [this, index](const QueryResult& r) {
+    session_.keystrokes[index].result = r;
+    --outstanding_;
+    if (typing_done_ && outstanding_ == 0 && done_) done_(session_);
+  });
+
+  // Schedule the next keystroke after a human-scale gap; queries from
+  // successive keystrokes may overlap in flight, as in the real feature.
+  const double gap_ms =
+      rng_.uniform(options_.keystroke_min_ms, options_.keystroke_max_ms);
+  simulator.schedule_in(sim::SimTime::from_milliseconds(gap_ms),
+                        [this]() { issue_next(); });
+}
+
+}  // namespace dyncdn::cdn

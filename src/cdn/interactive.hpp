@@ -1,0 +1,77 @@
+// Interactive "search as you type" emulation (§6).
+//
+// "We find that using the interactive search feature, after each letter a
+// user has typed, a separate query (using a new TCP connection) is sent to
+// the FE server. The delivery of each query hence still fits our basic
+// model; although ... the search query processing times at the BE data
+// centers are generally reduced because the subsequent queries are highly
+// correlated with previous queries."
+//
+// InteractiveTyper emulates a user typing a query: after every typed
+// character it issues the current prefix as a full search query over a
+// fresh TCP connection, with human inter-keystroke gaps.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cdn/client.hpp"
+#include "search/keywords.hpp"
+#include "sim/random.hpp"
+
+namespace dyncdn::cdn {
+
+struct TypingOptions {
+  /// Inter-keystroke delay, uniform in [min, max].
+  double keystroke_min_ms = 120.0;
+  double keystroke_max_ms = 320.0;
+  /// Issue a query only once the prefix reaches this length (real
+  /// suggest-as-you-type waits for a couple of characters).
+  std::size_t min_prefix = 2;
+};
+
+struct KeystrokeResult {
+  std::string prefix;       // query text issued at this keystroke
+  QueryResult result;       // per-query app-level observation
+};
+
+struct TypingSessionResult {
+  std::vector<KeystrokeResult> keystrokes;
+  /// Number of distinct TCP connections used (== keystrokes.size(); kept
+  /// explicit because the §6 claim is one connection per keystroke).
+  std::size_t connections = 0;
+};
+
+/// Emulates typing `keyword.text` character by character against `server`,
+/// issuing one query per keystroke. `done` fires after the final query's
+/// response completes.
+class InteractiveTyper {
+ public:
+  using Handler = std::function<void(const TypingSessionResult&)>;
+
+  InteractiveTyper(QueryClient& client, TypingOptions options,
+                   std::uint64_t seed);
+
+  /// Begin a typing session. One session at a time per typer.
+  void type(net::Endpoint server, const search::Keyword& keyword,
+            Handler done);
+
+ private:
+  void issue_next();
+
+  QueryClient& client_;
+  TypingOptions options_;
+  sim::RngStream rng_;
+
+  net::Endpoint server_;
+  search::Keyword keyword_;
+  std::size_t next_char_ = 0;
+  std::size_t outstanding_ = 0;
+  bool typing_done_ = false;
+  TypingSessionResult session_;
+  Handler done_;
+};
+
+}  // namespace dyncdn::cdn

@@ -1,0 +1,70 @@
+// Server load / service-time models shared by FE servers and BE data
+// centers.
+//
+// The paper attributes Bing's higher, more variable T_static to shared
+// (Akamai) front-ends under fluctuating load, and its higher, more variable
+// T_dynamic to BE processing load — none of which are observable from the
+// outside. We model a server's effective service time as
+//
+//   t = lognormal(median, sigma)                   per-request noise
+//       * (load_mean + load_amplitude * sin(...))  slow background swing
+//       * (1 + congestion_per_active * active)     concurrency penalty
+//
+// Dedicated servers (GoogleLike) use small sigma/amplitude; shared servers
+// (BingLike/Akamai) larger.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace dyncdn::cdn {
+
+struct LoadModel {
+  /// Median service time for the base operation, milliseconds.
+  double median_ms = 1.0;
+  /// Lognormal sigma of per-request noise.
+  double sigma = 0.05;
+  /// Background load multiplier: mean and sinusoidal swing.
+  double load_mean = 1.0;
+  double load_amplitude = 0.0;
+  double load_period_s = 120.0;
+  double load_phase = 0.0;
+  /// Additional multiplier per concurrently active request.
+  double congestion_per_active = 0.0;
+
+  /// Deterministic background multiplier at simulated time `now`.
+  double background_multiplier(sim::SimTime now) const {
+    if (load_amplitude == 0.0) return load_mean;
+    const double t = now.to_seconds();
+    return load_mean +
+           load_amplitude *
+               std::sin(2.0 * std::numbers::pi * t / load_period_s +
+                        load_phase);
+  }
+
+  /// Draw one service time. `active` = requests already in service.
+  sim::SimTime draw(sim::RngStream& rng, sim::SimTime now,
+                    std::size_t active) const {
+    double ms = sigma > 0.0 ? rng.lognormal_median(median_ms, sigma)
+                            : median_ms;
+    ms *= background_multiplier(now);
+    ms *= 1.0 + congestion_per_active * static_cast<double>(active);
+    if (ms < 0.01) ms = 0.01;
+    return sim::SimTime::from_milliseconds(ms);
+  }
+
+  /// Same draw with the base scaled (e.g. per-word processing cost).
+  sim::SimTime draw_scaled(sim::RngStream& rng, sim::SimTime now,
+                           std::size_t active, double base_ms) const {
+    double ms = sigma > 0.0 ? rng.lognormal_median(base_ms, sigma) : base_ms;
+    ms *= background_multiplier(now);
+    ms *= 1.0 + congestion_per_active * static_cast<double>(active);
+    if (ms < 0.01) ms = 0.01;
+    return sim::SimTime::from_milliseconds(ms);
+  }
+};
+
+}  // namespace dyncdn::cdn

@@ -1,0 +1,40 @@
+#include "core/cache_detector.hpp"
+
+#include <cstdio>
+
+#include "stats/descriptive.hpp"
+
+namespace dyncdn::core {
+
+std::string CacheDetectionResult::verdict() const {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "%s (KS D=%.3f p=%.4f; median same=%.1fms distinct=%.1fms)",
+                caching_detected
+                    ? "FE result caching DETECTED"
+                    : "no FE result caching (distributions consistent)",
+                ks.statistic, ks.p_value, median_same_ms, median_distinct_ms);
+  return buf;
+}
+
+CacheDetectionResult detect_fe_caching(
+    std::span<const double> t_dynamic_same,
+    std::span<const double> t_dynamic_distinct) {
+  CacheDetectionResult r;
+  r.median_same_ms = stats::median(t_dynamic_same);
+  r.median_distinct_ms = stats::median(t_dynamic_distinct);
+  r.ks = stats::ks_test(t_dynamic_same, t_dynamic_distinct);
+
+  // Caching shows up as *both* a strong distributional divergence and a
+  // substantial median drop for the repeated query. The drop is bounded
+  // from below by FE service time + static-delivery time (which a cache
+  // hit still pays), so the ratio threshold is 0.75 rather than "near
+  // zero"; a mild difference alone could stem from keyword-dependent
+  // processing cost and must not trigger.
+  r.caching_detected = r.ks.distributions_differ() &&
+                       r.ks.statistic >= 0.5 &&
+                       r.median_same_ms < 0.75 * r.median_distinct_ms;
+  return r;
+}
+
+}  // namespace dyncdn::core

@@ -1,0 +1,38 @@
+// FE result-caching detector (the paper's §3 experiment "Do FE Servers
+// Cache Search Results?").
+//
+// Protocol: submit (a) the same query repeatedly and (b) distinct queries
+// to a fixed FE server, and compare the T_dynamic distributions. If the FE
+// cached results, repeats would be answered locally — T_dynamic for (a)
+// would collapse toward T_static scale and its distribution would diverge
+// sharply from (b). The paper found the distributions indistinguishable
+// and concluded FEs do not cache dynamic results.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "stats/cdf.hpp"
+
+namespace dyncdn::core {
+
+struct CacheDetectionResult {
+  stats::KsResult ks;        // same-query vs distinct-query comparison
+  double median_same_ms = 0;
+  double median_distinct_ms = 0;
+  /// True when the evidence indicates FE-side result caching: the repeated
+  /// queries' T_dynamic is both statistically distinguishable and
+  /// substantially smaller.
+  bool caching_detected = false;
+
+  std::string verdict() const;
+};
+
+/// `t_dynamic_same`: T_dynamic samples (ms) for one query repeated against
+/// a fixed FE; `t_dynamic_distinct`: samples for distinct queries against
+/// the same FE. Requires both non-empty.
+CacheDetectionResult detect_fe_caching(
+    std::span<const double> t_dynamic_same,
+    std::span<const double> t_dynamic_distinct);
+
+}  // namespace dyncdn::core

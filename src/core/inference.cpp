@@ -1,0 +1,93 @@
+#include "core/inference.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/geo.hpp"
+
+namespace dyncdn::core {
+
+FetchBounds fetch_bounds(const QueryTimings& q) {
+  return FetchBounds{q.t_delta_ms, q.t_dynamic_ms};
+}
+
+NodeAggregate aggregate_node(std::string node_name,
+                             std::span<const QueryTimings> qs) {
+  NodeAggregate a;
+  a.node_name = std::move(node_name);
+  a.samples = qs.size();
+  if (qs.empty()) return a;
+  a.rtt_ms = stats::median(extract_rtt(qs));
+  a.med_static_ms = stats::median(extract_static(qs));
+  a.med_dynamic_ms = stats::median(extract_dynamic(qs));
+  a.med_delta_ms = stats::median(extract_delta(qs));
+  a.med_overall_ms = stats::median(extract_overall(qs));
+  return a;
+}
+
+std::string ThresholdEstimate::to_string() const {
+  char buf[160];
+  if (!found) return "threshold not found (T_delta never collapses)";
+  std::snprintf(buf, sizeof(buf),
+                "T_delta -> 0 at RTT ~%.0fms; pre-threshold %s",
+                threshold_rtt_ms, pre_threshold_fit.to_string().c_str());
+  return buf;
+}
+
+ThresholdEstimate estimate_delta_threshold(
+    std::span<const NodeAggregate> nodes, double zero_eps_ms) {
+  ThresholdEstimate est;
+  if (nodes.empty()) return est;
+
+  std::vector<const NodeAggregate*> sorted;
+  sorted.reserve(nodes.size());
+  for (const auto& n : nodes) sorted.push_back(&n);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->rtt_ms < b->rtt_ms; });
+
+  // Threshold: smallest RTT from which onwards T_delta stays collapsed.
+  // Scan from the high-RTT end; stop at the first node whose T_delta is
+  // clearly nonzero.
+  std::size_t first_collapsed = sorted.size();
+  for (std::size_t i = sorted.size(); i-- > 0;) {
+    if (sorted[i]->med_delta_ms > zero_eps_ms) break;
+    first_collapsed = i;
+  }
+  if (first_collapsed < sorted.size()) {
+    est.found = true;
+    est.threshold_rtt_ms = sorted[first_collapsed]->rtt_ms;
+  }
+
+  // Fit the declining region (all nodes before the collapse).
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i < first_collapsed; ++i) {
+    xs.push_back(sorted[i]->rtt_ms);
+    ys.push_back(sorted[i]->med_delta_ms);
+  }
+  if (xs.size() >= 2) est.pre_threshold_fit = stats::linear_fit(xs, ys);
+  return est;
+}
+
+double FetchFactoring::implied_round_trips() const {
+  // One mile of separation adds 2/kFiberMilesPerMs ms per round trip.
+  const double rtt_per_mile_ms = 2.0 / net::kFiberMilesPerMs;
+  return fit.slope / rtt_per_mile_ms;
+}
+
+std::string FetchFactoring::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "T_proc ~= %.1fms, slope %.4f ms/mile (C ~= %.1f RTTs), %s",
+                t_proc_ms(), slope_ms_per_mile(), implied_round_trips(),
+                fit.to_string().c_str());
+  return buf;
+}
+
+FetchFactoring factor_fetch_time(std::span<const double> distances_miles,
+                                 std::span<const double> t_dynamic_ms) {
+  FetchFactoring f;
+  f.fit = stats::linear_fit(distances_miles, t_dynamic_ms);
+  return f;
+}
+
+}  // namespace dyncdn::core

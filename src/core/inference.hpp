@@ -1,0 +1,91 @@
+// The model-based inference framework (the paper's core contribution).
+//
+// From externally measurable timings it:
+//  - bounds the unobservable FE-BE fetch time:  T_delta <= T_fetch <= T_dynamic
+//  - detects the RTT threshold beyond which T_delta = 0 — the paper's
+//    placement trade-off: below the threshold, moving FEs closer to users
+//    no longer improves perceived latency, which is then governed solely
+//    by the fetch time;
+//  - factors T_fetch = T_proc + C * RTT_be by regressing T_dynamic (for
+//    low-RTT clients) against the FE<->BE distance: the intercept estimates
+//    the back-end processing time, the slope the per-mile network delay.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/timings.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/regression.hpp"
+
+namespace dyncdn::core {
+
+/// Bounds on the unobservable FE-BE fetch time for one query (Eq. 1).
+struct FetchBounds {
+  double lower_ms = 0;  // T_delta
+  double upper_ms = 0;  // T_dynamic
+
+  bool contains(double t_fetch_ms) const {
+    return t_fetch_ms >= lower_ms && t_fetch_ms <= upper_ms;
+  }
+  double width() const { return upper_ms - lower_ms; }
+};
+
+FetchBounds fetch_bounds(const QueryTimings& q);
+
+/// Per-vantage-point aggregate (one PlanetLab node in Figs. 5/7/8):
+/// median of each timing across that node's repeated queries.
+struct NodeAggregate {
+  std::string node_name;
+  double rtt_ms = 0;  // median handshake RTT
+  double med_static_ms = 0;
+  double med_dynamic_ms = 0;
+  double med_delta_ms = 0;
+  double med_overall_ms = 0;
+  std::size_t samples = 0;
+};
+
+NodeAggregate aggregate_node(std::string node_name,
+                             std::span<const QueryTimings> qs);
+
+/// T_delta-threshold estimate from per-node aggregates (paper §4.1: for
+/// Google ~50-100ms, Bing ~100-200ms).
+struct ThresholdEstimate {
+  bool found = false;
+  /// Smallest RTT at which T_delta has collapsed to (near) zero.
+  double threshold_rtt_ms = 0;
+  /// Fit of T_delta vs RTT over the pre-threshold region; the paper's
+  /// model predicts a negative slope ~ -(static-delivery RTT multiple).
+  stats::LinearFit pre_threshold_fit;
+
+  std::string to_string() const;
+};
+
+/// `zero_eps_ms`: T_delta below this counts as "zero".
+ThresholdEstimate estimate_delta_threshold(
+    std::span<const NodeAggregate> nodes, double zero_eps_ms = 5.0);
+
+/// Fetch-time factoring via distance regression (§5, Fig. 9).
+struct FetchFactoring {
+  stats::LinearFit fit;  // y = slope * miles + intercept
+
+  /// Estimated back-end processing time (the paper reads the Y-intercept
+  /// as "the computation time for a given search query").
+  double t_proc_ms() const { return fit.intercept; }
+  /// Network contribution per mile of FE-BE distance.
+  double slope_ms_per_mile() const { return fit.slope; }
+  /// The constant C of Eq. 2 implied by the slope: slope divided by the
+  /// per-mile RTT of light in fiber (2 / 124 ms per mile of separation).
+  double implied_round_trips() const;
+
+  std::string to_string() const;
+};
+
+/// `distances_miles[i]` pairs with `t_dynamic_ms[i]` (one point per FE
+/// site, T_dynamic medians from low-RTT clients only, per the paper).
+FetchFactoring factor_fetch_time(std::span<const double> distances_miles,
+                                 std::span<const double> t_dynamic_ms);
+
+}  // namespace dyncdn::core

@@ -1,0 +1,69 @@
+#include "core/timings.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dyncdn::core {
+
+std::string QueryTimings::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "rtt=%.2fms Tstatic=%.2fms Tdynamic=%.2fms Tdelta=%.2fms "
+                "overall=%.2fms (%zu+%zuB)",
+                rtt_ms, t_static_ms, t_dynamic_ms, t_delta_ms, overall_ms,
+                static_bytes, dynamic_bytes);
+  return buf;
+}
+
+std::optional<QueryTimings> timings_from_timeline(
+    const analysis::QueryTimeline& tl) {
+  if (!tl.valid) return std::nullopt;
+  QueryTimings q;
+  q.rtt_ms = tl.rtt().to_milliseconds();
+  q.t_static_ms = (tl.t4 - tl.t2).to_milliseconds();
+  q.t_dynamic_ms = (tl.t5 - tl.t2).to_milliseconds();
+  q.t_delta_ms = std::max(0.0, (tl.t5 - tl.t4).to_milliseconds());
+  q.overall_ms = (tl.te - tl.tb).to_milliseconds();
+  q.static_bytes = tl.boundary;
+  q.dynamic_bytes =
+      tl.response_bytes > tl.boundary ? tl.response_bytes - tl.boundary : 0;
+  return q;
+}
+
+std::vector<QueryTimings> timings_from_timelines(
+    std::span<const analysis::QueryTimeline> timelines) {
+  std::vector<QueryTimings> out;
+  out.reserve(timelines.size());
+  for (const auto& tl : timelines) {
+    if (auto q = timings_from_timeline(tl)) out.push_back(*q);
+  }
+  return out;
+}
+
+namespace {
+std::vector<double> extract_field(std::span<const QueryTimings> xs,
+                                  double QueryTimings::* field) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const auto& x : xs) out.push_back(x.*field);
+  return out;
+}
+}  // namespace
+
+std::vector<double> extract_rtt(std::span<const QueryTimings> xs) {
+  return extract_field(xs, &QueryTimings::rtt_ms);
+}
+std::vector<double> extract_static(std::span<const QueryTimings> xs) {
+  return extract_field(xs, &QueryTimings::t_static_ms);
+}
+std::vector<double> extract_dynamic(std::span<const QueryTimings> xs) {
+  return extract_field(xs, &QueryTimings::t_dynamic_ms);
+}
+std::vector<double> extract_delta(std::span<const QueryTimings> xs) {
+  return extract_field(xs, &QueryTimings::t_delta_ms);
+}
+std::vector<double> extract_overall(std::span<const QueryTimings> xs) {
+  return extract_field(xs, &QueryTimings::overall_ms);
+}
+
+}  // namespace dyncdn::core

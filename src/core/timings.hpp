@@ -1,0 +1,48 @@
+// The paper's measurable query parameters (§2):
+//
+//   T_static  := t4 - t2   — bounds FE-side processing + static delivery
+//   T_dynamic := t5 - t2   — upper-bounds the FE-BE fetch time
+//   T_delta   := t5 - t4   — lower-bounds the FE-BE fetch time
+//
+// computed from extracted packet timelines, in milliseconds for direct
+// comparison with the paper's figures.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/timeline.hpp"
+
+namespace dyncdn::core {
+
+struct QueryTimings {
+  double rtt_ms = 0;        // client<->FE handshake RTT
+  double t_static_ms = 0;   // t4 - t2
+  double t_dynamic_ms = 0;  // t5 - t2
+  double t_delta_ms = 0;    // max(0, t5 - t4): clamped, coalesced packets
+                            // at high RTT drive it to zero (paper Fig. 5c)
+  double overall_ms = 0;    // te - tb, the user-perceived response time
+  std::size_t static_bytes = 0;
+  std::size_t dynamic_bytes = 0;
+
+  std::string to_string() const;
+};
+
+/// Derive timings from a valid extracted timeline; nullopt if invalid.
+std::optional<QueryTimings> timings_from_timeline(
+    const analysis::QueryTimeline& timeline);
+
+/// Batch conversion, silently skipping invalid timelines.
+std::vector<QueryTimings> timings_from_timelines(
+    std::span<const analysis::QueryTimeline> timelines);
+
+/// Column extractors for stats helpers.
+std::vector<double> extract_rtt(std::span<const QueryTimings> xs);
+std::vector<double> extract_static(std::span<const QueryTimings> xs);
+std::vector<double> extract_dynamic(std::span<const QueryTimings> xs);
+std::vector<double> extract_delta(std::span<const QueryTimings> xs);
+std::vector<double> extract_overall(std::span<const QueryTimings> xs);
+
+}  // namespace dyncdn::core

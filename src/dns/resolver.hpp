@@ -1,0 +1,106 @@
+// Minimal DNS subsystem.
+//
+// Two places in the paper rest on DNS: the "default FE server is whatever
+// server IP address the DNS resolution returns" (CDNs steer clients to
+// nearby front-ends through resolver-aware answers), and footnote 1's
+// claim that "DNS resolution time is not included, as it is negligible as
+// compared to the overall user-perceived response time". This module
+// implements both so they can be exercised and the footnote quantified.
+//
+// Protocol (DNS-over-TCP, one exchange per connection):
+//   client -> "Q <name>\n"
+//   server -> "A <node-id> <port>\n"   or   "NX\n"
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/load_model.hpp"
+#include "net/address.hpp"
+#include "net/node.hpp"
+#include "tcp/stack.hpp"
+
+namespace dyncdn::dns {
+
+inline constexpr net::Port kDnsPort = 53;
+
+/// Authoritative resolver with CDN-style redirection: the answer for a
+/// name may depend on who asks (real CDNs answer based on the resolver's
+/// location; we use the querying node, the ideal case).
+class DnsServer {
+ public:
+  /// Picks one of the candidate endpoints for a given querier.
+  using SelectionPolicy = std::function<net::Endpoint(
+      net::NodeId querier, const std::vector<net::Endpoint>& candidates)>;
+
+  /// Installs a TCP stack on `node` listening on port 53.
+  /// `service` models the resolver's lookup latency.
+  DnsServer(net::Node& node, cdn::LoadModel service = {});
+
+  /// Register (or extend) a name's candidate endpoints.
+  void add_record(const std::string& name, net::Endpoint endpoint);
+
+  /// Replace the selection policy (default: round-robin over candidates).
+  void set_policy(SelectionPolicy policy) { policy_ = std::move(policy); }
+
+  net::Endpoint endpoint() const { return {node_.id(), kDnsPort}; }
+  std::size_t queries_served() const { return queries_served_; }
+
+ private:
+  void serve(tcp::TcpSocket& socket);
+
+  net::Node& node_;
+  tcp::TcpStack stack_;
+  cdn::LoadModel service_;
+  sim::RngStream service_rng_;
+  SelectionPolicy policy_;
+  std::unordered_map<std::string, std::vector<net::Endpoint>> records_;
+  std::unordered_map<std::string, std::size_t> rr_cursor_;
+  std::size_t queries_served_ = 0;
+};
+
+/// Result of one resolution as observed by the client.
+struct ResolveResult {
+  bool failed = true;
+  std::string error;
+  net::Endpoint endpoint;
+  sim::SimTime started;
+  sim::SimTime completed;
+
+  sim::SimTime duration() const { return completed - started; }
+};
+
+/// Stub resolver client with a simple positive cache (like an OS stub +
+/// local cache; the paper's emulator resolved once per node).
+class DnsClient {
+ public:
+  using Handler = std::function<void(const ResolveResult&)>;
+
+  /// Uses an existing stack (e.g. QueryClient::stack()) for its lookups.
+  DnsClient(tcp::TcpStack& stack, net::Endpoint server);
+
+  /// Resolve `name`; hits the cache when possible (cache_ttl > 0).
+  void resolve(const std::string& name, Handler handler);
+
+  void set_cache_ttl(sim::SimTime ttl) { cache_ttl_ = ttl; }
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t lookups_sent() const { return lookups_sent_; }
+
+ private:
+  struct CacheEntry {
+    net::Endpoint endpoint;
+    sim::SimTime expires;
+  };
+
+  tcp::TcpStack& stack_;
+  net::Endpoint server_;
+  sim::SimTime cache_ttl_ = sim::SimTime::seconds(60);
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::size_t cache_hits_ = 0;
+  std::size_t lookups_sent_ = 0;
+};
+
+}  // namespace dyncdn::dns

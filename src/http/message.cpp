@@ -1,0 +1,151 @@
+#include "http/message.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace dyncdn::http {
+
+namespace {
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+void append_headers(std::string& out, const HeaderList& headers) {
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+}
+}  // namespace
+
+std::optional<std::string_view> find_header(const HeaderList& headers,
+                                            std::string_view name) {
+  for (const auto& [n, v] : headers) {
+    if (iequals(n, name)) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+void HttpRequest::set_header(std::string name, std::string value) {
+  for (auto& [n, v] : headers) {
+    if (iequals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::move(name), std::move(value));
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += method;
+  out += ' ';
+  out += target;
+  out += ' ';
+  out += version;
+  out += "\r\n";
+  append_headers(out, headers);
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<std::string> HttpRequest::query_param(
+    std::string_view key) const {
+  const std::size_t qpos = target.find('?');
+  if (qpos == std::string::npos) return std::nullopt;
+  std::string_view query = std::string_view(target).substr(qpos + 1);
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair = query.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return url_decode(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return std::nullopt;
+}
+
+void HttpResponse::set_header(std::string name, std::string value) {
+  for (auto& [n, v] : headers) {
+    if (iequals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::move(name), std::move(value));
+}
+
+std::string HttpResponse::serialize_head() const {
+  std::string out;
+  out.reserve(128);
+  char line[64];
+  std::snprintf(line, sizeof(line), "%s %d ", version.c_str(), status);
+  out += line;
+  out += reason;
+  out += "\r\n";
+  append_headers(out, headers);
+  out += "\r\n";
+  return out;
+}
+
+std::string HttpResponse::serialize() const {
+  if (!header("Content-Length")) {
+    HttpResponse copy = *this;
+    copy.set_header("Content-Length", std::to_string(body.size()));
+    return copy.serialize();
+  }
+  return serialize_head() + body;
+}
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        return std::tolower(static_cast<unsigned char>(c)) - 'a' + 10;
+      };
+      out.push_back(static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string url_encode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc) || c == '-' || c == '_' || c == '.' || c == '~') {
+      out.push_back(c);
+    } else if (c == ' ') {
+      out.push_back('+');
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", uc);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace dyncdn::http

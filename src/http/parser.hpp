@@ -1,0 +1,102 @@
+// Incremental HTTP/1.1 parsers.
+//
+// TCP delivers a byte stream in arbitrary segment-sized pieces; these
+// parsers consume those pieces and surface complete messages (requests) or
+// streaming events (responses). The response parser reports body bytes as
+// they arrive — the client emulator needs per-packet body progress to build
+// the paper's t3/t4/t5 timeline, not just the completed message.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/message.hpp"
+
+namespace dyncdn::http {
+
+/// Parses a stream of HTTP requests (persistent connections carry several
+/// back to back). Feed bytes; completed requests surface via callback.
+class RequestParser {
+ public:
+  using RequestHandler = std::function<void(HttpRequest)>;
+
+  explicit RequestParser(RequestHandler on_request)
+      : on_request_(std::move(on_request)) {}
+
+  /// Consume a chunk of stream bytes. Throws std::runtime_error on
+  /// malformed input.
+  void feed(std::string_view bytes);
+
+  /// True while a partially received message is pending.
+  bool mid_message() const { return !buffer_.empty(); }
+
+ private:
+  void try_parse();
+
+  RequestHandler on_request_;
+  std::string buffer_;
+};
+
+/// Streaming parser for HTTP responses on a connection.
+///
+/// Two framing modes, chosen per response from its headers:
+///  - Content-Length present: the body ends after that many bytes; the
+///    parser then resets for the next response (persistent connections).
+///  - No Content-Length: read-until-close ("Connection: close" framing, as
+///    search front-ends used in the measurement era) — the caller signals
+///    the peer's FIN via finish_stream(), which completes the response.
+class ResponseParser {
+ public:
+  struct Callbacks {
+    /// Status line + headers complete. `body_length` is the declared
+    /// Content-Length, or nullopt for read-until-close framing.
+    std::function<void(const HttpResponse&,
+                       std::optional<std::size_t> body_length)>
+        on_headers;
+    /// A chunk of body bytes arrived (already de-framed).
+    std::function<void(std::string_view)> on_body_data;
+    /// Full response received.
+    std::function<void(const HttpResponse&)> on_complete;
+  };
+
+  explicit ResponseParser(Callbacks callbacks)
+      : callbacks_(std::move(callbacks)) {}
+
+  /// Consume a chunk of stream bytes. Throws std::runtime_error on
+  /// malformed input (bad status line / Content-Length).
+  void feed(std::string_view bytes);
+
+  /// The peer closed its half of the connection: completes an in-progress
+  /// read-until-close response. Throws if a length-framed body is cut short.
+  void finish_stream();
+
+  bool mid_message() const {
+    return state_ != State::kHeaders || !buffer_.empty();
+  }
+
+  /// Total body bytes received for the in-progress (or last) response.
+  std::size_t body_received() const { return body_received_; }
+
+ private:
+  enum class State { kHeaders, kBody };
+
+  void parse_headers();
+  void complete_current();
+
+  Callbacks callbacks_;
+  State state_ = State::kHeaders;
+  std::string buffer_;
+  HttpResponse current_;
+  std::optional<std::size_t> body_expected_;  // nullopt = until close
+  std::size_t body_received_ = 0;
+};
+
+/// Parse the header block of a request (first line + headers). Returns
+/// nullopt if the block is incomplete (no CRLFCRLF yet); throws on garbage.
+std::optional<HttpRequest> parse_request_head(std::string_view block,
+                                              std::size_t* consumed);
+
+}  // namespace dyncdn::http

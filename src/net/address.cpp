@@ -1,0 +1,18 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+namespace dyncdn::net {
+
+std::string Endpoint::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u:%u", node.value(),
+                static_cast<unsigned>(port));
+  return buf;
+}
+
+std::string FlowId::to_string() const {
+  return local.to_string() + "->" + remote.to_string();
+}
+
+}  // namespace dyncdn::net

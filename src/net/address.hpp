@@ -1,0 +1,71 @@
+// Node addressing. The simulated internet uses flat 32-bit node addresses
+// (one per host) plus 16-bit ports, mirroring the IP:port pairs tcpdump
+// records in the paper's traces.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dyncdn::net {
+
+/// Flat address of a simulated host. Value 0 is reserved as "invalid".
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value_(v) {}
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+using Port = std::uint16_t;
+
+/// A transport endpoint (host address + port).
+struct Endpoint {
+  NodeId node;
+  Port port = 0;
+
+  friend constexpr auto operator<=>(const Endpoint&, const Endpoint&) = default;
+  std::string to_string() const;
+};
+
+/// A TCP connection is identified by its two endpoints, as in a pcap
+/// 4-tuple. Ordered so it can key std::map.
+struct FlowId {
+  Endpoint local;
+  Endpoint remote;
+
+  friend constexpr auto operator<=>(const FlowId&, const FlowId&) = default;
+  FlowId reversed() const { return FlowId{remote, local}; }
+  std::string to_string() const;
+};
+
+}  // namespace dyncdn::net
+
+template <>
+struct std::hash<dyncdn::net::NodeId> {
+  std::size_t operator()(dyncdn::net::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<dyncdn::net::Endpoint> {
+  std::size_t operator()(const dyncdn::net::Endpoint& e) const noexcept {
+    return (static_cast<std::size_t>(e.node.value()) << 16) ^ e.port;
+  }
+};
+
+template <>
+struct std::hash<dyncdn::net::FlowId> {
+  std::size_t operator()(const dyncdn::net::FlowId& f) const noexcept {
+    const std::size_t h1 = std::hash<dyncdn::net::Endpoint>{}(f.local);
+    const std::size_t h2 = std::hash<dyncdn::net::Endpoint>{}(f.remote);
+    return h1 ^ (h2 * 0x9E3779B97F4A7C15ULL);
+  }
+};

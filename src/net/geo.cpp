@@ -1,0 +1,49 @@
+#include "net/geo.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+namespace dyncdn::net {
+
+namespace {
+constexpr double kEarthRadiusMiles = 3958.8;
+constexpr double kMilesPerKm = 0.621371;
+
+double deg2rad(double d) { return d * std::numbers::pi / 180.0; }
+}  // namespace
+
+std::string GeoPoint::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "(%.3f, %.3f)", lat_deg, lon_deg);
+  return buf;
+}
+
+double haversine_miles(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg2rad(a.lat_deg), lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusMiles * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  return haversine_miles(a, b) / kMilesPerKm;
+}
+
+sim::SimTime propagation_delay(const GeoPoint& a, const GeoPoint& b,
+                               double path_stretch) {
+  return propagation_delay_miles(haversine_miles(a, b) * path_stretch);
+}
+
+sim::SimTime propagation_delay_miles(double miles) {
+  return sim::SimTime::from_milliseconds(miles / kFiberMilesPerMs);
+}
+
+double miles_for_delay(sim::SimTime one_way) {
+  return one_way.to_milliseconds() * kFiberMilesPerMs;
+}
+
+}  // namespace dyncdn::net

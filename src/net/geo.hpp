@@ -1,0 +1,43 @@
+// Geographic placement: nodes get latitude/longitude, and link propagation
+// delays derive from great-circle distance at fiber propagation speed. The
+// paper's Fig. 9 regresses T_dynamic against FE↔BE distance in miles.
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace dyncdn::net {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Great-circle (haversine) distance in statute miles.
+double haversine_miles(const GeoPoint& a, const GeoPoint& b);
+
+/// Same distance in kilometers.
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// One-way propagation delay of a fiber path between two points. Real paths
+/// are not great circles; `path_stretch` (default 1.4, a common measured
+/// inflation factor) scales the geometric distance. Light in fiber travels
+/// at ~2/3 c ≈ 124 miles/ms.
+sim::SimTime propagation_delay(const GeoPoint& a, const GeoPoint& b,
+                               double path_stretch = 1.4);
+
+/// Propagation delay for a given path length in miles.
+sim::SimTime propagation_delay_miles(double miles);
+
+/// Miles of one-way fiber corresponding to a given one-way delay: the
+/// inverse of propagation_delay_miles. Used to place synthetic sites at a
+/// target RTT.
+double miles_for_delay(sim::SimTime one_way);
+
+/// Speed of light in fiber, miles per millisecond (~124).
+inline constexpr double kFiberMilesPerMs = 124.0;
+
+}  // namespace dyncdn::net

@@ -1,0 +1,59 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dyncdn::net {
+
+Link::Link(sim::Simulator& simulator, LinkConfig config, DeliverFn deliver,
+           std::string rng_name)
+    : simulator_(simulator),
+      config_(std::move(config)),
+      deliver_(std::move(deliver)),
+      loss_(config_.loss_factory ? config_.loss_factory() : make_no_loss()),
+      loss_rng_(simulator.rng().stream(rng_name)) {}
+
+sim::SimTime Link::serialization_delay(std::size_t bytes) const {
+  if (config_.bandwidth_bps <= 0.0) return sim::SimTime::zero();
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  return sim::SimTime::from_seconds(seconds);
+}
+
+void Link::transmit(PacketPtr packet) {
+  ++stats_.packets_offered;
+
+  if (loss_->should_drop(loss_rng_)) {
+    ++stats_.drops_loss;
+    return;
+  }
+  if (backlog_ >= config_.queue_capacity) {
+    ++stats_.drops_queue;
+    return;
+  }
+
+  const sim::SimTime now = simulator_.now();
+  const sim::SimTime tx_start = std::max(now, busy_until_);
+  const sim::SimTime tx_end =
+      tx_start + serialization_delay(packet->wire_size());
+  busy_until_ = tx_end;
+  ++backlog_;
+
+  // The transmitter frees its queue slot when serialization completes, not
+  // when the packet lands after propagation.
+  simulator_.schedule_at(tx_end, [this]() { --backlog_; });
+
+  sim::SimTime arrival = tx_end + config_.propagation_delay;
+  if (config_.reorder_probability > 0.0 &&
+      loss_rng_.chance(config_.reorder_probability)) {
+    arrival += config_.reorder_extra_delay;
+    ++stats_.packets_reordered;
+  }
+  simulator_.schedule_at(arrival, [this, packet = std::move(packet)]() {
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += packet->wire_size();
+    deliver_(packet);
+  });
+}
+
+}  // namespace dyncdn::net

@@ -1,0 +1,80 @@
+// Unidirectional point-to-point link with propagation delay, serialization
+// (bandwidth) delay, a drop-tail FIFO queue, and a pluggable loss model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/loss_model.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyncdn::net {
+
+/// Parameters for one direction of a link.
+struct LinkConfig {
+  sim::SimTime propagation_delay = sim::SimTime::milliseconds(1);
+  /// Bits per second; 0 means infinite (no serialization delay).
+  double bandwidth_bps = 1e9;
+  /// Maximum packets queued or in transmission before tail drop.
+  std::size_t queue_capacity = 256;
+  /// Factory for this direction's loss model; null means lossless.
+  std::function<std::unique_ptr<LossModel>()> loss_factory;
+  /// With this probability a packet is delayed by `reorder_extra_delay`
+  /// beyond its normal arrival, letting later packets overtake it —
+  /// multipath-style reordering (0 = strictly FIFO).
+  double reorder_probability = 0.0;
+  sim::SimTime reorder_extra_delay = sim::SimTime::milliseconds(3);
+};
+
+/// Counters exposed for tests and benches.
+struct LinkStats {
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t drops_loss = 0;   // random loss model
+  std::uint64_t drops_queue = 0;  // tail drop
+  std::uint64_t packets_reordered = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(PacketPtr)>;
+
+  /// `deliver` is invoked (at the simulated arrival time) for every packet
+  /// that survives loss and queuing. `rng_name` seeds the loss stream.
+  Link(sim::Simulator& simulator, LinkConfig config, DeliverFn deliver,
+       std::string rng_name);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Offer a packet to the link at the current simulated time. The packet
+  /// may be dropped (loss model or full queue); survivors are delivered
+  /// after serialization + propagation delay, FIFO order preserved.
+  void transmit(PacketPtr packet);
+
+  const LinkStats& stats() const { return stats_; }
+  const LinkConfig& config() const { return config_; }
+
+  /// Serialization time for `bytes` on this link.
+  sim::SimTime serialization_delay(std::size_t bytes) const;
+
+  /// Packets currently queued or in flight on the transmitter.
+  std::size_t backlog() const { return backlog_; }
+
+ private:
+  sim::Simulator& simulator_;
+  LinkConfig config_;
+  DeliverFn deliver_;
+  std::unique_ptr<LossModel> loss_;
+  sim::RngStream loss_rng_;
+  LinkStats stats_;
+  /// Time the transmitter finishes serializing the last accepted packet.
+  sim::SimTime busy_until_ = sim::SimTime::zero();
+  std::size_t backlog_ = 0;
+};
+
+}  // namespace dyncdn::net

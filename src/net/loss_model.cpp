@@ -1,0 +1,76 @@
+#include "net/loss_model.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dyncdn::net {
+
+BernoulliLoss::BernoulliLoss(double p) : p_(p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("BernoulliLoss: p must be in [0,1]");
+  }
+}
+
+bool BernoulliLoss::should_drop(sim::RngStream& rng) {
+  return rng.chance(p_);
+}
+
+std::string BernoulliLoss::describe() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "bernoulli(p=%.4f)", p_);
+  return buf;
+}
+
+GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad,
+                                       double p_bad_to_good, double loss_good,
+                                       double loss_bad)
+    : p_gb_(p_good_to_bad),
+      p_bg_(p_bad_to_good),
+      loss_good_(loss_good),
+      loss_bad_(loss_bad) {
+  for (const double v : {p_gb_, p_bg_, loss_good_, loss_bad_}) {
+    if (v < 0.0 || v > 1.0) {
+      throw std::invalid_argument(
+          "GilbertElliottLoss: probabilities must be in [0,1]");
+    }
+  }
+}
+
+bool GilbertElliottLoss::should_drop(sim::RngStream& rng) {
+  // State transition first, then a loss draw in the new state.
+  if (bad_) {
+    if (rng.chance(p_bg_)) bad_ = false;
+  } else {
+    if (rng.chance(p_gb_)) bad_ = true;
+  }
+  return rng.chance(bad_ ? loss_bad_ : loss_good_);
+}
+
+double GilbertElliottLoss::average_loss_rate() const {
+  const double denom = p_gb_ + p_bg_;
+  if (denom == 0.0) return loss_good_;
+  const double pi_bad = p_gb_ / denom;
+  return pi_bad * loss_bad_ + (1.0 - pi_bad) * loss_good_;
+}
+
+std::string GilbertElliottLoss::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "gilbert-elliott(gb=%.3f, bg=%.3f, lg=%.3f, lb=%.3f)", p_gb_,
+                p_bg_, loss_good_, loss_bad_);
+  return buf;
+}
+
+std::unique_ptr<LossModel> make_no_loss() { return std::make_unique<NoLoss>(); }
+
+std::unique_ptr<LossModel> make_bernoulli_loss(double p) {
+  return std::make_unique<BernoulliLoss>(p);
+}
+
+std::unique_ptr<LossModel> make_gilbert_elliott_loss(double p_gb, double p_bg,
+                                                     double loss_good,
+                                                     double loss_bad) {
+  return std::make_unique<GilbertElliottLoss>(p_gb, p_bg, loss_good, loss_bad);
+}
+
+}  // namespace dyncdn::net

@@ -1,0 +1,68 @@
+// Per-link packet loss models.
+//
+// The paper's measurements saw negligible loss on PlanetLab paths but its
+// §6 discussion calls out lossy (wireless) last hops as the regime where FE
+// placement matters most; the split-TCP baseline bench sweeps these models.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/random.hpp"
+
+namespace dyncdn::net {
+
+/// Decides, per packet, whether the link drops it.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// Returns true if the packet should be dropped.
+  virtual bool should_drop(sim::RngStream& rng) = 0;
+  virtual std::string describe() const = 0;
+};
+
+/// Never drops. The default for wired core paths.
+class NoLoss final : public LossModel {
+ public:
+  bool should_drop(sim::RngStream&) override { return false; }
+  std::string describe() const override { return "none"; }
+};
+
+/// Independent (Bernoulli) loss with probability p per packet.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p);
+  bool should_drop(sim::RngStream& rng) override;
+  std::string describe() const override;
+  double probability() const { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Two-state Gilbert–Elliott bursty loss: a Markov chain alternates between
+/// a Good state (loss prob `loss_good`, usually 0) and a Bad state (loss
+/// prob `loss_bad`). Captures WiFi-style correlated losses.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good,
+                     double loss_good, double loss_bad);
+  bool should_drop(sim::RngStream& rng) override;
+  std::string describe() const override;
+
+  bool in_bad_state() const { return bad_; }
+  /// Stationary average loss rate of the chain.
+  double average_loss_rate() const;
+
+ private:
+  double p_gb_, p_bg_, loss_good_, loss_bad_;
+  bool bad_ = false;
+};
+
+std::unique_ptr<LossModel> make_no_loss();
+std::unique_ptr<LossModel> make_bernoulli_loss(double p);
+std::unique_ptr<LossModel> make_gilbert_elliott_loss(double p_gb, double p_bg,
+                                                     double loss_good,
+                                                     double loss_bad);
+
+}  // namespace dyncdn::net

@@ -1,0 +1,148 @@
+#include "net/network.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace dyncdn::net {
+
+Node& Network::add_node(const std::string& name, GeoPoint location) {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("Network::add_node: duplicate name " + name);
+  }
+  const NodeId id(static_cast<std::uint32_t>(nodes_.size() + 1));
+  nodes_.push_back(std::make_unique<Node>(*this, id, name, location));
+  by_name_.emplace(name, id);
+  routes_dirty_ = true;
+  return *nodes_.back();
+}
+
+void Network::connect(Node& a, Node& b, const LinkConfig& config) {
+  connect(a, b, config, config);
+}
+
+void Network::connect(Node& a, Node& b, const LinkConfig& a_to_b,
+                      const LinkConfig& b_to_a) {
+  auto make_edge = [this](Node& from, Node& to, const LinkConfig& cfg) {
+    Node* dst = &to;
+    auto link = std::make_unique<Link>(
+        simulator_, cfg,
+        [dst](PacketPtr p) { dst->deliver(p); },
+        "link/" + from.name() + "->" + to.name());
+    adjacency_[from.id().value()].push_back(Edge{to.id(), std::move(link)});
+  };
+  make_edge(a, b, a_to_b);
+  make_edge(b, a, b_to_a);
+  routes_dirty_ = true;
+}
+
+void Network::compute_routes() {
+  next_hop_.clear();
+  // Dijkstra from every node, cost = propagation delay in ns.
+  for (const auto& src_node : nodes_) {
+    const std::uint32_t src = src_node->id().value();
+    std::unordered_map<std::uint32_t, std::int64_t> dist;
+    std::unordered_map<std::uint32_t, Link*> first_link;
+    using QE = std::pair<std::int64_t, std::uint32_t>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    dist[src] = 0;
+    pq.emplace(0, src);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      auto adj = adjacency_.find(u);
+      if (adj == adjacency_.end()) continue;
+      for (const Edge& e : adj->second) {
+        const std::uint32_t v = e.to.value();
+        const std::int64_t nd = d + e.link->config().propagation_delay.ns();
+        auto it = dist.find(v);
+        if (it == dist.end() || nd < it->second) {
+          dist[v] = nd;
+          first_link[v] = (u == src) ? e.link.get() : first_link[u];
+          pq.emplace(nd, v);
+        }
+      }
+    }
+    next_hop_[src] = std::move(first_link);
+  }
+  routes_dirty_ = false;
+}
+
+void Network::route(NodeId from, PacketPtr packet) {
+  if (routes_dirty_) compute_routes();
+  if (packet->id == 0) packet->id = next_packet_id_++;
+  if (packet->dst == from) {  // local delivery without touching a link
+    node(from).deliver(packet);
+    return;
+  }
+  auto src_it = next_hop_.find(from.value());
+  if (src_it != next_hop_.end()) {
+    auto dst_it = src_it->second.find(packet->dst.value());
+    if (dst_it != src_it->second.end()) {
+      dst_it->second->transmit(std::move(packet));
+      return;
+    }
+  }
+  ++no_route_drops_;
+}
+
+Node& Network::node(NodeId id) {
+  const std::size_t idx = id.value();
+  if (idx == 0 || idx > nodes_.size()) {
+    throw std::out_of_range("Network::node: bad id");
+  }
+  return *nodes_[idx - 1];
+}
+
+const Node& Network::node(NodeId id) const {
+  const std::size_t idx = id.value();
+  if (idx == 0 || idx > nodes_.size()) {
+    throw std::out_of_range("Network::node: bad id");
+  }
+  return *nodes_[idx - 1];
+}
+
+Node* Network::find_node(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return &node(it->second);
+}
+
+sim::SimTime Network::path_delay(NodeId a, NodeId b) const {
+  if (a == b) return sim::SimTime::zero();
+  // Re-run a tiny Dijkstra; only used in setup/analysis, not on hot paths.
+  std::unordered_map<std::uint32_t, std::int64_t> dist;
+  using QE = std::pair<std::int64_t, std::uint32_t>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  dist[a.value()] = 0;
+  pq.emplace(0, a.value());
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (u == b.value()) return sim::SimTime::nanoseconds(d);
+    if (d > dist[u]) continue;
+    auto adj = adjacency_.find(u);
+    if (adj == adjacency_.end()) continue;
+    for (const Edge& e : adj->second) {
+      const std::int64_t nd = d + e.link->config().propagation_delay.ns();
+      auto it = dist.find(e.to.value());
+      if (it == dist.end() || nd < it->second) {
+        dist[e.to.value()] = nd;
+        pq.emplace(nd, e.to.value());
+      }
+    }
+  }
+  return sim::SimTime::infinity();
+}
+
+Link* Network::first_hop_link(NodeId a, NodeId b) {
+  if (routes_dirty_) compute_routes();
+  auto src_it = next_hop_.find(a.value());
+  if (src_it == next_hop_.end()) return nullptr;
+  auto dst_it = src_it->second.find(b.value());
+  return dst_it == src_it->second.end() ? nullptr : dst_it->second;
+}
+
+}  // namespace dyncdn::net

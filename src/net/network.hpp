@@ -1,0 +1,80 @@
+// The Network owns nodes and links, computes static shortest-path routes,
+// and moves packets hop by hop. Topologies here are small (star/tree), but
+// routing is a full Dijkstra so arbitrary graphs work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyncdn::net {
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& simulator) : simulator_(simulator) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Create a node. Names must be unique; they name RNG streams and traces.
+  Node& add_node(const std::string& name, GeoPoint location = {});
+
+  /// Connect two nodes with a bidirectional link (two unidirectional links
+  /// sharing `config` but with independent loss-model instances).
+  void connect(Node& a, Node& b, const LinkConfig& config);
+
+  /// Connect with asymmetric per-direction configs (a->b, b->a).
+  void connect(Node& a, Node& b, const LinkConfig& a_to_b,
+               const LinkConfig& b_to_a);
+
+  /// Recompute routing tables. Called automatically on first send after a
+  /// topology change; exposed for tests.
+  void compute_routes();
+
+  /// Route a packet from `from` towards packet->dst. Drops (with a counter)
+  /// if no route exists.
+  void route(NodeId from, PacketPtr packet);
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  Node* find_node(const std::string& name);
+
+  sim::Simulator& simulator() { return simulator_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::uint64_t no_route_drops() const { return no_route_drops_; }
+
+  /// One-way shortest-path propagation delay between two nodes (sum of link
+  /// propagation delays; ignores bandwidth). Infinity if unreachable.
+  sim::SimTime path_delay(NodeId a, NodeId b) const;
+
+  /// Link carrying traffic from `a` on the first hop toward `b`, or null.
+  Link* first_hop_link(NodeId a, NodeId b);
+
+ private:
+  struct Edge {
+    NodeId to;
+    std::unique_ptr<Link> link;
+  };
+
+  sim::Simulator& simulator_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::unordered_map<std::uint32_t, std::vector<Edge>> adjacency_;
+  /// next_hop_[src][dst] -> link to use.
+  std::unordered_map<std::uint32_t, std::unordered_map<std::uint32_t, Link*>>
+      next_hop_;
+  bool routes_dirty_ = true;
+  std::uint64_t no_route_drops_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+
+  friend class Node;
+};
+
+}  // namespace dyncdn::net

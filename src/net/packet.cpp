@@ -1,0 +1,49 @@
+#include "net/packet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dyncdn::net {
+
+Buffer make_buffer(std::string_view text) {
+  return make_buffer(std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+PayloadRef PayloadRef::slice(std::size_t off, std::size_t len) const {
+  PayloadRef out;
+  if (off >= length) return out;
+  out.buffer = buffer;
+  out.offset = offset + off;
+  out.length = std::min(len, length - off);
+  return out;
+}
+
+std::string PayloadRef::to_text() const {
+  const auto b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+std::string TcpFlags::to_string() const {
+  std::string s;
+  if (syn) s += "SYN|";
+  if (ack) s += "ACK|";
+  if (fin) s += "FIN|";
+  if (rst) s += "RST|";
+  if (s.empty()) return "-";
+  s.pop_back();
+  return s;
+}
+
+std::string Packet::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%u:%u -> %u:%u seq=%llu ack=%llu win=%u [%s] %zuB",
+                src.value(), static_cast<unsigned>(tcp.src_port), dst.value(),
+                static_cast<unsigned>(tcp.dst_port),
+                static_cast<unsigned long long>(tcp.seq),
+                static_cast<unsigned long long>(tcp.ack), tcp.window,
+                tcp.flags.to_string().c_str(), payload.length);
+  return buf;
+}
+
+}  // namespace dyncdn::net

@@ -1,0 +1,91 @@
+// Simulated packets.
+//
+// Packets carry a TCP/IP-like header and a zero-copy view into an immutable
+// payload buffer. TCP segmentation slices one application buffer into many
+// segments without copying; capture taps can retain payload bytes for the
+// content analysis the paper performs on full tcpdump payloads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace dyncdn::net {
+
+/// Immutable shared byte buffer.
+using Buffer = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+inline Buffer make_buffer(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+Buffer make_buffer(std::string_view text);
+
+/// A (buffer, offset, length) view. Empty view has length 0.
+struct PayloadRef {
+  Buffer buffer;
+  std::size_t offset = 0;
+  std::size_t length = 0;
+
+  std::span<const std::uint8_t> bytes() const {
+    if (!buffer || length == 0) return {};
+    return std::span<const std::uint8_t>(buffer->data() + offset, length);
+  }
+  bool empty() const { return length == 0; }
+
+  /// Sub-view; clamps to the parent extent.
+  PayloadRef slice(std::size_t off, std::size_t len) const;
+  std::string to_text() const;
+};
+
+/// TCP header flags.
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+
+  std::string to_string() const;
+};
+
+/// TCP-like segment header. Sequence/ack numbers are 64-bit byte offsets —
+/// the simulator does not model 32-bit wraparound, which never occurs at
+/// the transfer sizes of a search response.
+struct TcpHeader {
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  std::uint32_t window = 0;  // receiver advertised window, bytes
+  TcpFlags flags;
+};
+
+/// Number of header overhead bytes charged per segment on the wire
+/// (IP 20 + TCP 20, options ignored).
+inline constexpr std::size_t kHeaderOverheadBytes = 40;
+
+struct Packet {
+  NodeId src;
+  NodeId dst;
+  TcpHeader tcp;
+  PayloadRef payload;
+  std::uint64_t id = 0;  // globally unique, assigned by the Network
+
+  std::size_t payload_size() const { return payload.length; }
+  std::size_t wire_size() const { return payload.length + kHeaderOverheadBytes; }
+
+  FlowId flow_from_sender() const {
+    return FlowId{Endpoint{src, tcp.src_port}, Endpoint{dst, tcp.dst_port}};
+  }
+
+  /// "5:80 -> 2:40001 seq=1448 ack=89 [ACK] 1448B"
+  std::string to_string() const;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+}  // namespace dyncdn::net

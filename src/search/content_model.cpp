@@ -1,0 +1,99 @@
+#include "search/content_model.hpp"
+
+#include <algorithm>
+
+namespace dyncdn::search {
+
+namespace {
+/// Deterministic printable filler derived from a tag string.
+std::string filler(std::string_view tag, std::size_t bytes) {
+  std::string out;
+  out.reserve(bytes);
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : tag) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+  }
+  while (out.size() < bytes) {
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    out.push_back(static_cast<char>('a' + ((h >> 33) % 26)));
+    if (out.size() % 73 == 0) out.push_back('\n');
+  }
+  out.resize(bytes);
+  return out;
+}
+}  // namespace
+
+ContentModel::ContentModel(ContentProfile profile, std::string service_name)
+    : profile_(profile), service_name_(std::move(service_name)) {
+  // Build the static prefix once: doctype, head, CSS, menu bar. This is the
+  // portion the FE caches; it must be byte-identical across queries.
+  std::string s;
+  s += "<!DOCTYPE html>\n<html>\n<head>\n<title>";
+  s += service_name_;
+  s += " Search</title>\n<meta charset=\"utf-8\">\n<style>\n";
+  const std::string css_tag = service_name_ + "/css";
+  // Reserve space for the closing boilerplate below.
+  const std::size_t boilerplate = 220;
+  const std::size_t css_bytes =
+      profile_.static_html_bytes > s.size() + boilerplate
+          ? profile_.static_html_bytes - s.size() - boilerplate
+          : 0;
+  s += "/*";
+  s += filler(css_tag, css_bytes);
+  s += "*/\n</style>\n</head>\n<body>\n";
+  s += "<div id=\"menubar\">"
+       "<a>Web</a><a>Videos</a><a>News</a><a>Shopping</a>"
+       "<a>Images</a><a>Maps</a><a>More</a></div>\n";
+  s += "<div id=\"results-begin\"></div>\n";
+  static_prefix_ = std::move(s);
+}
+
+std::size_t ContentModel::expected_dynamic_bytes(const Keyword& keyword) const {
+  return profile_.dynamic_base_bytes +
+         profile_.dynamic_per_word_bytes * keyword.word_count();
+}
+
+std::string ContentModel::dynamic_body(const Keyword& keyword,
+                                       sim::RngStream& rng) const {
+  const double noise =
+      profile_.dynamic_size_sigma > 0.0
+          ? rng.lognormal_median(1.0, profile_.dynamic_size_sigma)
+          : 1.0;
+  const std::size_t target = std::max<std::size_t>(
+      256, static_cast<std::size_t>(
+               static_cast<double>(expected_dynamic_bytes(keyword)) * noise));
+
+  std::string b;
+  b.reserve(target + 256);
+  // Keyword-dependent dynamic menu (the paper: "keyword-dependent dynamic
+  // menu bar, search results and ads").
+  b += "<div id=\"dynmenu\" data-q=\"" + keyword.text + "\">";
+  b += "<a>related:" + keyword.text + "</a></div>\n";
+
+  const std::size_t per_result =
+      (target > b.size())
+          ? std::max<std::size_t>(64, (target - b.size() - 64) /
+                                          std::max<std::size_t>(
+                                              1, profile_.results_per_page))
+          : 64;
+  for (std::size_t i = 0; i < profile_.results_per_page; ++i) {
+    std::string entry = "<div class=\"result\" rank=\"" +
+                        std::to_string(i + 1) + "\"><h3>" + keyword.text +
+                        " — result " + std::to_string(i + 1) + "</h3><p>";
+    const std::string tag =
+        keyword.text + "/" + std::to_string(i) + "/" + service_name_;
+    if (entry.size() + 10 < per_result) {
+      entry += filler(tag, per_result - entry.size() - 10);
+    }
+    entry += "</p></div>\n";
+    b += entry;
+  }
+  b += "<div id=\"ads\">" +
+       filler(keyword.text + "/ads", target > b.size() + 32
+                                         ? target - b.size() - 32
+                                         : 16) +
+       "</div>\n</body>\n</html>\n";
+  return b;
+}
+
+}  // namespace dyncdn::search

@@ -1,0 +1,143 @@
+#include "search/keywords.hpp"
+
+#include <cmath>
+
+namespace dyncdn::search {
+
+const char* to_string(KeywordClass c) {
+  switch (c) {
+    case KeywordClass::kPopular: return "popular";
+    case KeywordClass::kGranular: return "granular";
+    case KeywordClass::kComplex: return "complex";
+    case KeywordClass::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+std::size_t Keyword::word_count() const {
+  if (text.empty()) return 0;
+  std::size_t n = 1;
+  for (const char c : text) {
+    if (c == ' ') ++n;
+  }
+  return n;
+}
+
+KeywordCatalog::KeywordCatalog(std::uint64_t seed) : seed_(seed) {
+  // A compact vocabulary; combinations of these synthesize all keywords.
+  base_words_ = {
+      "computer", "science",  "cloud",    "mobile",   "network", "search",
+      "weather",  "music",    "video",    "travel",   "finance", "health",
+      "recipe",   "football", "election", "movie",    "phone",   "camera",
+      "hotel",    "flight",   "potato",   "guitar",   "museum",  "garden",
+      "history",  "physics",  "biology",  "economy",  "climate", "energy",
+      "robot",    "galaxy",   "harbor",   "festival", "library", "market",
+  };
+}
+
+std::string KeywordCatalog::make_text(KeywordClass cls,
+                                      std::size_t index) const {
+  // Deterministic word picking: hash of (seed, class, index, position).
+  auto pick = [&](std::size_t pos) -> const std::string& {
+    std::uint64_t h = seed_ * 0x9E3779B97F4A7C15ULL;
+    h ^= (static_cast<std::uint64_t>(cls) + 1) * 0xBF58476D1CE4E5B9ULL;
+    h ^= (index + 1) * 0x94D049BB133111EBULL;
+    h ^= (pos + 1) * 0xD6E8FEB86659FD93ULL;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 32;
+    return base_words_[h % base_words_.size()];
+  };
+
+  std::size_t words = 1;
+  switch (cls) {
+    case KeywordClass::kPopular:
+      words = 1 + index % 2;  // short, punchy queries
+      break;
+    case KeywordClass::kGranular:
+      // Increasingly refined: "computer science", "computer science
+      // department", … depth grows with the index.
+      words = 2 + index % 4;
+      break;
+    case KeywordClass::kComplex:
+      words = 6 + index % 5;  // long queries
+      break;
+    case KeywordClass::kMixed:
+      words = 2 + index % 3;  // "computer and potato" style
+      break;
+  }
+
+  std::string text;
+  for (std::size_t w = 0; w < words; ++w) {
+    if (w > 0) text += (cls == KeywordClass::kMixed && w == 1) ? " and " : " ";
+    text += pick(w);
+  }
+  return text;
+}
+
+std::vector<Keyword> KeywordCatalog::generate(KeywordClass cls,
+                                              std::size_t count) const {
+  std::vector<Keyword> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(Keyword{make_text(cls, i), cls, i + 1});
+  }
+  return out;
+}
+
+std::vector<Keyword> KeywordCatalog::figure3_keywords() const {
+  // Four keywords of different types AND popularity, like the paper's key1
+  // to key4: a trending suggestion-box keyword (hot at the BE), a refined
+  // query, a long complex query and a weakly correlated mixture.
+  return {
+      Keyword{make_text(KeywordClass::kPopular, 0), KeywordClass::kPopular, 1},
+      Keyword{make_text(KeywordClass::kGranular, 2), KeywordClass::kGranular,
+              60},
+      Keyword{make_text(KeywordClass::kComplex, 0), KeywordClass::kComplex,
+              8000},
+      Keyword{make_text(KeywordClass::kMixed, 0), KeywordClass::kMixed,
+              30000},
+  };
+}
+
+std::vector<Keyword> KeywordCatalog::distinct_corpus(std::size_t count) const {
+  std::vector<Keyword> out;
+  out.reserve(count);
+  const KeywordClass classes[] = {KeywordClass::kPopular,
+                                  KeywordClass::kGranular,
+                                  KeywordClass::kComplex, KeywordClass::kMixed};
+  for (std::size_t i = 0; i < count; ++i) {
+    const KeywordClass cls = classes[i % 4];
+    Keyword k{make_text(cls, i / 4), cls, i / 4 + 1};
+    // Guarantee distinctness even when the synthesized words collide.
+    k.text += " #" + std::to_string(i);
+    out.push_back(std::move(k));
+  }
+  return out;
+}
+
+std::vector<Keyword> KeywordCatalog::zipf_sample(
+    const std::vector<Keyword>& catalog, std::size_t draws, double alpha,
+    sim::RngStream& rng) {
+  std::vector<Keyword> out;
+  if (catalog.empty() || draws == 0) return out;
+
+  // Precompute the Zipf CDF over ranks 1..N.
+  std::vector<double> cdf(catalog.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf[i] = total;
+  }
+  out.reserve(draws);
+  for (std::size_t d = 0; d < draws; ++d) {
+    const double u = rng.uniform01() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const std::size_t idx =
+        static_cast<std::size_t>(std::distance(cdf.begin(), it));
+    out.push_back(catalog[std::min(idx, catalog.size() - 1)]);
+  }
+  return out;
+}
+
+}  // namespace dyncdn::search

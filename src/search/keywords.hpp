@@ -1,0 +1,63 @@
+// Search-query workload: keyword catalogs with the three axes the paper
+// varies — popularity (Zipf-ranked "suggestion box" keywords), granularity
+// (concatenated refinements) and complexity (long, weakly correlated
+// mixtures) — plus a generator for the 40,000-keyword caching experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace dyncdn::search {
+
+/// The paper's keyword taxonomy (§3 "Choice and Effect of Search Queries").
+enum class KeywordClass : std::uint8_t {
+  kPopular,   // trending keywords from the suggestion box
+  kGranular,  // concatenated refinements ("computer science department at…")
+  kComplex,   // long queries with many terms
+  kMixed,     // weakly correlated word mixtures ("computer and potato")
+};
+
+const char* to_string(KeywordClass c);
+
+struct Keyword {
+  std::string text;
+  KeywordClass cls = KeywordClass::kPopular;
+  /// Popularity rank (1 = most popular) within its class; drives Zipf draws.
+  std::size_t rank = 1;
+
+  std::size_t word_count() const;
+};
+
+/// Deterministic keyword catalog. All text is synthesized from word lists,
+/// so runs are reproducible and keyword properties (length, word count)
+/// are controlled.
+class KeywordCatalog {
+ public:
+  /// `seed` controls synthesis; same seed -> identical catalog.
+  explicit KeywordCatalog(std::uint64_t seed = 1);
+
+  /// `count` keywords of one class.
+  std::vector<Keyword> generate(KeywordClass cls, std::size_t count) const;
+
+  /// The paper's Fig. 3 uses 4 keywords of different types.
+  std::vector<Keyword> figure3_keywords() const;
+
+  /// Large distinct-keyword corpus (the caching experiment uses 40,000).
+  std::vector<Keyword> distinct_corpus(std::size_t count) const;
+
+  /// Draw keywords by Zipf(alpha) popularity from a catalog.
+  static std::vector<Keyword> zipf_sample(const std::vector<Keyword>& catalog,
+                                          std::size_t draws, double alpha,
+                                          sim::RngStream& rng);
+
+ private:
+  std::string make_text(KeywordClass cls, std::size_t index) const;
+
+  std::uint64_t seed_;
+  std::vector<std::string> base_words_;
+};
+
+}  // namespace dyncdn::search

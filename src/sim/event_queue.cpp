@@ -1,0 +1,62 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace dyncdn::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  if (at < last_popped_) {
+    throw std::logic_error("EventQueue::schedule: scheduling into the past (" +
+                           at.to_string() + " < " + last_popped_.to_string() +
+                           ")");
+  }
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(cb)});
+  pending_.insert(seq);
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  if (pending_.erase(id.value()) == 0) return false;  // already fired/cancelled
+  cancelled_.insert(id.value());
+  return true;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  const_cast<EventQueue*>(this)->skim();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->skim();
+  return heap_.empty() ? SimTime::infinity() : heap_.top().at;
+}
+
+SimTime EventQueue::pop_and_run() {
+  skim();
+  assert(!heap_.empty() && "pop_and_run on empty queue");
+  // priority_queue::top() returns const&; the callback must be moved out
+  // before pop. const_cast is confined to this one extraction point.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(entry.seq);
+  last_popped_ = entry.at;
+  entry.cb();
+  return entry.at;
+}
+
+std::size_t EventQueue::pending_count() const { return pending_.size(); }
+
+}  // namespace dyncdn::sim

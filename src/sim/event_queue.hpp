@@ -1,0 +1,83 @@
+// Priority-queue based event scheduler for the discrete-event kernel.
+//
+// Events are (time, sequence, callback) triples. The sequence number breaks
+// ties deterministically: two events scheduled for the same instant fire in
+// scheduling order, which makes whole-simulation runs bit-for-bit
+// reproducible regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dyncdn::sim {
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr explicit EventId(std::uint64_t v) : value_(v) {}
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+
+ private:
+  std::uint64_t value_ = 0;  // 0 = invalid / never scheduled
+};
+
+/// Min-heap of timed callbacks with O(1) lazy cancellation.
+///
+/// Cancelled events stay in the heap but are skipped on pop; the cancelled
+/// set is purged as entries surface. This keeps cancel cheap, which matters
+/// because TCP re-arms its retransmission timer on every ACK.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to fire at absolute time `at`. `at` must not precede the
+  /// last popped event time (no scheduling into the past).
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Cancel a previously scheduled event. Safe to call with an already-fired
+  /// or already-cancelled id (no-op). Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  bool empty() const;
+
+  /// Time of the earliest pending event; SimTime::infinity() when empty.
+  SimTime next_time() const;
+
+  /// Pop and run the earliest event; returns its scheduled time.
+  /// Precondition: !empty().
+  SimTime pop_and_run();
+
+  std::size_t pending_count() const;
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drop cancelled entries from the top of the heap.
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;    // live (not fired/cancelled)
+  std::unordered_set<std::uint64_t> cancelled_;  // cancelled but still heaped
+  std::uint64_t next_seq_ = 1;
+  SimTime last_popped_ = SimTime::zero();
+};
+
+}  // namespace dyncdn::sim

@@ -1,0 +1,33 @@
+#include "sim/random.hpp"
+
+namespace dyncdn::sim {
+
+std::uint64_t RngFactory::mix(std::uint64_t x) {
+  // SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+std::uint64_t hash_name(std::string_view name) {
+  // FNV-1a over the stream name.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+RngStream RngFactory::stream(std::string_view name) const {
+  return RngStream(mix(experiment_seed_ ^ hash_name(name)));
+}
+
+RngFactory RngFactory::derive(std::string_view name) const {
+  return RngFactory(mix(experiment_seed_ ^ hash_name(name) ^ 0xA5A5A5A5A5A5A5A5ULL));
+}
+
+}  // namespace dyncdn::sim

@@ -1,0 +1,63 @@
+// Simulation facade: clock + event queue + run loop.
+//
+// All simulated components hold a Simulator& and schedule work through it.
+// The Simulator owns nothing else; topology, protocol and application state
+// live in their own modules so the kernel stays tiny and easily testable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace dyncdn::sim {
+
+class Simulator {
+ public:
+  /// `seed` drives every RNG stream created through rng().
+  explicit Simulator(std::uint64_t seed = 1)
+      : rng_factory_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` to fire `delay` after the current time.
+  EventId schedule_in(SimTime delay, EventQueue::Callback cb) {
+    return queue_.schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Schedule `cb` at absolute time `at` (must be >= now()).
+  EventId schedule_at(SimTime at, EventQueue::Callback cb) {
+    return queue_.schedule(at, std::move(cb));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the event queue drains. Returns the final simulated time.
+  SimTime run();
+
+  /// Run until the queue drains or simulated time exceeds `deadline`.
+  /// Events scheduled after the deadline remain pending.
+  SimTime run_until(SimTime deadline);
+
+  /// Execute at most `n` events (testing hook).
+  std::size_t run_steps(std::size_t n);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.pending_count(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  const RngFactory& rng() const { return rng_factory_; }
+
+ private:
+  EventQueue queue_;
+  RngFactory rng_factory_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace dyncdn::sim

@@ -1,0 +1,26 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dyncdn::sim {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  const double abs_ns = std::fabs(static_cast<double>(ns_));
+  if (is_infinite()) {
+    return "inf";
+  }
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds());
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_milliseconds());
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", to_microseconds());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+}  // namespace dyncdn::sim

@@ -1,0 +1,115 @@
+// Simulated-time representation for the dyncdn discrete-event kernel.
+//
+// All simulated timestamps and durations are integer nanoseconds wrapped in
+// a strong type so that they cannot be silently mixed with raw integers or
+// wall-clock time. Arithmetic is checked in debug builds via assertions.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dyncdn::sim {
+
+/// A point in simulated time, or a duration, in integer nanoseconds.
+///
+/// SimTime deliberately conflates "time point" and "duration": the kernel
+/// only ever needs the affine operations (point + duration, point - point),
+/// and a single type keeps the event-queue hot path trivial. Never use
+/// floating point inside the kernel; convert at the edges with to_seconds().
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Construct from raw nanoseconds. Prefer the named factories below.
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime nanoseconds(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime microseconds(std::int64_t v) {
+    return SimTime{v * 1'000};
+  }
+  static constexpr SimTime milliseconds(std::int64_t v) {
+    return SimTime{v * 1'000'000};
+  }
+  static constexpr SimTime seconds(std::int64_t v) {
+    return SimTime{v * 1'000'000'000};
+  }
+
+  /// Largest representable time; used as "never" by timers.
+  static constexpr SimTime infinity() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  /// Convert a floating-point second count (e.g. from a distribution draw)
+  /// into SimTime, rounding to the nearest nanosecond.
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr SimTime from_milliseconds(double ms) {
+    return from_seconds(ms * 1e-3);
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_milliseconds() const {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+  constexpr double to_microseconds() const {
+    return static_cast<double>(ns_) * 1e-3;
+  }
+
+  constexpr bool is_infinite() const { return *this == infinity(); }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(SimTime rhs) const {
+    return SimTime{ns_ + rhs.ns_};
+  }
+  constexpr SimTime operator-(SimTime rhs) const {
+    return SimTime{ns_ - rhs.ns_};
+  }
+  constexpr SimTime& operator+=(SimTime rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime{ns_ * k}; }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime{ns_ / k}; }
+
+  /// Scale by a double (used by RTT estimators); rounds to nearest ns.
+  constexpr SimTime scaled(double f) const {
+    return from_seconds(to_seconds() * f);
+  }
+
+  /// Human-readable rendering with an adaptive unit, e.g. "12.5ms".
+  std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+inline constexpr SimTime operator*(std::int64_t k, SimTime t) { return t * k; }
+
+/// Convenience literals: 10_ms, 250_us, 3_s.
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime::nanoseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::microseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::milliseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace dyncdn::sim

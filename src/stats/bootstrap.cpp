@@ -1,0 +1,108 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/regression.hpp"
+
+namespace dyncdn::stats {
+
+std::string BootstrapInterval::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.2f [%.2f, %.2f] (%.0f%% CI, %zu resamples)",
+                point, lo, hi, level * 100.0, resamples);
+  return buf;
+}
+
+namespace {
+BootstrapInterval percentile_interval(double point,
+                                      std::vector<double> stats_out,
+                                      double level,
+                                      std::size_t resamples) {
+  BootstrapInterval ci;
+  ci.point = point;
+  ci.level = level;
+  ci.resamples = resamples;
+  if (stats_out.empty()) {
+    ci.lo = ci.hi = point;
+    return ci;
+  }
+  std::sort(stats_out.begin(), stats_out.end());
+  const double alpha = (1.0 - level) / 2.0;
+  ci.lo = quantile(stats_out, alpha);
+  ci.hi = quantile(stats_out, 1.0 - alpha);
+  return ci;
+}
+}  // namespace
+
+BootstrapInterval bootstrap_interval(std::span<const double> sample,
+                                     const Statistic& statistic,
+                                     std::size_t resamples, double level,
+                                     sim::RngStream& rng) {
+  const double point = statistic(sample);
+  std::vector<double> stats_out;
+  if (sample.size() >= 2) {
+    stats_out.reserve(resamples);
+    std::vector<double> draw(sample.size());
+    for (std::size_t r = 0; r < resamples; ++r) {
+      for (std::size_t i = 0; i < sample.size(); ++i) {
+        draw[i] = sample[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(sample.size()) - 1))];
+      }
+      stats_out.push_back(statistic(draw));
+    }
+  }
+  return percentile_interval(point, std::move(stats_out), level, resamples);
+}
+
+BootstrapInterval bootstrap_paired_interval(std::span<const double> xs,
+                                            std::span<const double> ys,
+                                            const PairedStatistic& statistic,
+                                            std::size_t resamples,
+                                            double level,
+                                            sim::RngStream& rng) {
+  const double point = statistic(xs, ys);
+  std::vector<double> stats_out;
+  if (xs.size() >= 2 && xs.size() == ys.size()) {
+    stats_out.reserve(resamples);
+    std::vector<double> rx(xs.size()), ry(ys.size());
+    for (std::size_t r = 0; r < resamples; ++r) {
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const auto k = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(xs.size()) - 1));
+        rx[i] = xs[k];
+        ry[i] = ys[k];
+      }
+      stats_out.push_back(statistic(rx, ry));
+    }
+  }
+  return percentile_interval(point, std::move(stats_out), level, resamples);
+}
+
+BootstrapInterval bootstrap_intercept_ci(std::span<const double> xs,
+                                         std::span<const double> ys,
+                                         sim::RngStream& rng,
+                                         std::size_t resamples) {
+  return bootstrap_paired_interval(
+      xs, ys,
+      [](std::span<const double> x, std::span<const double> y) {
+        return linear_fit(x, y).intercept;
+      },
+      resamples, 0.95, rng);
+}
+
+BootstrapInterval bootstrap_slope_ci(std::span<const double> xs,
+                                     std::span<const double> ys,
+                                     sim::RngStream& rng,
+                                     std::size_t resamples) {
+  return bootstrap_paired_interval(
+      xs, ys,
+      [](std::span<const double> x, std::span<const double> y) {
+        return linear_fit(x, y).slope;
+      },
+      resamples, 0.95, rng);
+}
+
+}  // namespace dyncdn::stats

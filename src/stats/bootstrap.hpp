@@ -1,0 +1,60 @@
+// Bootstrap confidence intervals.
+//
+// The paper reports Fig. 9's regression intercept as *the* back-end
+// processing time without any uncertainty; resampling the (distance,
+// T_dynamic) points gives the interval that claim deserves. Generic over
+// any statistic computed from paired samples.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "sim/random.hpp"
+
+namespace dyncdn::stats {
+
+struct BootstrapInterval {
+  double point = 0;   // statistic on the original sample
+  double lo = 0;      // percentile interval bounds
+  double hi = 0;
+  double level = 0.95;
+  std::size_t resamples = 0;
+
+  bool contains(double v) const { return v >= lo && v <= hi; }
+  /// "12.3 [10.1, 14.9] (95% CI, 1000 resamples)"
+  std::string to_string() const;
+};
+
+/// Statistic over one sample of doubles (e.g. median, mean).
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap for a statistic of a single sample.
+BootstrapInterval bootstrap_interval(std::span<const double> sample,
+                                     const Statistic& statistic,
+                                     std::size_t resamples, double level,
+                                     sim::RngStream& rng);
+
+/// Statistic over paired samples (e.g. regression slope/intercept).
+using PairedStatistic = std::function<double(std::span<const double>,
+                                             std::span<const double>)>;
+
+/// Case-resampling bootstrap for paired data: resamples (x_i, y_i) pairs.
+BootstrapInterval bootstrap_paired_interval(std::span<const double> xs,
+                                            std::span<const double> ys,
+                                            const PairedStatistic& statistic,
+                                            std::size_t resamples,
+                                            double level,
+                                            sim::RngStream& rng);
+
+/// Convenience: 95% CI on the OLS intercept / slope of y ~ x.
+BootstrapInterval bootstrap_intercept_ci(std::span<const double> xs,
+                                         std::span<const double> ys,
+                                         sim::RngStream& rng,
+                                         std::size_t resamples = 1000);
+BootstrapInterval bootstrap_slope_ci(std::span<const double> xs,
+                                     std::span<const double> ys,
+                                     sim::RngStream& rng,
+                                     std::size_t resamples = 1000);
+
+}  // namespace dyncdn::stats

@@ -1,0 +1,72 @@
+#include "stats/boxplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "stats/descriptive.hpp"
+
+namespace dyncdn::stats {
+
+BoxplotStats boxplot(std::span<const double> xs) {
+  BoxplotStats b;
+  b.n = xs.size();
+  if (xs.empty()) return b;
+
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  b.q1 = quantile(s, 0.25);
+  b.median = quantile(s, 0.5);
+  b.q3 = quantile(s, 0.75);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+
+  b.whisker_low = s.back();
+  b.whisker_high = s.front();
+  for (const double x : s) {
+    if (x >= lo_fence && x <= hi_fence) {
+      b.whisker_low = std::min(b.whisker_low, x);
+      b.whisker_high = std::max(b.whisker_high, x);
+    } else {
+      b.outliers.push_back(x);
+    }
+  }
+  if (b.whisker_low > b.whisker_high) {  // everything was an outlier
+    b.whisker_low = b.q1;
+    b.whisker_high = b.q3;
+  }
+  return b;
+}
+
+std::string BoxplotStats::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "med=%.2f [q1=%.2f, q3=%.2f] whiskers=[%.2f, %.2f] outliers=%zu",
+                median, q1, q3, whisker_low, whisker_high, outliers.size());
+  return buf;
+}
+
+std::string ascii_boxplot(const BoxplotStats& b, double axis_min,
+                          double axis_max, std::size_t width) {
+  std::string row(width, ' ');
+  if (b.n == 0 || axis_max <= axis_min || width < 5) return row;
+  const auto col = [&](double v) -> std::size_t {
+    double f = (v - axis_min) / (axis_max - axis_min);
+    f = std::clamp(f, 0.0, 1.0);
+    return static_cast<std::size_t>(f * static_cast<double>(width - 1));
+  };
+  const std::size_t wl = col(b.whisker_low), q1c = col(b.q1),
+                    med = col(b.median), q3c = col(b.q3),
+                    wh = col(b.whisker_high);
+  for (std::size_t i = wl; i <= wh && i < width; ++i) row[i] = '-';
+  for (std::size_t i = q1c; i <= q3c && i < width; ++i) row[i] = '=';
+  row[wl] = '|';
+  row[wh] = '|';
+  if (q1c < width) row[q1c] = '[';
+  if (q3c < width) row[q3c] = ']';
+  if (med < width) row[med] = '#';
+  return row;
+}
+
+}  // namespace dyncdn::stats

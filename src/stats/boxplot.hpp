@@ -1,0 +1,30 @@
+// Tukey boxplot statistics: Fig. 8 of the paper shows per-node boxplots of
+// the overall response delay.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dyncdn::stats {
+
+struct BoxplotStats {
+  double q1 = 0, median = 0, q3 = 0;
+  double whisker_low = 0;   // smallest sample >= q1 - 1.5*IQR
+  double whisker_high = 0;  // largest sample <= q3 + 1.5*IQR
+  std::vector<double> outliers;
+  std::size_t n = 0;
+
+  /// "med=.. [q1=.., q3=..] whiskers=[.., ..] outliers=k"
+  std::string to_string() const;
+};
+
+BoxplotStats boxplot(std::span<const double> xs);
+
+/// Render a compact fixed-width ASCII boxplot of `b` over the axis
+/// [axis_min, axis_max], e.g. "   |----[==|===]------|   ". Used by the
+/// Fig. 8 bench to print per-node box rows.
+std::string ascii_boxplot(const BoxplotStats& b, double axis_min,
+                          double axis_max, std::size_t width = 60);
+
+}  // namespace dyncdn::stats

@@ -1,0 +1,87 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dyncdn::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  if (sorted_.size() == 1) return sorted_.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::sample_points(
+    std::size_t count) const {
+  std::vector<std::pair<double, double>> pts;
+  if (sorted_.empty() || count == 0) return pts;
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double x =
+        (count == 1)
+            ? hi
+            : lo + (hi - lo) * static_cast<double>(i) /
+                       static_cast<double>(count - 1);
+    pts.emplace_back(x, at(x));
+  }
+  return pts;
+}
+
+KsResult ks_test(std::span<const double> a, std::span<const double> b) {
+  assert(!a.empty() && !b.empty());
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  // Walk the merged order computing the max CDF gap.
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na -
+                              static_cast<double>(j) / nb));
+  }
+
+  KsResult res;
+  res.statistic = d;
+  // Asymptotic Kolmogorov distribution: p = 2 * sum (-1)^{k-1} exp(-2 k² λ²)
+  const double en = std::sqrt(na * nb / (na + nb));
+  const double lambda = (en + 0.12 + 0.11 / en) * d;
+  double p = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  res.p_value = std::clamp(2.0 * p, 0.0, 1.0);
+  return res;
+}
+
+}  // namespace dyncdn::stats

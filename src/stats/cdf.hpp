@@ -1,0 +1,49 @@
+// Empirical CDFs and two-sample Kolmogorov–Smirnov comparison.
+//
+// Fig. 6 of the paper plots the RTT CDF per service; the §3 caching
+// experiment compares T_dynamic distributions between "same query repeated"
+// and "distinct queries" runs — we formalize that comparison with a KS test.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dyncdn::stats {
+
+/// Empirical cumulative distribution function over a fixed sample.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  /// Fraction of samples <= x (right-continuous step function).
+  double at(double x) const;
+
+  /// Inverse CDF (linear-interpolated quantile), q in [0,1].
+  double quantile(double q) const;
+
+  /// Evaluate at evenly spaced points between min and max; returns (x, F(x))
+  /// pairs suitable for printing a plottable series.
+  std::vector<std::pair<double, double>> sample_points(std::size_t count) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Result of a two-sample KS test.
+struct KsResult {
+  double statistic = 0.0;  // sup |F1 - F2|
+  double p_value = 1.0;    // asymptotic Kolmogorov distribution approximation
+  /// Conventional alpha=0.05 decision.
+  bool distributions_differ() const { return p_value < 0.05; }
+};
+
+/// Two-sample Kolmogorov–Smirnov test. Requires both samples non-empty.
+KsResult ks_test(std::span<const double> a, std::span<const double> b);
+
+}  // namespace dyncdn::stats

@@ -1,0 +1,124 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+namespace dyncdn::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m;
+}
+
+namespace {
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+double quantile_sorted(const std::vector<double>& s, double q) {
+  if (s.empty()) return 0.0;
+  if (s.size() == 1) return s.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+}  // namespace
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+  return quantile_sorted(sorted_copy(xs), q);
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<double> moving_median(std::span<const double> xs,
+                                  std::size_t window) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  if (window == 0) window = 1;
+  std::vector<double> buf;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t lo = (i + 1 >= window) ? i + 1 - window : 0;
+    buf.assign(xs.begin() + static_cast<std::ptrdiff_t>(lo),
+               xs.begin() + static_cast<std::ptrdiff_t>(i + 1));
+    out.push_back(median(buf));
+  }
+  return out;
+}
+
+std::vector<double> moving_mean(std::span<const double> xs,
+                                std::size_t window) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  if (window == 0) window = 1;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    if (i >= window) acc -= xs[i - window];
+    const std::size_t n = std::min(i + 1, window);
+    out.push_back(acc / static_cast<double>(n));
+  }
+  return out;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  const std::vector<double> sorted = sorted_copy(xs);
+  s.min = sorted.front();
+  s.q1 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q3 = quantile_sorted(sorted, 0.75);
+  s.max = sorted.back();
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  return s;
+}
+
+std::string Summary::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f "
+                "mean=%.3f sd=%.3f",
+                n, min, q1, median, q3, max, mean, stddev);
+  return buf;
+}
+
+double iqr(std::span<const double> xs) {
+  return quantile(xs, 0.75) - quantile(xs, 0.25);
+}
+
+}  // namespace dyncdn::stats

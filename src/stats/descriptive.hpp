@@ -1,0 +1,55 @@
+// Descriptive statistics used throughout trace analysis and the benches:
+// mean/stddev, order statistics, moving median (the paper smooths Fig. 3
+// with a moving median of window 10), and five-number summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dyncdn::stats {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased (n-1) sample standard deviation; 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Coefficient of variation (stddev / mean); 0 when mean == 0.
+double coefficient_of_variation(std::span<const double> xs);
+
+/// Median (average of the two central order statistics for even n).
+/// Returns 0 for an empty span.
+double median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1] (type-7, the numpy default).
+double quantile(std::span<const double> xs, double q);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Moving median with a centered-as-possible trailing window: element i is
+/// the median of xs[max(0, i-w+1) .. i]. Matches the paper's "moving median
+/// with the sample window size being 10" smoothing of noisy time series.
+std::vector<double> moving_median(std::span<const double> xs, std::size_t window);
+
+/// Moving mean with the same trailing-window convention as moving_median.
+std::vector<double> moving_mean(std::span<const double> xs, std::size_t window);
+
+/// Five-number summary + mean/stddev, for printing experiment rows.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  double mean = 0, stddev = 0;
+
+  /// One-line rendering: "n=.. min=.. q1=.. med=.. q3=.. max=.. mean=.. sd=.."
+  std::string to_string() const;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Interquartile range (q3 - q1).
+double iqr(std::span<const double> xs);
+
+}  // namespace dyncdn::stats

@@ -1,0 +1,115 @@
+#include "stats/regression.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace dyncdn::stats {
+
+std::string LinearFit::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "y = %.4g*x + %.4g (R^2=%.3f, n=%zu)",
+                slope, intercept, r_squared, n);
+  return buf;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  LinearFit fit;
+  fit.n = xs.size();
+  const std::size_t n = xs.size();
+  if (n == 0) return fit;
+
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (n < 2 || sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = ys[i] - fit.predict(xs[i]);
+    ss_res += r * r;
+  }
+  fit.r_squared = (syy == 0.0) ? 1.0 : 1.0 - ss_res / syy;
+  if (n > 2) {
+    const double sigma2 = ss_res / static_cast<double>(n - 2);
+    fit.slope_stderr = std::sqrt(sigma2 / sxx);
+    fit.intercept_stderr =
+        std::sqrt(sigma2 * (1.0 / static_cast<double>(n) + mx * mx / sxx));
+  }
+  return fit;
+}
+
+LinearFit theil_sen_fit(std::span<const double> xs,
+                        std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  LinearFit fit;
+  fit.n = xs.size();
+  const std::size_t n = xs.size();
+  if (n == 0) return fit;
+  if (n == 1) {
+    fit.intercept = ys[0];
+    return fit;
+  }
+
+  std::vector<double> slopes;
+  slopes.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[j] - xs[i];
+      if (dx != 0.0) slopes.push_back((ys[j] - ys[i]) / dx);
+    }
+  }
+  if (slopes.empty()) {
+    fit.intercept = median(ys);
+    return fit;
+  }
+  fit.slope = median(slopes);
+
+  std::vector<double> residuals;
+  residuals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) residuals.push_back(ys[i] - fit.slope * xs[i]);
+  fit.intercept = median(residuals);
+
+  // R² relative to the robust fit, for comparability with linear_fit.
+  const double my = mean(ys);
+  double ss_res = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = ys[i] - fit.predict(xs[i]);
+    ss_res += r * r;
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  fit.r_squared = (syy == 0.0) ? 1.0 : 1.0 - ss_res / syy;
+  return fit;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace dyncdn::stats

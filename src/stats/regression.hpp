@@ -1,0 +1,40 @@
+// Least-squares linear regression.
+//
+// The paper's §5 factoring of the FE-BE fetch time fits
+// T_dynamic = slope * distance + intercept, reading the intercept as the
+// back-end processing time and the slope as the per-mile network delay.
+// We additionally report R², standard errors and a robust (Theil–Sen)
+// alternative for outlier-laden series.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace dyncdn::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  double slope_stderr = 0.0;
+  double intercept_stderr = 0.0;
+  std::size_t n = 0;
+
+  double predict(double x) const { return slope * x + intercept; }
+  /// e.g. "y = 0.08*x + 2.5e+02 (R^2=0.91, n=120)"
+  std::string to_string() const;
+};
+
+/// Ordinary least squares y = a*x + b. Requires xs.size() == ys.size().
+/// With n < 2 (or zero x-variance) returns a horizontal fit through the mean.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Theil–Sen estimator: slope = median of pairwise slopes, intercept =
+/// median of (y - slope*x). Robust to a minority of outliers; O(n²) pairs,
+/// fine for the few hundred points per figure.
+LinearFit theil_sen_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation coefficient; 0 when either variance vanishes.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace dyncdn::stats

@@ -1,0 +1,62 @@
+// TCP tuning knobs.
+//
+// Defaults approximate a 2011-era Linux stack (the paper's measurement
+// period). The initial congestion window is deliberately configurable:
+// reviewer #1 of the paper asked about initial-window manipulation by the
+// services, and our ablation bench sweeps IW = 2/4/10.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace dyncdn::tcp {
+
+struct TcpConfig {
+  /// Maximum segment (payload) size in bytes.
+  std::size_t mss = 1448;
+
+  /// Initial congestion window, in segments (RFC 3390 allowed up to 4;
+  /// RFC 6928 later raised it to 10, which Google deployed early).
+  std::size_t initial_cwnd_segments = 4;
+
+  /// Initial slow-start threshold in bytes ("infinite" by default).
+  std::size_t initial_ssthresh = 1 << 30;
+
+  /// Receive buffer: bounds the advertised window.
+  std::size_t receive_buffer = 1 << 20;
+
+  /// RTO bounds (RFC 6298 with Linux-style 200ms floor).
+  sim::SimTime min_rto = sim::SimTime::milliseconds(200);
+  sim::SimTime max_rto = sim::SimTime::seconds(60);
+  sim::SimTime initial_rto = sim::SimTime::seconds(1);
+
+  /// Delayed ACKs (off by default: the emulated clients ack every segment,
+  /// which keeps packet timelines easy to read; the ablation bench turns
+  /// this on to show the effect on slow-start ramp).
+  bool delayed_ack = false;
+  sim::SimTime delayed_ack_timeout = sim::SimTime::milliseconds(40);
+
+  /// Number of duplicate ACKs triggering fast retransmit.
+  int dupack_threshold = 3;
+
+  /// Consecutive RTO-driven retransmissions of the same segment before the
+  /// connection is declared dead and torn down (Linux: tcp_retries2 ≈ 15;
+  /// we default lower so pathological sims converge quickly).
+  int max_retries = 10;
+
+  /// RFC 2861 congestion-window validation: after an idle period of one
+  /// RTO, halve cwnd per elapsed RTO down to the restart window (the
+  /// initial window). Off by default — 2011 Linux shipped it enabled, but
+  /// services pinning persistent connections often disabled it, which is
+  /// part of why warmed FE<->BE connections stay fast; the warm/cold
+  /// ablation flips this on to quantify the effect.
+  bool cwnd_validation = false;
+
+  /// TIME_WAIT linger. Short by default so experiment runs drain quickly;
+  /// the simulator never reuses a 4-tuple within this window anyway.
+  sim::SimTime time_wait = sim::SimTime::milliseconds(100);
+};
+
+}  // namespace dyncdn::tcp

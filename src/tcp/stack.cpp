@@ -1,0 +1,98 @@
+#include "tcp/stack.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dyncdn::tcp {
+
+TcpStack::TcpStack(net::Node& node, TcpConfig default_config)
+    : node_(node), default_config_(default_config) {
+  node_.set_receive_handler(
+      [this](const net::PacketPtr& p) { on_packet(p); });
+}
+
+void TcpStack::listen(net::Port port, AcceptHandler handler) {
+  if (!listeners_.emplace(port, std::move(handler)).second) {
+    throw std::logic_error("TcpStack::listen: port already in use");
+  }
+}
+
+TcpSocket& TcpStack::connect(net::Endpoint remote,
+                             TcpSocket::Callbacks callbacks) {
+  return connect(remote, std::move(callbacks), default_config_);
+}
+
+TcpSocket& TcpStack::connect(net::Endpoint remote,
+                             TcpSocket::Callbacks callbacks,
+                             const TcpConfig& config) {
+  const net::FlowId flow{
+      net::Endpoint{node_.id(), allocate_ephemeral_port()}, remote};
+  auto socket = std::make_unique<TcpSocket>(*this, flow, config,
+                                            std::move(callbacks),
+                                            /*passive=*/false);
+  TcpSocket& ref = *socket;
+  sockets_.emplace(flow, std::move(socket));
+  ref.start_connect();
+  return ref;
+}
+
+void TcpStack::on_packet(const net::PacketPtr& packet) {
+  // A socket keys its flow by (local, remote); the incoming packet's sender
+  // view must be reversed to match.
+  const net::FlowId flow = packet->flow_from_sender().reversed();
+
+  auto it = sockets_.find(flow);
+  if (it != sockets_.end()) {
+    it->second->on_packet(packet);
+    return;
+  }
+
+  if (packet->tcp.flags.syn && !packet->tcp.flags.ack) {
+    auto listener = listeners_.find(packet->tcp.dst_port);
+    if (listener != listeners_.end()) {
+      auto socket = std::make_unique<TcpSocket>(
+          *this, flow, default_config_, TcpSocket::Callbacks{},
+          /*passive=*/true);
+      TcpSocket& ref = *socket;
+      sockets_.emplace(flow, std::move(socket));
+      listener->second(ref);  // install application callbacks
+      ref.on_syn(packet);
+      return;
+    }
+    send_reset_for(packet);
+    return;
+  }
+  if (packet->tcp.flags.rst) return;  // never answer a RST with a RST
+  // Stray non-SYN segment for an unknown flow (e.g. a retransmission that
+  // arrived after teardown): answer with RST so the remote end stops
+  // retransmitting into the void, as a real stack would.
+  send_reset_for(packet);
+}
+
+void TcpStack::send_reset_for(const net::PacketPtr& packet) {
+  auto rst = std::make_shared<net::Packet>();
+  rst->dst = packet->src;
+  rst->tcp.src_port = packet->tcp.dst_port;
+  rst->tcp.dst_port = packet->tcp.src_port;
+  rst->tcp.seq = packet->tcp.ack;
+  rst->tcp.ack = packet->tcp.seq + 1;
+  rst->tcp.flags.rst = true;
+  rst->tcp.flags.ack = true;
+  transmit(std::move(rst));
+}
+
+void TcpStack::destroy(TcpSocket& socket) {
+  const net::FlowId flow = socket.flow();
+  // Deferred: the socket may be deep in its own call stack.
+  simulator().schedule_in(sim::SimTime::zero(),
+                          [this, flow]() { sockets_.erase(flow); });
+}
+
+net::Port TcpStack::allocate_ephemeral_port() {
+  // Monotonic; wraps after ~25k connections per node, far beyond any
+  // single experiment's needs, and TIME_WAIT prevents 4-tuple reuse races.
+  if (next_ephemeral_ == 0xFFFF) next_ephemeral_ = 40000;
+  return next_ephemeral_++;
+}
+
+}  // namespace dyncdn::tcp

@@ -1,0 +1,241 @@
+#include "testbed/experiment.hpp"
+
+#include <stdexcept>
+
+#include "analysis/boundary.hpp"
+#include "analysis/reassembly.hpp"
+#include "analysis/timeline.hpp"
+
+namespace dyncdn::testbed {
+
+namespace {
+constexpr net::Port kServicePort = 80;
+
+/// Analyze one client's captured trace into per-query timings, then free
+/// the trace memory.
+std::vector<core::QueryTimings> analyze_and_clear(
+    Scenario::Client& client, std::size_t boundary) {
+  if (!client.recorder) {
+    throw std::logic_error("experiment requires capture_clients=true");
+  }
+  const auto timelines = analysis::extract_all_timelines(
+      client.recorder->trace(), kServicePort, boundary);
+  client.recorder->clear();
+  return core::timings_from_timelines(timelines);
+}
+}  // namespace
+
+std::size_t discover_boundary(Scenario& scenario, std::size_t client_index,
+                              std::size_t fe_index,
+                              std::size_t num_keywords) {
+  Scenario::Client& client = scenario.clients().at(client_index);
+  if (!client.recorder) {
+    throw std::logic_error("discover_boundary requires capture_clients=true");
+  }
+  scenario.connect_client_to_fe(client_index, fe_index);
+
+  const bool prior_payloads = client.recorder->capture_payloads();
+  client.recorder->set_capture_payloads(true);
+  client.recorder->clear();
+
+  // Distinct keywords: the paper's content analysis relies on responses to
+  // *different* queries so the common prefix stops at the static portion.
+  const search::KeywordCatalog catalog(scenario.simulator().rng().seed());
+  const auto keywords = catalog.distinct_corpus(num_keywords);
+  const net::Endpoint fe = scenario.fe_endpoint(fe_index);
+  for (const search::Keyword& kw : keywords) {
+    client.query_client->submit(fe, kw, [](const cdn::QueryResult&) {});
+  }
+  scenario.simulator().run();
+
+  // Reassemble each connection's response stream.
+  std::vector<std::string> responses;
+  const capture::PacketTrace service =
+      client.recorder->trace().filter_remote_port(kServicePort);
+  for (const net::FlowId& flow : service.flows()) {
+    analysis::ReassembledStream stream =
+        analysis::reassemble(service, flow, capture::Direction::kReceived);
+    if (!stream.empty()) responses.push_back(stream.bytes());
+  }
+  client.recorder->clear();
+  client.recorder->set_capture_payloads(prior_payloads);
+
+  if (responses.size() < 2) {
+    throw std::runtime_error("discover_boundary: not enough responses");
+  }
+  const std::size_t boundary = analysis::common_prefix_boundary(responses);
+  if (boundary == 0) {
+    throw std::runtime_error("discover_boundary: no common prefix found");
+  }
+  return boundary;
+}
+
+namespace {
+ExperimentResult run_experiment(Scenario& scenario,
+                                const ExperimentOptions& options,
+                                const std::function<std::size_t(std::size_t)>&
+                                    fe_for_client) {
+  if (options.keywords.empty() && !options.zipf) {
+    throw std::invalid_argument("ExperimentOptions.keywords is empty");
+  }
+
+  // Boundary discovery from the first client against its target FE.
+  const std::size_t boundary =
+      discover_boundary(scenario, 0, fe_for_client(0));
+  const std::size_t discovery_fetches =
+      scenario.fes()[fe_for_client(0)].server->fetch_log().size();
+
+  // Launch the query schedule.
+  sim::Simulator& simulator = scenario.simulator();
+  auto& clients = scenario.clients();
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const std::size_t fe = fe_for_client(i);
+    scenario.connect_client_to_fe(i, fe);
+    const net::Endpoint endpoint = scenario.fe_endpoint(fe);
+
+    // Per-client query sequence: the configured rotation, or fresh Zipf
+    // popularity draws (each client gets an independent stream).
+    std::vector<search::Keyword> sequence;
+    if (options.zipf) {
+      const search::KeywordCatalog catalog(simulator.rng().seed());
+      const auto universe = catalog.generate(search::KeywordClass::kPopular,
+                                             options.zipf->catalog_size);
+      sim::RngStream draw_rng = simulator.rng().stream(
+          "experiment/zipf/" + clients[i].vantage.name);
+      sequence = search::KeywordCatalog::zipf_sample(
+          universe, options.reps_per_node, options.zipf->alpha, draw_rng);
+    }
+
+    for (std::size_t r = 0; r < options.reps_per_node; ++r) {
+      const search::Keyword kw =
+          options.zipf ? sequence[r]
+                       : options.keywords[r % options.keywords.size()];
+      const sim::SimTime at =
+          options.stagger * static_cast<std::int64_t>(i) +
+          options.interval * static_cast<std::int64_t>(r);
+      simulator.schedule_in(at, [&clients, i, endpoint, kw]() {
+        clients[i].query_client->submit(endpoint, kw,
+                                        [](const cdn::QueryResult&) {});
+      });
+    }
+  }
+  simulator.run();
+
+  // Offline analysis per vantage point.
+  ExperimentResult result;
+  result.boundary = boundary;
+  result.discovery_fetches = discovery_fetches;
+  result.per_node_timings.reserve(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    auto timings = analyze_and_clear(clients[i], boundary);
+    result.per_node.push_back(
+        core::aggregate_node(clients[i].vantage.name, timings));
+    result.per_node_timings.push_back(std::move(timings));
+  }
+  return result;
+}
+}  // namespace
+
+std::vector<core::QueryTimings> ExperimentResult::all() const {
+  std::vector<core::QueryTimings> out;
+  for (const auto& v : per_node_timings) out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+ExperimentResult run_fixed_fe_experiment(Scenario& scenario,
+                                         std::size_t fe_index,
+                                         const ExperimentOptions& options) {
+  return run_experiment(scenario, options,
+                        [fe_index](std::size_t) { return fe_index; });
+}
+
+ExperimentResult run_default_fe_experiment(Scenario& scenario,
+                                           const ExperimentOptions& options) {
+  auto& clients = scenario.clients();
+  return run_experiment(scenario, options, [&clients](std::size_t i) {
+    return clients[i].default_fe;
+  });
+}
+
+CachingExperimentResult run_caching_experiment(Scenario& scenario,
+                                               std::size_t client_index,
+                                               std::size_t fe_index,
+                                               std::size_t reps) {
+  CachingExperimentResult result;
+  const std::size_t boundary =
+      discover_boundary(scenario, client_index, fe_index);
+
+  Scenario::Client& client = scenario.clients().at(client_index);
+  const net::Endpoint fe = scenario.fe_endpoint(fe_index);
+  sim::Simulator& simulator = scenario.simulator();
+
+  const search::KeywordCatalog catalog(simulator.rng().seed() + 17);
+  const auto corpus = catalog.distinct_corpus(reps + 1);
+
+  // Phase 1: the same keyword, repeated sequentially.
+  client.query_client->submit_repeated(fe, corpus.front(), reps,
+                                       sim::SimTime::milliseconds(1500),
+                                       [](const cdn::QueryResult&) {});
+  simulator.run();
+  {
+    auto timings = analyze_and_clear(client, boundary);
+    for (const auto& q : timings) {
+      result.t_dynamic_same_ms.push_back(q.t_dynamic_ms);
+    }
+  }
+
+  // Phase 2: distinct keywords, one each.
+  for (std::size_t r = 0; r < reps; ++r) {
+    simulator.schedule_in(
+        sim::SimTime::milliseconds(1500) * static_cast<std::int64_t>(r),
+        [&client, fe, kw = corpus[r + 1]]() {
+          client.query_client->submit(fe, kw, [](const cdn::QueryResult&) {});
+        });
+  }
+  simulator.run();
+  {
+    auto timings = analyze_and_clear(client, boundary);
+    for (const auto& q : timings) {
+      result.t_dynamic_distinct_ms.push_back(q.t_dynamic_ms);
+    }
+  }
+
+  result.detection = core::detect_fe_caching(result.t_dynamic_same_ms,
+                                             result.t_dynamic_distinct_ms);
+  result.fe_cache_hits = scenario.fes().at(fe_index).server->cache_hits();
+  return result;
+}
+
+FetchFactoringResult run_fetch_factoring_experiment(
+    Scenario& scenario, const search::Keyword& keyword, std::size_t reps) {
+  auto& clients = scenario.clients();
+  auto& fes = scenario.fes();
+  if (clients.size() != fes.size()) {
+    throw std::logic_error(
+        "fetch-factoring requires a distance-sweep scenario "
+        "(one probe client per FE)");
+  }
+  const std::size_t boundary = discover_boundary(scenario, 0, 0);
+
+  sim::Simulator& simulator = scenario.simulator();
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    clients[i].query_client->submit_repeated(
+        scenario.fe_endpoint(i), keyword, reps,
+        sim::SimTime::milliseconds(1700), [](const cdn::QueryResult&) {});
+  }
+  simulator.run();
+
+  FetchFactoringResult result;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    auto timings = analyze_and_clear(clients[i], boundary);
+    if (timings.empty()) continue;
+    result.distances_miles.push_back(fes[i].distance_to_be_miles);
+    result.med_t_dynamic_ms.push_back(
+        stats::median(core::extract_dynamic(timings)));
+  }
+  result.factoring = core::factor_fetch_time(result.distances_miles,
+                                             result.med_t_dynamic_ms);
+  return result;
+}
+
+}  // namespace dyncdn::testbed

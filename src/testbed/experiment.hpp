@@ -1,0 +1,101 @@
+// Experiment runners: drive the paper's measurement campaigns through a
+// Scenario and run the full capture -> reassembly -> boundary -> timeline
+// -> inference pipeline, exactly as the paper did offline on tcpdump data.
+//
+//   Datasets A  (run_default_fe_experiment): every vantage point queries
+//               its default (DNS-nearest) FE repeatedly.
+//   Datasets B  (run_fixed_fe_experiment): every vantage point queries one
+//               fixed FE server.
+//   Caching     (run_caching_experiment): same-query-repeated vs
+//               distinct-queries against a fixed FE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cache_detector.hpp"
+#include "core/inference.hpp"
+#include "core/timings.hpp"
+#include "search/keywords.hpp"
+#include "testbed/scenario.hpp"
+
+namespace dyncdn::testbed {
+
+/// Discover the static/dynamic boundary the way the paper does: submit
+/// `num_keywords` distinct queries from one client to one FE with payload
+/// capture enabled, reassemble the response streams, and take their
+/// longest common prefix. Leaves the client's recorder cleared and payload
+/// capture restored to its prior setting.
+std::size_t discover_boundary(Scenario& scenario, std::size_t client_index,
+                              std::size_t fe_index,
+                              std::size_t num_keywords = 6);
+
+struct ExperimentOptions {
+  std::size_t reps_per_node = 25;
+  sim::SimTime interval = sim::SimTime::seconds(2);
+  /// Per-client start stagger so vantage points don't fire synchronously.
+  sim::SimTime stagger = sim::SimTime::milliseconds(73);
+  /// Keywords cycled across repetitions (single-element = fixed query).
+  std::vector<search::Keyword> keywords;
+
+  /// When set, `keywords` is ignored and each query draws from a
+  /// Zipf(alpha) popularity distribution over a synthesized catalog —
+  /// the realistic mixed workload of Datasets A.
+  struct ZipfWorkload {
+    std::size_t catalog_size = 500;
+    double alpha = 1.0;
+  };
+  std::optional<ZipfWorkload> zipf;
+};
+
+struct ExperimentResult {
+  std::size_t boundary = 0;
+  /// Fetch-log entries on client 0's target FE that belong to the
+  /// boundary-discovery phase (tests slice ground-truth logs past these).
+  std::size_t discovery_fetches = 0;
+  /// One aggregate per vantage point, aligned with scenario.clients().
+  std::vector<core::NodeAggregate> per_node;
+  /// Raw per-query timings per vantage point (same alignment).
+  std::vector<std::vector<core::QueryTimings>> per_node_timings;
+
+  /// All timings flattened.
+  std::vector<core::QueryTimings> all() const;
+};
+
+/// Datasets B: all clients query the FE at `fe_index`.
+ExperimentResult run_fixed_fe_experiment(Scenario& scenario,
+                                         std::size_t fe_index,
+                                         const ExperimentOptions& options);
+
+/// Datasets A: each client queries its default FE.
+ExperimentResult run_default_fe_experiment(Scenario& scenario,
+                                           const ExperimentOptions& options);
+
+struct CachingExperimentResult {
+  core::CacheDetectionResult detection;
+  std::vector<double> t_dynamic_same_ms;
+  std::vector<double> t_dynamic_distinct_ms;
+  std::size_t fe_cache_hits = 0;  // ground truth from the FE, for tests
+};
+
+/// §3 caching experiment against the FE at `fe_index`. `reps` queries with
+/// one repeated keyword, then `reps` distinct keywords, from one client.
+CachingExperimentResult run_caching_experiment(Scenario& scenario,
+                                               std::size_t client_index,
+                                               std::size_t fe_index,
+                                               std::size_t reps);
+
+/// Fig. 9: run `reps` queries from each distance-sweep probe client and
+/// factor the fetch time. Requires a Scenario built with
+/// `fe_distance_sweep_miles`.
+struct FetchFactoringResult {
+  std::vector<double> distances_miles;
+  std::vector<double> med_t_dynamic_ms;
+  core::FetchFactoring factoring;
+};
+
+FetchFactoringResult run_fetch_factoring_experiment(
+    Scenario& scenario, const search::Keyword& keyword, std::size_t reps);
+
+}  // namespace dyncdn::testbed

@@ -1,0 +1,134 @@
+#include "testbed/planetlab.hpp"
+
+#include <cmath>
+
+namespace dyncdn::testbed {
+
+const std::vector<Metro>& world_metros() {
+  // Weighted toward North American and European campuses, where most
+  // PlanetLab nodes lived (the paper's §6 notes this bias explicitly).
+  static const std::vector<Metro> metros = {
+      // North America
+      {"minneapolis", {44.98, -93.27}, 2.0},
+      {"chicago", {41.88, -87.63}, 2.0},
+      {"new-york", {40.71, -74.01}, 2.5},
+      {"boston", {42.36, -71.06}, 2.5},
+      {"washington-dc", {38.91, -77.04}, 2.0},
+      {"atlanta", {33.75, -84.39}, 1.5},
+      {"miami", {25.76, -80.19}, 1.0},
+      {"dallas", {32.78, -96.80}, 1.5},
+      {"denver", {39.74, -104.99}, 1.0},
+      {"seattle", {47.61, -122.33}, 2.0},
+      {"san-francisco", {37.77, -122.42}, 2.5},
+      {"los-angeles", {34.05, -118.24}, 2.0},
+      {"san-diego", {32.72, -117.16}, 1.0},
+      {"salt-lake", {40.76, -111.89}, 0.8},
+      {"houston", {29.76, -95.37}, 1.0},
+      {"pittsburgh", {40.44, -79.99}, 1.5},
+      {"toronto", {43.65, -79.38}, 1.5},
+      {"vancouver", {49.28, -123.12}, 1.0},
+      {"montreal", {45.50, -73.57}, 1.0},
+      // Europe
+      {"london", {51.51, -0.13}, 2.5},
+      {"paris", {48.86, 2.35}, 2.0},
+      {"berlin", {52.52, 13.40}, 2.0},
+      {"amsterdam", {52.37, 4.90}, 1.5},
+      {"zurich", {47.38, 8.54}, 1.5},
+      {"madrid", {40.42, -3.70}, 1.0},
+      {"rome", {41.90, 12.50}, 1.0},
+      {"stockholm", {59.33, 18.07}, 1.0},
+      {"helsinki", {60.17, 24.94}, 0.8},
+      {"warsaw", {52.23, 21.01}, 0.8},
+      {"athens", {37.98, 23.73}, 0.6},
+      {"dublin", {53.35, -6.26}, 0.8},
+      // Asia / Oceania / South America (sparser, like PlanetLab)
+      {"tokyo", {35.68, 139.69}, 1.5},
+      {"seoul", {37.57, 126.98}, 1.0},
+      {"beijing", {39.90, 116.41}, 1.0},
+      {"singapore", {1.35, 103.82}, 0.8},
+      {"hong-kong", {22.32, 114.17}, 0.8},
+      {"sydney", {-33.87, 151.21}, 0.8},
+      {"auckland", {-36.85, 174.76}, 0.4},
+      {"sao-paulo", {-23.55, -46.63}, 0.6},
+      {"buenos-aires", {-34.60, -58.38}, 0.4},
+      {"bangalore", {12.97, 77.59}, 0.5},
+  };
+  return metros;
+}
+
+const char* to_string(AccessType a) {
+  switch (a) {
+    case AccessType::kCampus: return "campus";
+    case AccessType::kResidential: return "residential";
+    case AccessType::kWireless: return "wireless";
+  }
+  return "?";
+}
+
+std::vector<VantagePoint> make_vantage_points(
+    const VantagePointOptions& options) {
+  const std::vector<Metro>& metros = world_metros();
+  sim::RngStream rng =
+      sim::RngFactory(options.seed).stream("testbed/vantage-points");
+
+  // Build the weighted-metro CDF once.
+  std::vector<double> cdf;
+  cdf.reserve(metros.size());
+  double total = 0.0;
+  for (const Metro& m : metros) {
+    total += m.weight;
+    cdf.push_back(total);
+  }
+
+  std::vector<VantagePoint> out;
+  out.reserve(options.count);
+  for (std::size_t i = 0; i < options.count; ++i) {
+    const double u = rng.uniform01() * total;
+    std::size_t metro = 0;
+    while (metro + 1 < cdf.size() && cdf[metro] < u) ++metro;
+
+    VantagePoint vp;
+    vp.metro_index = metro;
+    // Campus-level jitter: up to ~0.15 degrees (~10 miles).
+    vp.location = {metros[metro].location.lat_deg + rng.uniform(-0.15, 0.15),
+                   metros[metro].location.lon_deg + rng.uniform(-0.15, 0.15)};
+    double one_way_ms =
+        rng.uniform(options.last_mile_min_ms, options.last_mile_max_ms);
+
+    const double kind = rng.uniform01();
+    if (kind < options.residential_fraction) {
+      vp.access = AccessType::kResidential;
+      one_way_ms += rng.uniform(options.dsl_extra_min_ms,
+                                options.dsl_extra_max_ms);
+    } else if (kind < options.residential_fraction +
+                          options.wireless_fraction) {
+      vp.access = AccessType::kWireless;
+      one_way_ms += rng.uniform(options.wireless_extra_min_ms,
+                                options.wireless_extra_max_ms);
+      vp.access_loss =
+          rng.uniform(options.wireless_loss_min, options.wireless_loss_max);
+    }
+    vp.name = std::string(to_string(vp.access)).substr(0, 2) + "-" +
+              std::to_string(i) + "." + metros[metro].name;
+    if (vp.access == AccessType::kCampus) {
+      vp.name = "pl-" + std::to_string(i) + "." + metros[metro].name;
+    }
+    vp.last_mile_one_way = sim::SimTime::from_milliseconds(one_way_ms);
+    out.push_back(std::move(vp));
+  }
+  return out;
+}
+
+std::vector<VantagePoint> make_vantage_points(std::size_t count,
+                                              std::uint64_t seed,
+                                              double last_mile_min_ms,
+                                              double last_mile_max_ms) {
+  VantagePointOptions options;
+  options.count = count;
+  options.seed = seed;
+  options.last_mile_min_ms = last_mile_min_ms;
+  options.last_mile_max_ms = last_mile_max_ms;
+  return make_vantage_points(options);
+}
+
+}  // namespace dyncdn::testbed

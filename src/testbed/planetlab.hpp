@@ -1,0 +1,82 @@
+// Synthetic PlanetLab-like measurement testbed.
+//
+// The paper ran its emulator on 200-250 globally distributed PlanetLab
+// nodes, mostly on university campus networks. We synthesize an equivalent
+// vantage-point catalog: ~40 world metros (weighted toward North America
+// and Europe, like PlanetLab), with per-node geographic jitter and a
+// last-mile latency draw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/geo.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace dyncdn::testbed {
+
+struct Metro {
+  std::string name;
+  net::GeoPoint location;
+  /// Relative likelihood of hosting PlanetLab nodes (campus density).
+  double weight = 1.0;
+};
+
+/// The built-in world metro list (~40 entries).
+const std::vector<Metro>& world_metros();
+
+/// Access-network class of a vantage point. PlanetLab nodes sit on campus
+/// networks; the paper's reviewers (and its §6) note that residential DSL
+/// (interleaving adds ~30 ms) and wireless users see very different last
+/// miles. Residential/wireless vantage points let experiments answer that
+/// critique.
+enum class AccessType : std::uint8_t {
+  kCampus,      // PlanetLab-like: low, clean
+  kResidential, // DSL: +15-40ms one-way, clean
+  kWireless,    // WiFi/3G-ish: moderate extra latency, bursty loss
+};
+
+const char* to_string(AccessType a);
+
+struct VantagePoint {
+  std::string name;        // "pl-node-17.minneapolis"
+  std::size_t metro_index; // into world_metros()
+  net::GeoPoint location;  // metro location + jitter
+  AccessType access = AccessType::kCampus;
+  /// One-way access-network latency of this node.
+  sim::SimTime last_mile_one_way;
+  /// Per-packet loss on the access link (wireless nodes).
+  double access_loss = 0.0;
+};
+
+struct VantagePointOptions {
+  std::size_t count = 60;
+  std::uint64_t seed = 1;
+  /// Campus access latency bounds (one-way ms).
+  double last_mile_min_ms = 1.0;
+  double last_mile_max_ms = 3.0;
+  /// Fractions of non-campus vantage points (rest is campus).
+  double residential_fraction = 0.0;
+  double wireless_fraction = 0.0;
+  /// Residential DSL adds this much one-way latency (uniform range).
+  double dsl_extra_min_ms = 15.0;
+  double dsl_extra_max_ms = 40.0;
+  /// Wireless adds latency and loss.
+  double wireless_extra_min_ms = 5.0;
+  double wireless_extra_max_ms = 25.0;
+  double wireless_loss_min = 0.002;
+  double wireless_loss_max = 0.02;
+};
+
+/// Synthesize vantage points. Deterministic in `options.seed`.
+std::vector<VantagePoint> make_vantage_points(const VantagePointOptions& options);
+
+/// Backwards-compatible campus-only helper.
+std::vector<VantagePoint> make_vantage_points(std::size_t count,
+                                              std::uint64_t seed,
+                                              double last_mile_min_ms = 1.0,
+                                              double last_mile_max_ms = 3.0);
+
+}  // namespace dyncdn::testbed

@@ -1,0 +1,242 @@
+#include "testbed/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dyncdn::testbed {
+
+Scenario::Scenario(ScenarioOptions options) : options_(std::move(options)) {
+  simulator_ = std::make_unique<sim::Simulator>(options_.seed);
+  network_ = std::make_unique<net::Network>(*simulator_);
+  content_ = std::make_unique<search::ContentModel>(options_.profile.content,
+                                                    options_.profile.name);
+  build_backend();
+  build_frontends();
+  build_clients();
+}
+
+void Scenario::build_backend() {
+  const cdn::ServiceProfile& p = options_.profile;
+  be_node_ = &network_->add_node("be-" + p.be_site_name, p.be_location);
+  cdn::BackendDataCenter::Config cfg;
+  cfg.name = p.be_site_name;
+  cfg.processing = p.processing;
+  cfg.tcp = p.internal_tcp;
+  backend_ = std::make_unique<cdn::BackendDataCenter>(*be_node_, *content_,
+                                                      cfg);
+}
+
+void Scenario::build_frontends() {
+  const cdn::ServiceProfile& p = options_.profile;
+
+  struct Site {
+    std::string name;
+    net::GeoPoint location;
+  };
+  std::vector<Site> sites;
+
+  if (options_.fe_distance_sweep_miles) {
+    // Synthetic placement for fetch-factoring: FE sites due north of the
+    // BE at the requested great-circle distances (~69 miles per degree).
+    for (std::size_t i = 0; i < options_.fe_distance_sweep_miles->size();
+         ++i) {
+      const double miles = (*options_.fe_distance_sweep_miles)[i];
+      Site s;
+      s.name = "sweep-" + std::to_string(i);
+      s.location = {p.be_location.lat_deg + miles / 69.0,
+                    p.be_location.lon_deg};
+      sites.push_back(std::move(s));
+    }
+  } else {
+    // Metro-based placement: each metro hosts an FE with probability
+    // `fe_metro_coverage` (Akamai ~ everywhere; Google ~ a third).
+    sim::RngStream rng =
+        simulator_->rng().stream("scenario/fe-metro-selection");
+    const auto& metros = world_metros();
+    for (const Metro& m : metros) {
+      if (rng.uniform01() < p.fe_metro_coverage) {
+        sites.push_back(Site{m.name, m.location});
+      }
+    }
+    if (sites.empty()) {
+      sites.push_back(Site{metros.front().name, metros.front().location});
+    }
+  }
+
+  for (const Site& site : sites) {
+    FrontEnd fe;
+    fe.site_name = site.name;
+    fe.location = site.location;
+    fe.node = &network_->add_node("fe-" + site.name, site.location);
+    fe.distance_to_be_miles =
+        net::haversine_miles(site.location, p.be_location);
+
+    // FE <-> BE path: geographic propagation over a well-provisioned (or,
+    // for BingLike, public-internet) link.
+    net::LinkConfig link;
+    link.propagation_delay = net::propagation_delay(site.location,
+                                                    p.be_location);
+    link.bandwidth_bps = p.fe_be_bandwidth_bps;
+    if (p.fe_be_loss > 0.0) {
+      const double loss = p.fe_be_loss;
+      link.loss_factory = [loss] { return net::make_bernoulli_loss(loss); };
+    }
+    network_->connect(*fe.node, *be_node_, link);
+
+    cdn::FrontEndServer::Config cfg;
+    cfg.name = "fe-" + site.name;
+    cfg.backend = backend_->fetch_endpoint();
+    cfg.service = p.fe_service;
+    cfg.client_tcp = p.client_tcp;
+    cfg.backend_tcp = p.internal_tcp;
+    cfg.warm_backend_connection =
+        options_.warm_backend_connection.value_or(p.warm_backend_connection);
+    if (options_.relay_mode) cfg.relay_mode = *options_.relay_mode;
+    if (options_.serve_static_immediately) {
+      cfg.serve_static_immediately = *options_.serve_static_immediately;
+    }
+    if (options_.fe_cache_results) {
+      cfg.cache_results = *options_.fe_cache_results;
+    }
+    if (options_.client_initial_cwnd) {
+      cfg.client_tcp.initial_cwnd_segments = *options_.client_initial_cwnd;
+    }
+    fe.server = std::make_unique<cdn::FrontEndServer>(*fe.node, *content_,
+                                                      std::move(cfg));
+    fes_.push_back(std::move(fe));
+  }
+}
+
+void Scenario::build_clients() {
+  const cdn::ServiceProfile& p = options_.profile;
+
+  std::vector<VantagePoint> vps;
+  if (options_.fe_distance_sweep_miles) {
+    // One client co-located with each sweep FE (low client RTT, so
+    // T_dynamic approximates T_fetch, as §5 requires).
+    for (std::size_t i = 0; i < fes_.size(); ++i) {
+      VantagePoint vp;
+      vp.name = "probe-" + std::to_string(i);
+      vp.metro_index = 0;
+      vp.location = {fes_[i].location.lat_deg + 0.02,
+                     fes_[i].location.lon_deg};
+      // Probe access latency follows the profile's lower bound so that
+      // controlled sweeps can set the probe RTT exactly.
+      vp.last_mile_one_way =
+          sim::SimTime::from_milliseconds(p.last_mile_min_ms);
+      vps.push_back(std::move(vp));
+    }
+  } else {
+    VantagePointOptions vpo;
+    vpo.count = options_.client_count;
+    vpo.seed = options_.seed;
+    vpo.last_mile_min_ms = p.last_mile_min_ms;
+    vpo.last_mile_max_ms = p.last_mile_max_ms;
+    vpo.residential_fraction = options_.residential_fraction;
+    vpo.wireless_fraction = options_.wireless_fraction;
+    vps = make_vantage_points(vpo);
+  }
+
+  tcp::TcpConfig client_tcp = p.client_tcp;
+  if (options_.client_initial_cwnd) {
+    client_tcp.initial_cwnd_segments = *options_.client_initial_cwnd;
+  }
+
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    Client c;
+    c.vantage = vps[i];
+    c.node = &network_->add_node(vps[i].name, vps[i].location);
+
+    // DNS emulation: default FE = geographically nearest site.
+    std::size_t best = 0;
+    double best_miles = std::numeric_limits<double>::max();
+    for (std::size_t f = 0; f < fes_.size(); ++f) {
+      const double miles =
+          net::haversine_miles(vps[i].location, fes_[f].location);
+      if (miles < best_miles) {
+        best_miles = miles;
+        best = f;
+      }
+    }
+    if (options_.fe_distance_sweep_miles) best = i;  // pair probe with FE
+    c.default_fe = best;
+
+    if (options_.capture_clients) {
+      capture::RecorderOptions ro;
+      ro.capture_payloads = options_.capture_payloads;
+      c.recorder = std::make_unique<capture::TraceRecorder>(*c.node,
+                                                            *simulator_, ro);
+    }
+    c.query_client = std::make_unique<cdn::QueryClient>(*c.node, client_tcp);
+    clients_.push_back(std::move(c));
+    connect_client_to_fe(i, best);
+  }
+}
+
+net::LinkConfig Scenario::client_access_link(
+    const VantagePoint& vp, const net::GeoPoint& fe_location) const {
+  net::LinkConfig link;
+  link.propagation_delay =
+      net::propagation_delay(vp.location, fe_location) + vp.last_mile_one_way;
+  link.bandwidth_bps = options_.profile.client_fe_bandwidth_bps;
+  const double loss = options_.client_link_loss + vp.access_loss;
+  if (loss > 0.0) {
+    link.loss_factory = [loss] { return net::make_bernoulli_loss(loss); };
+  }
+  return link;
+}
+
+void Scenario::connect_client_to_fe(std::size_t client_index,
+                                    std::size_t fe_index) {
+  const auto key = std::make_pair(client_index, fe_index);
+  if (std::find(client_fe_links_.begin(), client_fe_links_.end(), key) !=
+      client_fe_links_.end()) {
+    return;
+  }
+  Client& c = clients_.at(client_index);
+  FrontEnd& fe = fes_.at(fe_index);
+  network_->connect(*c.node, *fe.node,
+                    client_access_link(c.vantage, fe.location));
+  client_fe_links_.push_back(key);
+}
+
+void Scenario::connect_client_to_be(std::size_t client_index) {
+  if (std::find(client_be_links_.begin(), client_be_links_.end(),
+                client_index) != client_be_links_.end()) {
+    return;
+  }
+  Client& c = clients_.at(client_index);
+  network_->connect(
+      *c.node, *be_node_,
+      client_access_link(c.vantage, options_.profile.be_location));
+  client_be_links_.push_back(client_index);
+}
+
+net::Endpoint Scenario::default_fe_endpoint(std::size_t client_index) const {
+  return fe_endpoint(clients_.at(client_index).default_fe);
+}
+
+net::Endpoint Scenario::fe_endpoint(std::size_t fe_index) const {
+  return fes_.at(fe_index).server->client_endpoint();
+}
+
+sim::SimTime Scenario::client_fe_rtt(std::size_t client_index,
+                                     std::size_t fe_index) const {
+  const Client& c = clients_.at(client_index);
+  const FrontEnd& fe = fes_.at(fe_index);
+  const sim::SimTime one_way =
+      net::propagation_delay(c.vantage.location, fe.location) +
+      c.vantage.last_mile_one_way;
+  return one_way * 2;
+}
+
+void Scenario::warm_up(sim::SimTime duration) {
+  simulator_->run_until(simulator_->now() + duration);
+  // Recorders should not carry warm-up traffic into the analysis.
+  for (Client& c : clients_) {
+    if (c.recorder) c.recorder->clear();
+  }
+}
+
+}  // namespace dyncdn::testbed

@@ -1,0 +1,131 @@
+// Scenario: wires a full measurement testbed for one service profile —
+// back-end data center, front-end fleet, vantage-point clients, capture
+// taps — on top of the simulator. Experiment runners (experiment.hpp)
+// drive queries through it and hand traces to the analysis pipeline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capture/recorder.hpp"
+#include "cdn/backend.hpp"
+#include "cdn/client.hpp"
+#include "cdn/deployment.hpp"
+#include "cdn/frontend.hpp"
+#include "net/network.hpp"
+#include "search/content_model.hpp"
+#include "sim/simulator.hpp"
+#include "testbed/planetlab.hpp"
+
+namespace dyncdn::testbed {
+
+struct ScenarioOptions {
+  cdn::ServiceProfile profile;
+  std::size_t client_count = 60;
+  std::uint64_t seed = 1;
+
+  /// Capture packets at client nodes. Payload retention is needed only for
+  /// content-boundary discovery; large sweeps keep it off to bound memory.
+  bool capture_clients = true;
+  bool capture_payloads = false;
+
+  /// Instead of metro-based FE placement, place FE sites at these exact
+  /// distances (miles) from the BE, each with one co-located client
+  /// (used by the Fig. 9 fetch-factoring bench).
+  std::optional<std::vector<double>> fe_distance_sweep_miles;
+
+  /// Per-packet loss on client access links (both directions): the §6
+  /// lossy-last-hop (wireless) regime. 0 = clean, like the paper's wired
+  /// PlanetLab measurements.
+  double client_link_loss = 0.0;
+
+  /// Fractions of vantage points on residential-DSL and wireless access
+  /// (reviewer #5's critique: PlanetLab's campus bias understates real
+  /// last-mile latency). Remainder are campus nodes. Residential nodes add
+  /// DSL-interleaving latency; wireless nodes add latency plus loss.
+  double residential_fraction = 0.0;
+  double wireless_fraction = 0.0;
+
+  /// FrontEnd config overrides applied to every FE (ablations).
+  std::optional<cdn::FrontEndServer::RelayMode> relay_mode;
+  std::optional<bool> warm_backend_connection;
+  std::optional<bool> serve_static_immediately;
+  std::optional<bool> fe_cache_results;
+  std::optional<std::size_t> client_initial_cwnd;  // client<->FE IW ablation
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioOptions options);
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  struct Client {
+    VantagePoint vantage;
+    net::Node* node = nullptr;
+    std::unique_ptr<cdn::QueryClient> query_client;
+    std::unique_ptr<capture::TraceRecorder> recorder;
+    std::size_t default_fe = 0;  // index into fes()
+  };
+
+  struct FrontEnd {
+    std::string site_name;
+    net::GeoPoint location;
+    net::Node* node = nullptr;
+    std::unique_ptr<cdn::FrontEndServer> server;
+    double distance_to_be_miles = 0;
+  };
+
+  sim::Simulator& simulator() { return *simulator_; }
+  net::Network& network() { return *network_; }
+  const cdn::ServiceProfile& profile() const { return options_.profile; }
+  const search::ContentModel& content() const { return *content_; }
+
+  std::vector<Client>& clients() { return clients_; }
+  std::vector<FrontEnd>& fes() { return fes_; }
+  cdn::BackendDataCenter& backend() { return *backend_; }
+
+  /// DNS emulation: the endpoint of client i's default (nearest) FE.
+  net::Endpoint default_fe_endpoint(std::size_t client_index) const;
+  net::Endpoint fe_endpoint(std::size_t fe_index) const;
+  /// One-way client<->FE propagation path RTT estimate (for sanity checks;
+  /// analysis derives RTT from handshakes, not from here).
+  sim::SimTime client_fe_rtt(std::size_t client_index,
+                             std::size_t fe_index) const;
+
+  /// Ensure a direct link exists between client i and FE j (Datasets B:
+  /// querying a fixed, possibly non-default FE).
+  void connect_client_to_fe(std::size_t client_index, std::size_t fe_index);
+
+  /// Ensure a direct client<->BE link (the no-FE baseline).
+  void connect_client_to_be(std::size_t client_index);
+
+  /// Run the simulation until the FE fleet's persistent BE connections are
+  /// established and warmed. Call before submitting measured queries.
+  void warm_up(sim::SimTime duration = sim::SimTime::seconds(5));
+
+ private:
+  void build_backend();
+  void build_frontends();
+  void build_clients();
+  net::LinkConfig client_access_link(const VantagePoint& vp,
+                                     const net::GeoPoint& fe_location) const;
+
+  ScenarioOptions options_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<search::ContentModel> content_;
+  std::unique_ptr<cdn::BackendDataCenter> backend_;
+  net::Node* be_node_ = nullptr;
+  std::vector<FrontEnd> fes_;
+  std::vector<Client> clients_;
+  /// (client, fe) pairs already linked.
+  std::vector<std::pair<std::size_t, std::size_t>> client_fe_links_;
+  std::vector<std::size_t> client_be_links_;
+};
+
+}  // namespace dyncdn::testbed

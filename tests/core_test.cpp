@@ -1,0 +1,251 @@
+// Inference-framework unit tests (timings, fetch bounds, threshold
+// detection, fetch factoring, caching detector) on controlled inputs.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/timeline.hpp"
+#include "core/cache_detector.hpp"
+#include "core/inference.hpp"
+#include "core/timings.hpp"
+#include "net/geo.hpp"
+
+namespace dyncdn::core {
+namespace {
+
+using sim::SimTime;
+using namespace dyncdn::sim::literals;
+
+analysis::QueryTimeline make_timeline(double rtt_ms, double t4_ms,
+                                      double t5_ms, double te_ms) {
+  analysis::QueryTimeline tl;
+  tl.valid = true;
+  tl.tb = SimTime::zero();
+  tl.t_synack = SimTime::from_milliseconds(rtt_ms);
+  tl.t1 = tl.t_synack;
+  tl.t2 = SimTime::from_milliseconds(2 * rtt_ms);
+  tl.t3 = SimTime::from_milliseconds(2 * rtt_ms + 1);
+  tl.t4 = SimTime::from_milliseconds(t4_ms);
+  tl.t5 = SimTime::from_milliseconds(t5_ms);
+  tl.te = SimTime::from_milliseconds(te_ms);
+  tl.boundary = 9000;
+  tl.response_bytes = 25000;
+  return tl;
+}
+
+TEST(Timings, DerivedFromTimelineDefinitions) {
+  // rtt 20: t2 = 40. t4 = 90, t5 = 170, te = 300.
+  const auto tl = make_timeline(20, 90, 170, 300);
+  const auto q = timings_from_timeline(tl);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_DOUBLE_EQ(q->rtt_ms, 20.0);
+  EXPECT_DOUBLE_EQ(q->t_static_ms, 50.0);    // t4 - t2
+  EXPECT_DOUBLE_EQ(q->t_dynamic_ms, 130.0);  // t5 - t2
+  EXPECT_DOUBLE_EQ(q->t_delta_ms, 80.0);     // t5 - t4
+  EXPECT_DOUBLE_EQ(q->overall_ms, 300.0);    // te - tb
+  EXPECT_EQ(q->static_bytes, 9000u);
+  EXPECT_EQ(q->dynamic_bytes, 16000u);
+}
+
+TEST(Timings, DeltaClampedAtZeroWhenCoalesced) {
+  // t5 == t4 (boundary inside one packet).
+  const auto q = timings_from_timeline(make_timeline(100, 250, 250, 400));
+  ASSERT_TRUE(q.has_value());
+  EXPECT_DOUBLE_EQ(q->t_delta_ms, 0.0);
+}
+
+TEST(Timings, InvalidTimelineYieldsNullopt) {
+  analysis::QueryTimeline tl;
+  tl.valid = false;
+  EXPECT_FALSE(timings_from_timeline(tl).has_value());
+}
+
+TEST(Timings, BatchSkipsInvalid) {
+  std::vector<analysis::QueryTimeline> tls{make_timeline(10, 50, 80, 100),
+                                           analysis::QueryTimeline{},
+                                           make_timeline(10, 60, 90, 110)};
+  EXPECT_EQ(timings_from_timelines(tls).size(), 2u);
+}
+
+TEST(Timings, ExtractorsPullColumns) {
+  std::vector<QueryTimings> qs(3);
+  qs[0].rtt_ms = 1;
+  qs[1].rtt_ms = 2;
+  qs[2].rtt_ms = 3;
+  qs[0].t_dynamic_ms = 10;
+  qs[1].t_dynamic_ms = 20;
+  qs[2].t_dynamic_ms = 30;
+  EXPECT_EQ(extract_rtt(qs), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(extract_dynamic(qs), (std::vector<double>{10, 20, 30}));
+}
+
+TEST(FetchBoundsTest, OrderAndContainment) {
+  QueryTimings q;
+  q.t_delta_ms = 40;
+  q.t_dynamic_ms = 130;
+  const FetchBounds b = fetch_bounds(q);
+  EXPECT_DOUBLE_EQ(b.lower_ms, 40.0);
+  EXPECT_DOUBLE_EQ(b.upper_ms, 130.0);
+  EXPECT_LE(b.lower_ms, b.upper_ms);
+  EXPECT_TRUE(b.contains(40.0));
+  EXPECT_TRUE(b.contains(130.0));
+  EXPECT_TRUE(b.contains(85.0));
+  EXPECT_FALSE(b.contains(39.9));
+  EXPECT_FALSE(b.contains(130.1));
+  EXPECT_DOUBLE_EQ(b.width(), 90.0);
+}
+
+TEST(Aggregate, MediansPerNode) {
+  std::vector<QueryTimings> qs(5);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    qs[i].rtt_ms = 10 + static_cast<double>(i);        // median 12
+    qs[i].t_static_ms = 100 - static_cast<double>(i);  // median 98
+    qs[i].t_dynamic_ms = 200 + 10.0 * i;               // median 220
+    qs[i].t_delta_ms = static_cast<double>(i);         // median 2
+    qs[i].overall_ms = 500;
+  }
+  const NodeAggregate a = aggregate_node("node-x", qs);
+  EXPECT_EQ(a.node_name, "node-x");
+  EXPECT_EQ(a.samples, 5u);
+  EXPECT_DOUBLE_EQ(a.rtt_ms, 12.0);
+  EXPECT_DOUBLE_EQ(a.med_static_ms, 98.0);
+  EXPECT_DOUBLE_EQ(a.med_dynamic_ms, 220.0);
+  EXPECT_DOUBLE_EQ(a.med_delta_ms, 2.0);
+  EXPECT_DOUBLE_EQ(a.med_overall_ms, 500.0);
+}
+
+TEST(Aggregate, EmptyInputSafe) {
+  const NodeAggregate a = aggregate_node("empty", {});
+  EXPECT_EQ(a.samples, 0u);
+  EXPECT_DOUBLE_EQ(a.med_dynamic_ms, 0.0);
+}
+
+std::vector<NodeAggregate> synthetic_delta_profile(double t_fetch_ms,
+                                                   double per_rtt_factor) {
+  // The model: T_delta = max(0, T_fetch - factor*RTT).
+  std::vector<NodeAggregate> nodes;
+  for (double rtt = 5; rtt <= 250; rtt += 5) {
+    NodeAggregate n;
+    n.rtt_ms = rtt;
+    n.med_delta_ms = std::max(0.0, t_fetch_ms - per_rtt_factor * rtt);
+    n.samples = 10;
+    nodes.push_back(n);
+  }
+  return nodes;
+}
+
+TEST(Threshold, DetectsCollapsePoint) {
+  // T_fetch 150ms, static delivery ~1.5 RTT: collapse at RTT = 100ms.
+  const auto nodes = synthetic_delta_profile(150.0, 1.5);
+  const ThresholdEstimate est = estimate_delta_threshold(nodes, 1.0);
+  ASSERT_TRUE(est.found);
+  EXPECT_NEAR(est.threshold_rtt_ms, 100.0, 7.0);
+  EXPECT_NEAR(est.pre_threshold_fit.slope, -1.5, 0.05);
+  EXPECT_NEAR(est.pre_threshold_fit.intercept, 150.0, 5.0);
+}
+
+TEST(Threshold, LargerFetchTimeMeansLargerThreshold) {
+  // The Bing-vs-Google contrast: larger T_fetch -> collapse at higher RTT.
+  const auto google = synthetic_delta_profile(75.0, 1.5);
+  const auto bing = synthetic_delta_profile(225.0, 1.5);
+  const auto eg = estimate_delta_threshold(google, 1.0);
+  const auto eb = estimate_delta_threshold(bing, 1.0);
+  ASSERT_TRUE(eg.found);
+  ASSERT_TRUE(eb.found);
+  EXPECT_GT(eb.threshold_rtt_ms, 2.0 * eg.threshold_rtt_ms);
+}
+
+TEST(Threshold, NotFoundWhenDeltaNeverCollapses) {
+  std::vector<NodeAggregate> nodes;
+  for (double rtt = 5; rtt <= 100; rtt += 5) {
+    NodeAggregate n;
+    n.rtt_ms = rtt;
+    n.med_delta_ms = 500.0 - rtt;  // stays large
+    nodes.push_back(n);
+  }
+  EXPECT_FALSE(estimate_delta_threshold(nodes, 1.0).found);
+  EXPECT_FALSE(estimate_delta_threshold({}, 1.0).found);
+}
+
+TEST(Factoring, RecoversProcAndSlope) {
+  // Synthesize Fig. 9: T_dynamic = T_proc + C * RTT(distance) + noise.
+  std::mt19937 gen(5);
+  std::normal_distribution<> noise(0, 4);
+  const double t_proc = 260.0;
+  const double c_rtts = 4.0;
+  std::vector<double> miles, tdyn;
+  for (double d = 25; d <= 500; d += 25) {
+    miles.push_back(d);
+    const double rtt_ms = 2.0 * d / net::kFiberMilesPerMs;
+    tdyn.push_back(t_proc + c_rtts * rtt_ms + noise(gen));
+  }
+  const FetchFactoring f = factor_fetch_time(miles, tdyn);
+  EXPECT_NEAR(f.t_proc_ms(), 260.0, 10.0);
+  EXPECT_NEAR(f.implied_round_trips(), 4.0, 1.2);
+  EXPECT_NEAR(f.slope_ms_per_mile(), 4.0 * 2.0 / net::kFiberMilesPerMs,
+              0.02);
+  EXPECT_FALSE(f.to_string().empty());
+}
+
+TEST(Factoring, InterceptOrderingMatchesPaper) {
+  // Bing's intercept (~260ms) must dwarf Google's (~34ms) while the slopes
+  // stay comparable — the paper's headline §5 finding.
+  auto synth = [](double t_proc) {
+    std::vector<double> miles, tdyn;
+    for (double d = 25; d <= 500; d += 25) {
+      miles.push_back(d);
+      tdyn.push_back(t_proc + 4.0 * 2.0 * d / net::kFiberMilesPerMs);
+    }
+    return factor_fetch_time(miles, tdyn);
+  };
+  const FetchFactoring bing = synth(260.0);
+  const FetchFactoring google = synth(34.0);
+  EXPECT_GT(bing.t_proc_ms(), 5.0 * google.t_proc_ms());
+  EXPECT_NEAR(bing.slope_ms_per_mile(), google.slope_ms_per_mile(), 1e-9);
+}
+
+TEST(CacheDetector, NoCachingWhenDistributionsMatch) {
+  std::mt19937 gen(6);
+  std::lognormal_distribution<> draw(std::log(150.0), 0.2);
+  std::vector<double> same, distinct;
+  for (int i = 0; i < 300; ++i) {
+    same.push_back(draw(gen));
+    distinct.push_back(draw(gen));
+  }
+  const CacheDetectionResult r = detect_fe_caching(same, distinct);
+  EXPECT_FALSE(r.caching_detected);
+  EXPECT_NE(r.verdict().find("no FE result caching"), std::string::npos);
+}
+
+TEST(CacheDetector, CachingDetectedWhenRepeatsCollapse) {
+  std::mt19937 gen(7);
+  std::lognormal_distribution<> fast(std::log(8.0), 0.2);   // cache hits
+  std::lognormal_distribution<> slow(std::log(150.0), 0.2);
+  std::vector<double> same, distinct;
+  for (int i = 0; i < 300; ++i) {
+    same.push_back(fast(gen));
+    distinct.push_back(slow(gen));
+  }
+  const CacheDetectionResult r = detect_fe_caching(same, distinct);
+  EXPECT_TRUE(r.caching_detected);
+  EXPECT_LT(r.median_same_ms, r.median_distinct_ms);
+}
+
+TEST(CacheDetector, KeywordCostDifferenceAloneIsNotCaching) {
+  // Distributions differ (repeated keyword is somewhat faster because the
+  // keyword itself is cheap) but the drop is mild: must NOT flag caching.
+  std::mt19937 gen(8);
+  std::lognormal_distribution<> a(std::log(120.0), 0.15);
+  std::lognormal_distribution<> b(std::log(150.0), 0.15);
+  std::vector<double> same, distinct;
+  for (int i = 0; i < 400; ++i) {
+    same.push_back(a(gen));
+    distinct.push_back(b(gen));
+  }
+  const CacheDetectionResult r = detect_fe_caching(same, distinct);
+  EXPECT_TRUE(r.ks.distributions_differ());  // statistically different...
+  EXPECT_FALSE(r.caching_detected);          // ...but not caching-shaped
+}
+
+}  // namespace
+}  // namespace dyncdn::core

@@ -1,0 +1,154 @@
+// DNS subsystem tests: resolution protocol, CDN-style redirection policy,
+// stub caching, and failure modes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dns/resolver.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/stack.hpp"
+
+namespace dyncdn::dns {
+namespace {
+
+using sim::SimTime;
+using namespace dyncdn::sim::literals;
+
+struct DnsFixture {
+  DnsFixture() : simulator(3), network(simulator) {
+    client_node = &network.add_node("client");
+    dns_node = &network.add_node("dns");
+    net::LinkConfig link;
+    link.propagation_delay = 3_ms;
+    network.connect(*client_node, *dns_node, link);
+
+    cdn::LoadModel service;
+    service.median_ms = 1.0;
+    service.sigma = 0.0;
+    server = std::make_unique<DnsServer>(*dns_node, service);
+    client_stack = std::make_unique<tcp::TcpStack>(*client_node);
+    client = std::make_unique<DnsClient>(*client_stack, server->endpoint());
+  }
+
+  ResolveResult resolve(const std::string& name) {
+    ResolveResult out;
+    client->resolve(name, [&](const ResolveResult& r) { out = r; });
+    simulator.run();
+    return out;
+  }
+
+  sim::Simulator simulator;
+  net::Network network;
+  net::Node* client_node = nullptr;
+  net::Node* dns_node = nullptr;
+  std::unique_ptr<DnsServer> server;
+  std::unique_ptr<tcp::TcpStack> client_stack;
+  std::unique_ptr<DnsClient> client;
+};
+
+TEST(Dns, ResolvesRegisteredName) {
+  DnsFixture f;
+  f.server->add_record("search.example", {net::NodeId{42}, 80});
+  const ResolveResult r = f.resolve("search.example");
+  EXPECT_FALSE(r.failed) << r.error;
+  EXPECT_EQ(r.endpoint.node, net::NodeId{42});
+  EXPECT_EQ(r.endpoint.port, 80);
+  EXPECT_EQ(f.server->queries_served(), 1u);
+}
+
+TEST(Dns, ResolutionTimeCoversRttAndService) {
+  DnsFixture f;
+  f.server->add_record("search.example", {net::NodeId{42}, 80});
+  const ResolveResult r = f.resolve("search.example");
+  // Handshake (1 RTT) + query (1 RTT) + 1ms service; RTT = 6ms.
+  EXPECT_NEAR(r.duration().to_milliseconds(), 13.0, 1.5);
+}
+
+TEST(Dns, UnknownNameFails) {
+  DnsFixture f;
+  const ResolveResult r = f.resolve("missing.example");
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.error, "NXDOMAIN");
+}
+
+TEST(Dns, RoundRobinOverCandidates) {
+  DnsFixture f;
+  f.client->set_cache_ttl(SimTime::zero());  // force fresh lookups
+  f.server->add_record("svc", {net::NodeId{1}, 80});
+  f.server->add_record("svc", {net::NodeId{2}, 80});
+  f.server->add_record("svc", {net::NodeId{3}, 80});
+  std::vector<std::uint32_t> answers;
+  for (int i = 0; i < 6; ++i) {
+    answers.push_back(f.resolve("svc").endpoint.node.value());
+  }
+  EXPECT_EQ(answers, (std::vector<std::uint32_t>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(Dns, RedirectionPolicySeesQuerier) {
+  DnsFixture f;
+  f.server->add_record("svc", {net::NodeId{10}, 80});
+  f.server->add_record("svc", {net::NodeId{20}, 80});
+  net::NodeId seen_querier;
+  f.server->set_policy([&](net::NodeId querier,
+                           const std::vector<net::Endpoint>& cands) {
+    seen_querier = querier;
+    return cands.back();  // always the second candidate
+  });
+  const ResolveResult r = f.resolve("svc");
+  EXPECT_EQ(seen_querier, f.client_node->id());
+  EXPECT_EQ(r.endpoint.node, net::NodeId{20});
+}
+
+TEST(Dns, StubCacheShortCircuitsRepeatLookups) {
+  DnsFixture f;
+  f.server->add_record("svc", {net::NodeId{5}, 80});
+  const ResolveResult first = f.resolve("svc");
+  const ResolveResult second = f.resolve("svc");
+  EXPECT_FALSE(second.failed);
+  EXPECT_EQ(second.endpoint.node, net::NodeId{5});
+  EXPECT_EQ(second.duration(), SimTime::zero());  // served from cache
+  EXPECT_EQ(f.client->cache_hits(), 1u);
+  EXPECT_EQ(f.client->lookups_sent(), 1u);
+  EXPECT_EQ(f.server->queries_served(), 1u);
+  EXPECT_GT(first.duration(), SimTime::zero());
+}
+
+TEST(Dns, CacheExpiresAfterTtl) {
+  DnsFixture f;
+  f.client->set_cache_ttl(5_s);
+  f.server->add_record("svc", {net::NodeId{5}, 80});
+  f.resolve("svc");
+  f.simulator.run_until(f.simulator.now() + 10_s);
+  f.resolve("svc");
+  EXPECT_EQ(f.client->lookups_sent(), 2u);
+}
+
+TEST(Dns, ResolverFailureReportsError) {
+  // No DNS server at all: the connection is reset; the client must report
+  // failure rather than hang.
+  sim::Simulator simulator(4);
+  net::Network network(simulator);
+  net::Node& client_node = network.add_node("client");
+  net::Node& other = network.add_node("other");
+  net::LinkConfig link;
+  link.propagation_delay = 3_ms;
+  network.connect(client_node, other, link);
+  tcp::TcpStack other_stack(other);  // no listener on 53
+  tcp::TcpStack stack(client_node);
+  DnsClient client(stack, net::Endpoint{other.id(), kDnsPort});
+
+  ResolveResult out;
+  bool called = false;
+  client.resolve("svc", [&](const ResolveResult& r) {
+    out = r;
+    called = true;
+  });
+  simulator.run();
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(out.failed);
+  EXPECT_FALSE(out.error.empty());
+}
+
+}  // namespace
+}  // namespace dyncdn::dns

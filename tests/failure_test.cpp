@@ -1,0 +1,232 @@
+// Failure injection: the CDN layer must degrade cleanly — failed queries
+// report failure (never hang, never crash), servers survive malformed
+// input, and the FE recovers after its BE path heals.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cdn/backend.hpp"
+#include "cdn/client.hpp"
+#include "cdn/deployment.hpp"
+#include "cdn/frontend.hpp"
+#include "net/network.hpp"
+#include "search/content_model.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/stack.hpp"
+
+namespace dyncdn::cdn {
+namespace {
+
+using sim::SimTime;
+using namespace dyncdn::sim::literals;
+
+/// Loss model with an external kill switch: drops everything while the
+/// shared flag is set. Emulates a link blackout.
+class Blackout final : public net::LossModel {
+ public:
+  explicit Blackout(std::shared_ptr<bool> active)
+      : active_(std::move(active)) {}
+  bool should_drop(sim::RngStream&) override { return *active_; }
+  std::string describe() const override { return "blackout"; }
+
+ private:
+  std::shared_ptr<bool> active_;
+};
+
+struct FailureFixture {
+  FailureFixture()
+      : simulator(5),
+        network(simulator),
+        content(search::ContentProfile{}, "FailureTest"),
+        blackout(std::make_shared<bool>(false)) {
+    client_node = &network.add_node("client");
+    fe_node = &network.add_node("fe");
+    be_node = &network.add_node("be");
+
+    net::LinkConfig access;
+    access.propagation_delay = 8_ms;
+    network.connect(*client_node, *fe_node, access);
+
+    net::LinkConfig internal;
+    internal.propagation_delay = 5_ms;
+    internal.loss_factory = [flag = blackout] {
+      return std::make_unique<Blackout>(flag);
+    };
+    network.connect(*fe_node, *be_node, internal);
+
+    const ServiceProfile profile = google_like_profile();
+    BackendDataCenter::Config be_cfg;
+    be_cfg.processing = profile.processing;
+    be_cfg.processing.load.sigma = 0.0;
+    be_cfg.tcp = profile.internal_tcp;
+    // Fail fast so blackout tests converge quickly.
+    be_cfg.tcp.max_retries = 3;
+    backend = std::make_unique<BackendDataCenter>(*be_node, content, be_cfg);
+
+    FrontEndServer::Config fe_cfg;
+    fe_cfg.backend = backend->fetch_endpoint();
+    fe_cfg.service.median_ms = 2.0;
+    fe_cfg.service.sigma = 0.0;
+    fe_cfg.client_tcp = profile.client_tcp;
+    fe_cfg.backend_tcp = profile.internal_tcp;
+    fe_cfg.backend_tcp.max_retries = 3;
+    frontend = std::make_unique<FrontEndServer>(*fe_node, content, fe_cfg);
+
+    client = std::make_unique<QueryClient>(*client_node, profile.client_tcp);
+    simulator.run_until(simulator.now() + 3_s);
+  }
+
+  QueryResult query() {
+    QueryResult out;
+    client->submit(frontend->client_endpoint(),
+                   search::Keyword{"failure probe",
+                                   search::KeywordClass::kPopular, 500},
+                   [&](const QueryResult& r) { out = r; });
+    simulator.run();
+    return out;
+  }
+
+  sim::Simulator simulator;
+  net::Network network;
+  search::ContentModel content;
+  std::shared_ptr<bool> blackout;
+  net::Node* client_node = nullptr;
+  net::Node* fe_node = nullptr;
+  net::Node* be_node = nullptr;
+  std::unique_ptr<BackendDataCenter> backend;
+  std::unique_ptr<FrontEndServer> frontend;
+  std::unique_ptr<QueryClient> client;
+};
+
+TEST(FailureInjection, BaselineSucceeds) {
+  FailureFixture f;
+  const QueryResult r = f.query();
+  EXPECT_FALSE(r.failed) << r.failure_reason;
+  EXPECT_EQ(r.status, 200);
+}
+
+TEST(FailureInjection, BackendBlackoutFailsQueryCleanly) {
+  FailureFixture f;
+  *f.blackout = true;
+  const QueryResult r = f.query();  // must terminate, not hang
+  EXPECT_TRUE(r.failed);
+  EXPECT_FALSE(r.failure_reason.empty());
+  EXPECT_TRUE(f.simulator.idle());
+}
+
+TEST(FailureInjection, FrontendRecoversAfterBlackout) {
+  FailureFixture f;
+  *f.blackout = true;
+  const QueryResult during = f.query();
+  EXPECT_TRUE(during.failed);
+
+  *f.blackout = false;
+  // Give the FE a moment; its next dispatch opens a fresh connection.
+  f.simulator.run_until(f.simulator.now() + 2_s);
+  const QueryResult after = f.query();
+  EXPECT_FALSE(after.failed) << after.failure_reason;
+  EXPECT_EQ(after.status, 200);
+}
+
+TEST(FailureInjection, RepeatedBlackoutCyclesStayConsistent) {
+  FailureFixture f;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    *f.blackout = true;
+    EXPECT_TRUE(f.query().failed) << "cycle " << cycle;
+    *f.blackout = false;
+    f.simulator.run_until(f.simulator.now() + 2_s);
+    EXPECT_FALSE(f.query().failed) << "cycle " << cycle;
+  }
+}
+
+TEST(FailureInjection, MalformedClientRequestGetsReset) {
+  FailureFixture f;
+  bool closed = false, connected = false;
+  tcp::TcpSocket::Callbacks cb;
+  cb.on_connected = [&] { connected = true; };
+  cb.on_closed = [&] { closed = true; };
+  tcp::TcpSocket& s = f.client->stack().connect(
+      f.frontend->client_endpoint(), std::move(cb));
+  s.send_text("THIS IS NOT HTTP\r\n\r\n");
+  f.simulator.run();
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(closed);  // FE aborted us instead of crashing
+  // The FE keeps serving well-formed clients afterwards.
+  EXPECT_FALSE(f.query().failed);
+}
+
+TEST(FailureInjection, MalformedDirectRequestGetsReset) {
+  FailureFixture f;
+  bool closed = false;
+  tcp::TcpSocket::Callbacks cb;
+  cb.on_closed = [&] { closed = true; };
+  tcp::TcpSocket& s = f.client->stack().connect(
+      f.backend->direct_endpoint(), std::move(cb));
+  s.send_text("garbage without structure");
+  // Incomplete head: parser waits; push the terminator to trigger parsing.
+  f.simulator.run();
+  s.send_text("\r\n\r\n");
+  f.simulator.run();
+  EXPECT_TRUE(closed);
+}
+
+TEST(FailureInjection, ClientAbortMidResponseLeavesServersHealthy) {
+  FailureFixture f;
+  // Start a query, then kill the client connection the moment data flows.
+  tcp::TcpSocket* client_sock = nullptr;
+  tcp::TcpSocket::Callbacks cb;
+  bool aborted = false;
+  cb.on_data = [&](net::PayloadRef) {
+    if (!aborted && client_sock != nullptr) {
+      aborted = true;
+      client_sock->abort();
+    }
+  };
+  tcp::TcpSocket& s = f.client->stack().connect(
+      f.frontend->client_endpoint(), std::move(cb));
+  client_sock = &s;
+  http::HttpRequest req;
+  req.target = "/search?q=abort+me&rank=5&cls=popular";
+  req.set_header("Connection", "close");
+  s.send_text(req.serialize());
+  f.simulator.run();
+  EXPECT_TRUE(aborted);
+
+  // FE and BE are unharmed; the next query succeeds.
+  const QueryResult r = f.query();
+  EXPECT_FALSE(r.failed) << r.failure_reason;
+  EXPECT_TRUE(f.simulator.idle());
+}
+
+TEST(FailureInjection, ManyFailuresThenRecoveryUnderLoad) {
+  FailureFixture f;
+  *f.blackout = true;
+  int failed = 0;
+  for (int i = 0; i < 5; ++i) {
+    f.client->submit(f.frontend->client_endpoint(),
+                     search::Keyword{"q" + std::to_string(i),
+                                     search::KeywordClass::kPopular, 500},
+                     [&](const QueryResult& r) {
+                       if (r.failed) ++failed;
+                     });
+  }
+  f.simulator.run();
+  EXPECT_EQ(failed, 5);
+
+  *f.blackout = false;
+  f.simulator.run_until(f.simulator.now() + 2_s);
+  int ok = 0;
+  for (int i = 0; i < 5; ++i) {
+    f.client->submit(f.frontend->client_endpoint(),
+                     search::Keyword{"r" + std::to_string(i),
+                                     search::KeywordClass::kPopular, 500},
+                     [&](const QueryResult& r) {
+                       if (!r.failed) ++ok;
+                     });
+  }
+  f.simulator.run();
+  EXPECT_EQ(ok, 5);
+}
+
+}  // namespace
+}  // namespace dyncdn::cdn

@@ -1,0 +1,141 @@
+// FE backend-connection-pool behaviour: growth on demand, the
+// max_backend_connections cap with FIFO queueing, and pool reuse.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cdn/backend.hpp"
+#include "cdn/client.hpp"
+#include "cdn/deployment.hpp"
+#include "cdn/frontend.hpp"
+#include "net/network.hpp"
+#include "search/content_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace dyncdn::cdn {
+namespace {
+
+using sim::SimTime;
+using namespace dyncdn::sim::literals;
+
+struct PoolFixture {
+  explicit PoolFixture(std::size_t max_conns, double proc_ms = 80.0) {
+    simulator = std::make_unique<sim::Simulator>(6);
+    network = std::make_unique<net::Network>(*simulator);
+    content = std::make_unique<search::ContentModel>(
+        search::ContentProfile{}, "PoolTest");
+
+    client_node = &network->add_node("client");
+    fe_node = &network->add_node("fe");
+    be_node = &network->add_node("be");
+    net::LinkConfig access;
+    access.propagation_delay = 4_ms;
+    network->connect(*client_node, *fe_node, access);
+    net::LinkConfig internal;
+    internal.propagation_delay = 5_ms;
+    network->connect(*fe_node, *be_node, internal);
+
+    const ServiceProfile profile = google_like_profile();
+    BackendDataCenter::Config be_cfg;
+    be_cfg.processing.base_ms = proc_ms;  // slow: queries overlap
+    be_cfg.processing.per_word_ms = 0;
+    be_cfg.processing.load.sigma = 0.0;
+    be_cfg.tcp = profile.internal_tcp;
+    backend = std::make_unique<BackendDataCenter>(*be_node, *content, be_cfg);
+
+    FrontEndServer::Config fe_cfg;
+    fe_cfg.backend = backend->fetch_endpoint();
+    fe_cfg.service.median_ms = 1.0;
+    fe_cfg.service.sigma = 0.0;
+    fe_cfg.client_tcp = profile.client_tcp;
+    fe_cfg.backend_tcp = profile.internal_tcp;
+    fe_cfg.max_backend_connections = max_conns;
+    frontend = std::make_unique<FrontEndServer>(*fe_node, *content,
+                                                std::move(fe_cfg));
+    client = std::make_unique<QueryClient>(*client_node, profile.client_tcp);
+    simulator->run_until(simulator->now() + 3_s);
+  }
+
+  /// Fire `n` concurrent queries; returns how many completed successfully.
+  int burst(int n) {
+    int ok = 0;
+    for (int i = 0; i < n; ++i) {
+      client->submit(frontend->client_endpoint(),
+                     search::Keyword{"burst " + std::to_string(i),
+                                     search::KeywordClass::kPopular, 500},
+                     [&](const QueryResult& r) {
+                       if (!r.failed) ++ok;
+                     });
+    }
+    simulator->run();
+    return ok;
+  }
+
+  std::unique_ptr<sim::Simulator> simulator;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<search::ContentModel> content;
+  net::Node* client_node = nullptr;
+  net::Node* fe_node = nullptr;
+  net::Node* be_node = nullptr;
+  std::unique_ptr<BackendDataCenter> backend;
+  std::unique_ptr<FrontEndServer> frontend;
+  std::unique_ptr<QueryClient> client;
+};
+
+TEST(BackendPool, GrowsOnDemandWhenUnbounded) {
+  PoolFixture f(/*max_conns=*/0);
+  EXPECT_EQ(f.frontend->backend_pool_size(), 1u);  // the eager warm conn
+  EXPECT_EQ(f.burst(8), 8);
+  // Concurrent fetches forced extra connections.
+  EXPECT_GT(f.frontend->backend_pool_size(), 1u);
+  EXPECT_LE(f.frontend->backend_pool_size(), 8u);
+}
+
+TEST(BackendPool, CapBoundsPoolAndQueuesFetches) {
+  PoolFixture f(/*max_conns=*/2);
+  EXPECT_EQ(f.burst(10), 10);  // everything completes, just later
+  EXPECT_LE(f.frontend->backend_pool_size(), 2u);
+  EXPECT_EQ(f.backend->queries_served(), 10u);
+}
+
+TEST(BackendPool, CapOneSerializesFetches) {
+  PoolFixture f(/*max_conns=*/1, /*proc_ms=*/50.0);
+  std::vector<double> completions;
+  for (int i = 0; i < 4; ++i) {
+    f.client->submit(f.frontend->client_endpoint(),
+                     search::Keyword{"serial " + std::to_string(i),
+                                     search::KeywordClass::kPopular, 500},
+                     [&](const QueryResult& r) {
+                       ASSERT_FALSE(r.failed);
+                       completions.push_back(
+                           r.complete.to_milliseconds());
+                     });
+  }
+  f.simulator->run();
+  ASSERT_EQ(completions.size(), 4u);
+  // Fetches went one at a time: completions are spread by >= T_proc each.
+  std::sort(completions.begin(), completions.end());
+  for (std::size_t i = 1; i < completions.size(); ++i) {
+    EXPECT_GE(completions[i] - completions[i - 1], 45.0) << i;
+  }
+}
+
+TEST(BackendPool, PooledConnectionsAreReusedAcrossBursts) {
+  PoolFixture f(/*max_conns=*/0);
+  EXPECT_EQ(f.burst(6), 6);
+  const std::size_t pool_after_first = f.frontend->backend_pool_size();
+  EXPECT_EQ(f.burst(6), 6);
+  // Second burst of equal size fits in the existing pool.
+  EXPECT_EQ(f.frontend->backend_pool_size(), pool_after_first);
+}
+
+TEST(BackendPool, SequentialQueriesNeedOnlyOneConnection) {
+  PoolFixture f(/*max_conns=*/0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.burst(1), 1);
+  }
+  EXPECT_EQ(f.frontend->backend_pool_size(), 1u);
+}
+
+}  // namespace
+}  // namespace dyncdn::cdn

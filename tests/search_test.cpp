@@ -1,0 +1,202 @@
+// Search workload and content-model tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "search/content_model.hpp"
+#include "search/keywords.hpp"
+
+namespace dyncdn::search {
+namespace {
+
+TEST(Keywords, WordCount) {
+  EXPECT_EQ((Keyword{"computer", KeywordClass::kPopular, 1}).word_count(), 1u);
+  EXPECT_EQ((Keyword{"a b c", KeywordClass::kComplex, 1}).word_count(), 3u);
+  EXPECT_EQ((Keyword{"", KeywordClass::kPopular, 1}).word_count(), 0u);
+}
+
+TEST(Keywords, CatalogIsDeterministic) {
+  KeywordCatalog a(42), b(42);
+  const auto ka = a.generate(KeywordClass::kComplex, 10);
+  const auto kb = b.generate(KeywordClass::kComplex, 10);
+  ASSERT_EQ(ka.size(), kb.size());
+  for (std::size_t i = 0; i < ka.size(); ++i) {
+    EXPECT_EQ(ka[i].text, kb[i].text);
+  }
+}
+
+TEST(Keywords, DifferentSeedsDifferentCatalogs) {
+  KeywordCatalog a(1), b(2);
+  const auto ka = a.generate(KeywordClass::kPopular, 20);
+  const auto kb = b.generate(KeywordClass::kPopular, 20);
+  int same = 0;
+  for (std::size_t i = 0; i < ka.size(); ++i) {
+    if (ka[i].text == kb[i].text) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(Keywords, ComplexityClassesHaveExpectedLengths) {
+  KeywordCatalog cat(7);
+  for (const auto& k : cat.generate(KeywordClass::kPopular, 8)) {
+    EXPECT_LE(k.word_count(), 2u);
+  }
+  for (const auto& k : cat.generate(KeywordClass::kComplex, 8)) {
+    EXPECT_GE(k.word_count(), 6u);
+  }
+}
+
+TEST(Keywords, MixedClassContainsAnd) {
+  KeywordCatalog cat(7);
+  for (const auto& k : cat.generate(KeywordClass::kMixed, 5)) {
+    EXPECT_NE(k.text.find(" and "), std::string::npos) << k.text;
+  }
+}
+
+TEST(Keywords, Figure3SetHasFourDistinctClasses) {
+  KeywordCatalog cat(42);
+  const auto kws = cat.figure3_keywords();
+  ASSERT_EQ(kws.size(), 4u);
+  std::set<KeywordClass> classes;
+  for (const auto& k : kws) classes.insert(k.cls);
+  EXPECT_EQ(classes.size(), 4u);
+}
+
+TEST(Keywords, DistinctCorpusIsDistinct) {
+  KeywordCatalog cat(9);
+  const auto corpus = cat.distinct_corpus(500);
+  std::set<std::string> texts;
+  for (const auto& k : corpus) texts.insert(k.text);
+  EXPECT_EQ(texts.size(), corpus.size());
+}
+
+TEST(Keywords, ZipfSamplingFavorsLowRanks) {
+  KeywordCatalog cat(3);
+  const auto catalog = cat.generate(KeywordClass::kPopular, 100);
+  sim::RngStream rng(11);
+  const auto draws = KeywordCatalog::zipf_sample(catalog, 20000, 1.0, rng);
+  std::size_t rank1 = 0, rank50 = 0;
+  for (const auto& k : draws) {
+    if (k.rank == 1) ++rank1;
+    if (k.rank == 50) ++rank50;
+  }
+  EXPECT_GT(rank1, 10 * std::max<std::size_t>(rank50, 1));
+}
+
+TEST(Keywords, HigherAlphaSkewsHarder) {
+  KeywordCatalog cat(3);
+  const auto catalog = cat.generate(KeywordClass::kPopular, 100);
+  auto top1_share = [&](double alpha) {
+    sim::RngStream rng(11);
+    const auto draws = KeywordCatalog::zipf_sample(catalog, 20000, alpha, rng);
+    std::size_t rank1 = 0;
+    for (const auto& k : draws) {
+      if (k.rank == 1) ++rank1;
+    }
+    return static_cast<double>(rank1) / 20000.0;
+  };
+  EXPECT_GT(top1_share(1.5), 1.5 * top1_share(0.8));
+}
+
+TEST(Keywords, ZipfSampleEmptyCatalogSafe) {
+  sim::RngStream rng(1);
+  EXPECT_TRUE(KeywordCatalog::zipf_sample({}, 10, 1.0, rng).empty());
+}
+
+TEST(ContentModel, StaticPrefixIsStableAndSized) {
+  ContentProfile profile;
+  profile.static_html_bytes = 9000;
+  ContentModel m1(profile, "TestService");
+  ContentModel m2(profile, "TestService");
+  EXPECT_EQ(m1.static_prefix(), m2.static_prefix());
+  EXPECT_NEAR(static_cast<double>(m1.static_prefix().size()), 9000.0, 400.0);
+}
+
+TEST(ContentModel, StaticPrefixDiffersAcrossServices) {
+  ContentProfile profile;
+  ContentModel a(profile, "ServiceA");
+  ContentModel b(profile, "ServiceB");
+  EXPECT_NE(a.static_prefix(), b.static_prefix());
+}
+
+TEST(ContentModel, StaticPrefixContainsMenuBar) {
+  ContentModel m(ContentProfile{}, "S");
+  EXPECT_NE(m.static_prefix().find("Videos"), std::string::npos);
+  EXPECT_NE(m.static_prefix().find("Shopping"), std::string::npos);
+  EXPECT_NE(m.static_prefix().find("<!DOCTYPE html>"), std::string::npos);
+}
+
+TEST(ContentModel, DynamicBodyEmbedsKeyword) {
+  ContentModel m(ContentProfile{}, "S");
+  sim::RngStream rng(5);
+  const Keyword kw{"galaxy history", KeywordClass::kGranular, 2};
+  const std::string body = m.dynamic_body(kw, rng);
+  EXPECT_NE(body.find("galaxy history"), std::string::npos);
+}
+
+TEST(ContentModel, DynamicBodiesDifferAcrossKeywords) {
+  ContentModel m(ContentProfile{}, "S");
+  sim::RngStream rng(5);
+  const std::string a =
+      m.dynamic_body(Keyword{"alpha", KeywordClass::kPopular, 1}, rng);
+  const std::string b =
+      m.dynamic_body(Keyword{"beta", KeywordClass::kPopular, 1}, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(ContentModel, DynamicSizeGrowsWithWordCount) {
+  ContentProfile profile;
+  profile.dynamic_size_sigma = 0.0;  // deterministic sizes
+  ContentModel m(profile, "S");
+  sim::RngStream rng(5);
+  const std::string small =
+      m.dynamic_body(Keyword{"one", KeywordClass::kPopular, 1}, rng);
+  const std::string large = m.dynamic_body(
+      Keyword{"one two three four five six seven", KeywordClass::kComplex, 1},
+      rng);
+  EXPECT_GT(large.size(), small.size());
+  EXPECT_NEAR(static_cast<double>(large.size()) -
+                  static_cast<double>(small.size()),
+              6.0 * profile.dynamic_per_word_bytes,
+              0.3 * 6.0 * profile.dynamic_per_word_bytes);
+}
+
+TEST(ContentModel, ExpectedDynamicBytesFormula) {
+  ContentProfile profile;
+  profile.dynamic_base_bytes = 1000;
+  profile.dynamic_per_word_bytes = 100;
+  ContentModel m(profile, "S");
+  EXPECT_EQ(m.expected_dynamic_bytes(Keyword{"a b c", {}, 1}), 1300u);
+}
+
+TEST(ContentModel, SizeNoiseIsBounded) {
+  ContentProfile profile;
+  profile.dynamic_size_sigma = 0.05;
+  ContentModel m(profile, "S");
+  sim::RngStream rng(5);
+  const Keyword kw{"noise test", KeywordClass::kPopular, 1};
+  const double expected =
+      static_cast<double>(m.expected_dynamic_bytes(kw));
+  for (int i = 0; i < 50; ++i) {
+    const double size = static_cast<double>(m.dynamic_body(kw, rng).size());
+    EXPECT_GT(size, expected * 0.75);
+    EXPECT_LT(size, expected * 1.35);
+  }
+}
+
+TEST(ContentModel, DynamicBodiesShareNoLongPrefixAcrossKeywords) {
+  // The boundary-discovery invariant: responses to different keywords must
+  // diverge almost immediately inside the dynamic portion.
+  ContentModel m(ContentProfile{}, "S");
+  sim::RngStream rng(5);
+  const std::string a =
+      m.dynamic_body(Keyword{"alpha", KeywordClass::kPopular, 1}, rng);
+  const std::string b =
+      m.dynamic_body(Keyword{"beta", KeywordClass::kPopular, 1}, rng);
+  std::size_t p = 0;
+  while (p < std::min(a.size(), b.size()) && a[p] == b[p]) ++p;
+  EXPECT_LT(p, 64u);
+}
+
+}  // namespace
+}  // namespace dyncdn::search

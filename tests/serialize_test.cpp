@@ -1,0 +1,163 @@
+// Trace serialization round-trip and error-handling tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "capture/recorder.hpp"
+#include "capture/serialize.hpp"
+#include "analysis/reassembly.hpp"
+#include "harness.hpp"
+#include "tcp/stack.hpp"
+
+namespace dyncdn::capture {
+namespace {
+
+using dyncdn::testing::pattern_text;
+using dyncdn::testing::TwoNodeHarness;
+
+/// Produces a real captured trace with handshake, data and teardown.
+PacketTrace make_real_trace(bool payloads) {
+  static std::unique_ptr<TwoNodeHarness> harness;
+  harness = std::make_unique<TwoNodeHarness>();
+  RecorderOptions ro;
+  ro.capture_payloads = payloads;
+  auto recorder = std::make_unique<TraceRecorder>(*harness->client_node,
+                                                  harness->simulator, ro);
+  harness->server->listen(80, [](tcp::TcpSocket& s) {
+    tcp::TcpSocket::Callbacks cb;
+    cb.on_data = [&s](net::PayloadRef) {
+      s.send_text("response:" + pattern_text(4000));
+      s.close();
+    };
+    s.set_callbacks(std::move(cb));
+  });
+  tcp::TcpSocket& c =
+      harness->client->connect({harness->server_node->id(), 80}, {});
+  c.send_text("GET /x HTTP/1.1\r\n\r\n");
+  harness->simulator.run();
+  return recorder->trace();
+}
+
+void expect_traces_equal(const PacketTrace& a, const PacketTrace& b,
+                         bool with_payloads) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.node(), b.node());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const PacketRecord& x = a.records()[i];
+    const PacketRecord& y = b.records()[i];
+    EXPECT_EQ(x.timestamp, y.timestamp) << i;
+    EXPECT_EQ(x.direction, y.direction) << i;
+    EXPECT_EQ(x.src, y.src) << i;
+    EXPECT_EQ(x.dst, y.dst) << i;
+    EXPECT_EQ(x.tcp.seq, y.tcp.seq) << i;
+    EXPECT_EQ(x.tcp.ack, y.tcp.ack) << i;
+    EXPECT_EQ(x.tcp.window, y.tcp.window) << i;
+    EXPECT_EQ(x.tcp.flags.syn, y.tcp.flags.syn) << i;
+    EXPECT_EQ(x.tcp.flags.ack, y.tcp.flags.ack) << i;
+    EXPECT_EQ(x.tcp.flags.fin, y.tcp.flags.fin) << i;
+    EXPECT_EQ(x.tcp.flags.rst, y.tcp.flags.rst) << i;
+    EXPECT_EQ(x.payload_size, y.payload_size) << i;
+    if (with_payloads) {
+      EXPECT_EQ(x.payload.to_text(), y.payload.to_text()) << i;
+    } else {
+      EXPECT_TRUE(y.payload.empty()) << i;
+    }
+  }
+}
+
+TEST(TraceSerialize, RoundTripWithPayloads) {
+  const PacketTrace original = make_real_trace(true);
+  ASSERT_GT(original.size(), 5u);
+  const PacketTrace parsed = parse_trace(serialize_trace(original, true));
+  expect_traces_equal(original, parsed, true);
+}
+
+TEST(TraceSerialize, RoundTripHeadersOnly) {
+  const PacketTrace original = make_real_trace(true);
+  const PacketTrace parsed = parse_trace(serialize_trace(original, false));
+  expect_traces_equal(original, parsed, false);
+}
+
+TEST(TraceSerialize, ReassemblyWorksOnParsedTrace) {
+  // The acid test: the analysis pipeline must produce identical results on
+  // the round-tripped trace.
+  const PacketTrace original = make_real_trace(true);
+  const PacketTrace parsed = parse_trace(serialize_trace(original, true));
+  const auto flow = original.flows().front();
+  const auto a =
+      analysis::reassemble(original, flow, Direction::kReceived);
+  const auto b = analysis::reassemble(parsed, flow, Direction::kReceived);
+  EXPECT_EQ(a.bytes(), b.bytes());
+  EXPECT_EQ(a.length(), b.length());
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (std::size_t i = 0; i < a.segments().size(); ++i) {
+    EXPECT_EQ(a.segments()[i].at, b.segments()[i].at);
+  }
+}
+
+TEST(TraceSerialize, FileSaveLoadRoundTrip) {
+  const PacketTrace original = make_real_trace(true);
+  const std::string path = ::testing::TempDir() + "dyncdn_trace_test.txt";
+  save_trace(original, path);
+  const PacketTrace loaded = load_trace(path);
+  expect_traces_equal(original, loaded, true);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSerialize, EmptyTraceRoundTrips) {
+  PacketTrace empty(net::NodeId{7});
+  const PacketTrace parsed = parse_trace(serialize_trace(empty));
+  EXPECT_EQ(parsed.node(), net::NodeId{7});
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(TraceSerialize, ParseRejectsMissingHeader) {
+  EXPECT_THROW(parse_trace("1 snd 1 2 3 4 5 6 7 S 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_trace(""), std::runtime_error);
+}
+
+TEST(TraceSerialize, ParseRejectsMalformedLines) {
+  const std::string header = "# dyncdn-trace v1 node=1\n";
+  EXPECT_THROW(parse_trace(header + "garbage\n"), std::runtime_error);
+  EXPECT_THROW(parse_trace(header + "1 mid 1 2 3 4 5 6 7 S 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_trace(header + "x snd 1 2 3 4 5 6 7 S 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_trace(header + "1 snd 1 2 3 4 5 6 7 Z 0\n"),
+               std::runtime_error);
+}
+
+TEST(TraceSerialize, ParseRejectsPayloadMismatch) {
+  const std::string header = "# dyncdn-trace v1 node=1\n";
+  // paylen says 2 bytes but hex encodes 1.
+  EXPECT_THROW(parse_trace(header + "1 snd 1 2 3 4 5 6 7 A 2 ff\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_trace(header + "1 snd 1 2 3 4 5 6 7 A 1 f\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_trace(header + "1 snd 1 2 3 4 5 6 7 A 1 zz\n"),
+               std::runtime_error);
+}
+
+TEST(TraceSerialize, ParseToleratesCommentsAndBlankLines) {
+  const std::string text =
+      "# dyncdn-trace v1 node=3\n"
+      "# a comment\n"
+      "\n"
+      "1000 snd 3 40000 2 80 0 0 65535 S 0\n"
+      "\n"
+      "2000 rcv 2 80 3 40000 0 1 65535 SA 0\n";
+  const PacketTrace trace = parse_trace(text);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.records()[0].tcp.flags.syn, true);
+  EXPECT_EQ(trace.records()[1].direction, Direction::kReceived);
+  EXPECT_EQ(trace.records()[1].tcp.flags.ack, true);
+}
+
+TEST(TraceSerialize, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/path/trace.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dyncdn::capture

@@ -1,0 +1,340 @@
+// Unit tests for descriptive statistics, CDF/KS, boxplots and regression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+#include "stats/boxplot.hpp"
+#include "stats/cdf.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/regression.hpp"
+
+namespace dyncdn::stats {
+namespace {
+
+TEST(Descriptive, MeanAndStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Descriptive, EmptyInputsAreSafe) {
+  const std::vector<double> xs;
+  EXPECT_EQ(mean(xs), 0.0);
+  EXPECT_EQ(stddev(xs), 0.0);
+  EXPECT_EQ(median(xs), 0.0);
+  EXPECT_EQ(quantile(xs, 0.5), 0.0);
+  EXPECT_EQ(summarize(xs).n, 0u);
+}
+
+TEST(Descriptive, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7}), 7.0);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 17.5);
+}
+
+TEST(Descriptive, QuantileClampsOutOfRangeQ) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 3.0);
+}
+
+TEST(Descriptive, MovingMedianSmoothsSpike) {
+  // A single spike at index 5 should be erased by a window-3 moving median.
+  std::vector<double> xs(11, 10.0);
+  xs[5] = 1000.0;
+  const auto mm = moving_median(xs, 3);
+  ASSERT_EQ(mm.size(), xs.size());
+  for (const double v : mm) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST(Descriptive, MovingMedianWindowOneIsIdentity) {
+  const std::vector<double> xs{5, 2, 9, 1};
+  EXPECT_EQ(moving_median(xs, 1), xs);
+}
+
+TEST(Descriptive, MovingMedianZeroWindowTreatedAsOne) {
+  const std::vector<double> xs{5, 2};
+  EXPECT_EQ(moving_median(xs, 0), xs);
+}
+
+TEST(Descriptive, MovingMeanTrailingWindow) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const auto mm = moving_mean(xs, 2);
+  ASSERT_EQ(mm.size(), 4u);
+  EXPECT_DOUBLE_EQ(mm[0], 1.0);
+  EXPECT_DOUBLE_EQ(mm[1], 1.5);
+  EXPECT_DOUBLE_EQ(mm[2], 2.5);
+  EXPECT_DOUBLE_EQ(mm[3], 3.5);
+}
+
+TEST(Descriptive, SummaryFiveNumbers) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 9u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(Descriptive, CoefficientOfVariation) {
+  const std::vector<double> xs{10, 10, 10};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+  const std::vector<double> ys{5, 15};
+  EXPECT_NEAR(coefficient_of_variation(ys), stddev(ys) / 10.0, 1e-12);
+}
+
+TEST(Cdf, StepFunctionValues) {
+  EmpiricalCdf cdf(std::vector<double>{1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(Cdf, QuantileInverse) {
+  EmpiricalCdf cdf(std::vector<double>{10, 20, 30});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 30.0);
+}
+
+TEST(Cdf, SamplePointsAreMonotone) {
+  std::mt19937 gen(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(std::normal_distribution<>(50, 10)(gen));
+  }
+  EmpiricalCdf cdf(xs);
+  const auto pts = cdf.sample_points(50);
+  ASSERT_EQ(pts.size(), 50u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LE(pts[i - 1].second, pts[i].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(Cdf, EmptyCdfIsSafe) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_TRUE(cdf.sample_points(10).empty());
+}
+
+TEST(KsTest, IdenticalSamplesDoNotDiffer) {
+  std::mt19937 gen(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back(std::normal_distribution<>(100, 15)(gen));
+    b.push_back(std::normal_distribution<>(100, 15)(gen));
+  }
+  const KsResult r = ks_test(a, b);
+  EXPECT_FALSE(r.distributions_differ());
+  EXPECT_LT(r.statistic, 0.15);
+}
+
+TEST(KsTest, ShiftedSamplesDiffer) {
+  std::mt19937 gen(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back(std::normal_distribution<>(100, 15)(gen));
+    b.push_back(std::normal_distribution<>(140, 15)(gen));
+  }
+  const KsResult r = ks_test(a, b);
+  EXPECT_TRUE(r.distributions_differ());
+  EXPECT_GT(r.statistic, 0.5);
+}
+
+TEST(KsTest, StatisticIsSymmetric) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{2, 4, 6, 8};
+  EXPECT_DOUBLE_EQ(ks_test(a, b).statistic, ks_test(b, a).statistic);
+}
+
+TEST(Boxplot, QuartilesAndWhiskers) {
+  // 1..100 plus one far outlier.
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  xs.push_back(1000.0);
+  const BoxplotStats b = boxplot(xs);
+  EXPECT_NEAR(b.median, 51.0, 1.0);
+  EXPECT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 1000.0);
+  EXPECT_LE(b.whisker_high, 100.0);
+  EXPECT_GE(b.whisker_low, 1.0);
+  EXPECT_FALSE(b.to_string().empty());
+}
+
+TEST(Boxplot, EmptyInputSafe) {
+  const BoxplotStats b = boxplot(std::vector<double>{});
+  EXPECT_EQ(b.n, 0u);
+}
+
+TEST(Boxplot, AsciiRenderingContainsMedianMarker) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  const BoxplotStats b = boxplot(xs);
+  const std::string row = ascii_boxplot(b, 0, 60, 61);
+  EXPECT_NE(row.find('#'), std::string::npos);
+  EXPECT_NE(row.find('['), std::string::npos);
+  EXPECT_NE(row.find(']'), std::string::npos);
+  EXPECT_EQ(row.size(), 61u);
+}
+
+TEST(Regression, ExactLineIsRecovered) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 7.0);
+  }
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(f.predict(100.0), 307.0, 1e-6);
+}
+
+TEST(Regression, NoisyLineApproximatelyRecovered) {
+  std::mt19937 gen(4);
+  std::normal_distribution<> noise(0, 5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = i * 0.5;
+    xs.push_back(x);
+    ys.push_back(0.08 * x + 260.0 + noise(gen));
+  }
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 0.08, 0.01);
+  EXPECT_NEAR(f.intercept, 260.0, 2.0);
+  EXPECT_GT(f.slope_stderr, 0.0);
+  EXPECT_FALSE(f.to_string().empty());
+}
+
+TEST(Regression, DegenerateInputsFallBackToMean) {
+  const std::vector<double> xs{5, 5, 5};
+  const std::vector<double> ys{1, 2, 3};
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 2.0);
+  EXPECT_EQ(linear_fit({}, {}).n, 0u);
+}
+
+TEST(Regression, TheilSenResistsOutliers) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 10.0);
+  }
+  // Corrupt 15% of points badly.
+  ys[3] = 500;
+  ys[17] = -400;
+  ys[29] = 900;
+  const LinearFit robust = theil_sen_fit(xs, ys);
+  EXPECT_NEAR(robust.slope, 2.0, 0.1);
+  EXPECT_NEAR(robust.intercept, 10.0, 3.0);
+  // OLS by contrast is pulled around by the corruption.
+  const LinearFit ols = linear_fit(xs, ys);
+  EXPECT_GT(std::fabs(ols.intercept - 10.0) + std::fabs(ols.slope - 2.0),
+            std::fabs(robust.intercept - 10.0) + std::fabs(robust.slope - 2.0));
+}
+
+TEST(Regression, PearsonCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> up{2, 4, 6, 8, 10};
+  std::vector<double> down{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+  std::vector<double> flat{3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+}
+
+
+TEST(Bootstrap, MedianCiCoversTruth) {
+  std::mt19937 gen(9);
+  std::normal_distribution<> d(100.0, 10.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(d(gen));
+  sim::RngStream rng(1);
+  const BootstrapInterval ci = bootstrap_interval(
+      xs, [](std::span<const double> s) { return median(s); }, 500, 0.95,
+      rng);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_TRUE(ci.contains(100.0));
+  EXPECT_LT(ci.hi - ci.lo, 8.0);  // n=200: a reasonably tight interval
+  EXPECT_FALSE(ci.to_string().empty());
+}
+
+TEST(Bootstrap, InterceptCiCoversTrueIntercept) {
+  std::mt19937 gen(10);
+  std::normal_distribution<> noise(0.0, 5.0);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 60; ++i) {
+    xs.push_back(i * 8.0);
+    ys.push_back(0.09 * xs.back() + 260.0 + noise(gen));
+  }
+  sim::RngStream rng(2);
+  const BootstrapInterval intercept = bootstrap_intercept_ci(xs, ys, rng);
+  const BootstrapInterval slope = bootstrap_slope_ci(xs, ys, rng);
+  EXPECT_TRUE(intercept.contains(260.0)) << intercept.to_string();
+  EXPECT_TRUE(slope.contains(0.09)) << slope.to_string();
+  EXPECT_LT(intercept.hi - intercept.lo, 20.0);
+}
+
+TEST(Bootstrap, WiderNoiseWidensInterval) {
+  auto interval_width = [](double sigma) {
+    std::mt19937 gen(11);
+    std::normal_distribution<> noise(0.0, sigma);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 40; ++i) {
+      xs.push_back(i * 10.0);
+      ys.push_back(50.0 + 0.1 * xs.back() + noise(gen));
+    }
+    sim::RngStream rng(3);
+    const BootstrapInterval ci = bootstrap_intercept_ci(xs, ys, rng, 400);
+    return ci.hi - ci.lo;
+  };
+  EXPECT_LT(interval_width(1.0), interval_width(15.0));
+}
+
+TEST(Bootstrap, DegenerateInputsAreSafe) {
+  sim::RngStream rng(4);
+  const std::vector<double> one{5.0};
+  const BootstrapInterval ci = bootstrap_interval(
+      one, [](std::span<const double> s) { return mean(s); }, 100, 0.95,
+      rng);
+  EXPECT_DOUBLE_EQ(ci.point, 5.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 5.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 5.0);
+}
+
+TEST(Bootstrap, DeterministicGivenSameStream) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 3.0 + (i % 7));
+  }
+  sim::RngStream a(7), b(7);
+  const auto ca = bootstrap_slope_ci(xs, ys, a, 200);
+  const auto cb = bootstrap_slope_ci(xs, ys, b, 200);
+  EXPECT_DOUBLE_EQ(ca.lo, cb.lo);
+  EXPECT_DOUBLE_EQ(ca.hi, cb.hi);
+}
+
+}  // namespace
+}  // namespace dyncdn::stats

@@ -1,0 +1,420 @@
+// TCP property suites: parameterized sweeps asserting the transport's
+// end-to-end invariants under adverse path conditions — payload integrity,
+// clean teardown, bounded retransmissions, reordering tolerance, and
+// concurrent-connection isolation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "harness.hpp"
+#include "tcp/socket.hpp"
+#include "tcp/stack.hpp"
+
+namespace dyncdn::tcp {
+namespace {
+
+using dyncdn::testing::pattern_text;
+using dyncdn::testing::TwoNodeHarness;
+using dyncdn::testing::TwoNodeOptions;
+using sim::SimTime;
+using namespace dyncdn::sim::literals;
+
+constexpr net::Port kPort = 80;
+
+/// Run one client->server transfer with full teardown; returns received
+/// bytes and asserts state cleanliness.
+std::string run_transfer(TwoNodeHarness& h, const std::string& payload) {
+  std::string received;
+  bool server_done = false;
+  h.server->listen(kPort, [&](TcpSocket& s) {
+    TcpSocket::Callbacks cb;
+    cb.on_data = [&](net::PayloadRef d) { received += d.to_text(); };
+    cb.on_remote_close = [&, sock = &s] {
+      server_done = true;
+      sock->close();
+    };
+    s.set_callbacks(std::move(cb));
+  });
+  TcpSocket& c = h.client->connect({h.server_node->id(), kPort}, {});
+  c.send_text(payload);
+  c.close();
+  h.simulator.run();
+  EXPECT_TRUE(server_done);
+  EXPECT_EQ(h.client->socket_count(), 0u);
+  EXPECT_EQ(h.server->socket_count(), 0u);
+  EXPECT_TRUE(h.simulator.idle());
+  return received;
+}
+
+// ---------------------------------------------------------------------------
+// Adverse-path sweep: loss x reordering x delayed-ack x initial window.
+// ---------------------------------------------------------------------------
+
+struct PathParams {
+  double loss;
+  double reordering;
+  bool delayed_ack;
+  std::size_t iw;
+
+  std::string name() const {
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "loss%02d_reord%02d_%s_iw%zu",
+                  static_cast<int>(loss * 100),
+                  static_cast<int>(reordering * 100),
+                  delayed_ack ? "dack" : "ack", iw);
+    return buf;
+  }
+};
+
+class AdversePathSweep : public ::testing::TestWithParam<PathParams> {};
+
+TEST_P(AdversePathSweep, TransferIntactAndClean) {
+  const PathParams& p = GetParam();
+  TwoNodeOptions opt;
+  opt.loss = p.loss;
+  opt.reordering = p.reordering;
+  opt.tcp.delayed_ack = p.delayed_ack;
+  opt.tcp.initial_cwnd_segments = p.iw;
+  opt.one_way_delay = 15_ms;
+  opt.seed = 7000 + static_cast<std::uint64_t>(p.loss * 100) * 17 +
+             static_cast<std::uint64_t>(p.reordering * 100);
+  TwoNodeHarness h(opt);
+  const std::string payload = pattern_text(60 * 1000);
+  EXPECT_EQ(run_transfer(h, payload), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, AdversePathSweep,
+    ::testing::Values(
+        PathParams{0.00, 0.00, false, 4}, PathParams{0.02, 0.00, false, 4},
+        PathParams{0.00, 0.05, false, 4}, PathParams{0.02, 0.05, false, 4},
+        PathParams{0.05, 0.10, false, 4}, PathParams{0.00, 0.00, true, 4},
+        PathParams{0.02, 0.05, true, 4}, PathParams{0.05, 0.00, true, 2},
+        PathParams{0.02, 0.10, false, 10}, PathParams{0.08, 0.05, false, 10},
+        PathParams{0.00, 0.30, false, 4}, PathParams{0.03, 0.20, true, 2}),
+    [](const ::testing::TestParamInfo<PathParams>& info) {
+      return info.param.name();
+    });
+
+// ---------------------------------------------------------------------------
+// Reordering-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(TcpReordering, OutOfOrderSegmentsAreBufferedNotDropped) {
+  TwoNodeOptions opt;
+  opt.reordering = 0.3;
+  opt.seed = 42;
+  TwoNodeHarness h(opt);
+  const std::string payload = pattern_text(80 * 1448);
+  EXPECT_EQ(run_transfer(h, payload), payload);
+  // Reordering must actually have happened for this test to mean anything.
+  const net::Link* link =
+      h.network.first_hop_link(h.client_node->id(), h.server_node->id());
+  ASSERT_NE(link, nullptr);
+  EXPECT_GT(link->stats().packets_reordered, 0u);
+}
+
+TEST(TcpReordering, SpuriousFastRetransmitsDoNotCorruptStream) {
+  // Heavy reordering triggers dupacks and some spurious retransmissions;
+  // the receiver must still deliver an intact stream exactly once.
+  TwoNodeOptions opt;
+  opt.reordering = 0.5;
+  opt.seed = 43;
+  TwoNodeHarness h(opt);
+
+  std::string received;
+  h.server->listen(kPort, [&](TcpSocket& s) {
+    TcpSocket::Callbacks cb;
+    cb.on_data = [&](net::PayloadRef d) { received += d.to_text(); };
+    s.set_callbacks(std::move(cb));
+  });
+  TcpSocket& c = h.client->connect({h.server_node->id(), kPort}, {});
+  const std::string payload = pattern_text(50 * 1448);
+  c.send_text(payload);
+  h.simulator.run();
+  EXPECT_EQ(received.size(), payload.size());  // exactly once, no dupes
+  EXPECT_EQ(received, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: many connections sharing stacks must not interfere.
+// ---------------------------------------------------------------------------
+
+class ConcurrentConnections : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConcurrentConnections, StreamsAreIsolated) {
+  const int n = GetParam();
+  TwoNodeOptions opt;
+  opt.loss = 0.01;
+  opt.seed = 555 + static_cast<std::uint64_t>(n);
+  TwoNodeHarness h(opt);
+
+  std::map<net::Port, std::string> received;  // keyed by client port
+  h.server->listen(kPort, [&](TcpSocket& s) {
+    const net::Port client_port = s.flow().remote.port;
+    TcpSocket::Callbacks cb;
+    cb.on_data = [&received, client_port](net::PayloadRef d) {
+      received[client_port] += d.to_text();
+    };
+    s.set_callbacks(std::move(cb));
+  });
+
+  std::map<net::Port, std::string> sent;
+  for (int i = 0; i < n; ++i) {
+    TcpSocket& c = h.client->connect({h.server_node->id(), kPort}, {});
+    const std::string payload =
+        "conn" + std::to_string(i) + ":" + pattern_text(5000 + 997 * i);
+    sent[c.flow().local.port] = payload;
+    c.send_text(payload);
+  }
+  h.simulator.run();
+
+  ASSERT_EQ(received.size(), sent.size());
+  for (const auto& [port, payload] : sent) {
+    EXPECT_EQ(received[port], payload) << "port " << port;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanout, ConcurrentConnections,
+                         ::testing::Values(2, 8, 32));
+
+// ---------------------------------------------------------------------------
+// Duplex: both directions transfer simultaneously on one connection.
+// ---------------------------------------------------------------------------
+
+class DuplexTransfer
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(DuplexTransfer, BothDirectionsIntact) {
+  const auto [size, loss] = GetParam();
+  TwoNodeOptions opt;
+  opt.loss = loss;
+  opt.seed = 900 + size;
+  TwoNodeHarness h(opt);
+
+  const std::string c2s = "c2s:" + pattern_text(size);
+  const std::string s2c = "s2c:" + pattern_text(size + 333);
+  std::string client_got, server_got;
+
+  h.server->listen(kPort, [&](TcpSocket& s) {
+    TcpSocket::Callbacks cb;
+    cb.on_data = [&](net::PayloadRef d) { server_got += d.to_text(); };
+    s.set_callbacks(std::move(cb));
+    s.send_text(s2c);  // server pushes immediately upon accept
+  });
+  TcpSocket::Callbacks ccb;
+  ccb.on_data = [&](net::PayloadRef d) { client_got += d.to_text(); };
+  TcpSocket& c = h.client->connect({h.server_node->id(), kPort},
+                                   std::move(ccb));
+  c.send_text(c2s);
+  h.simulator.run();
+
+  EXPECT_EQ(server_got, c2s);
+  EXPECT_EQ(client_got, s2c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DuplexTransfer,
+    ::testing::Combine(::testing::Values<std::size_t>(1000, 40000, 200000),
+                       ::testing::Values(0.0, 0.02)));
+
+// ---------------------------------------------------------------------------
+// Flow-control edge cases.
+// ---------------------------------------------------------------------------
+
+class TinyWindowSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TinyWindowSweep, WindowLimitedTransfersComplete) {
+  // Receiver windows down to a single segment must still make progress.
+  TwoNodeOptions opt;
+  opt.tcp.receive_buffer = GetParam();
+  opt.seed = 321;
+  TwoNodeHarness h(opt);
+  const std::string payload = pattern_text(20 * 1448);
+  EXPECT_EQ(run_transfer(h, payload), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, TinyWindowSweep,
+                         ::testing::Values(1448, 2 * 1448, 3 * 1448,
+                                           16 * 1448));
+
+TEST(TcpEdge, SingleByteTransfers) {
+  TwoNodeHarness h;
+  EXPECT_EQ(run_transfer(h, "x"), "x");
+}
+
+TEST(TcpEdge, ExactlyOneMss) {
+  TwoNodeHarness h;
+  const std::string payload = pattern_text(1448);
+  EXPECT_EQ(run_transfer(h, payload), payload);
+}
+
+TEST(TcpEdge, ManySmallWritesCoalesceToFewSegments) {
+  // A sender with queued small writes must pack them into MSS-sized
+  // segments (byte-stream semantics), not one packet per write.
+  TwoNodeHarness h;
+  std::string received;
+  h.server->listen(kPort, [&](TcpSocket& s) {
+    TcpSocket::Callbacks cb;
+    cb.on_data = [&](net::PayloadRef d) { received += d.to_text(); };
+    s.set_callbacks(std::move(cb));
+  });
+  std::uint64_t data_packets = 0;
+  h.client_node->add_send_tap([&](const net::PacketPtr& p) {
+    if (p->payload_size() > 0) ++data_packets;
+  });
+  TcpSocket& c = h.client->connect({h.server_node->id(), kPort}, {});
+  std::string expected;
+  for (int i = 0; i < 200; ++i) {
+    const std::string chunk = "w" + std::to_string(i) + ";";
+    expected += chunk;
+    c.send_text(chunk);  // queued pre-connect: all available at once
+  }
+  h.simulator.run();
+  EXPECT_EQ(received, expected);
+  // ~900 bytes total: must fit in a couple of segments, not 200.
+  EXPECT_LE(data_packets, 3u);
+}
+
+TEST(TcpEdge, SimultaneousClose) {
+  TwoNodeHarness h;
+  bool client_closed = false, server_closed = false;
+  TcpSocket* server_sock = nullptr;
+  h.server->listen(kPort, [&](TcpSocket& s) {
+    server_sock = &s;
+    TcpSocket::Callbacks cb;
+    cb.on_closed = [&] { server_closed = true; };
+    s.set_callbacks(std::move(cb));
+  });
+  TcpSocket::Callbacks ccb;
+  ccb.on_closed = [&] { client_closed = true; };
+  TcpSocket& c = h.client->connect({h.server_node->id(), kPort},
+                                   std::move(ccb));
+  h.simulator.run();  // establish
+  ASSERT_NE(server_sock, nullptr);
+  // Both ends close in the same instant: FINs cross in flight.
+  c.close();
+  server_sock->close();
+  h.simulator.run();
+  EXPECT_TRUE(client_closed);
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(h.client->socket_count(), 0u);
+  EXPECT_EQ(h.server->socket_count(), 0u);
+}
+
+TEST(TcpEdge, RetransmissionCountsAreBounded) {
+  // At 2% loss a 100-segment transfer should see a handful of
+  // retransmissions, not a blowup (sanity on recovery behaviour).
+  TwoNodeOptions opt;
+  opt.loss = 0.02;
+  opt.seed = 777;
+  TwoNodeHarness h(opt);
+  std::string received;
+  h.server->listen(kPort, [&](TcpSocket& s) {
+    TcpSocket::Callbacks cb;
+    cb.on_data = [&](net::PayloadRef d) { received += d.to_text(); };
+    s.set_callbacks(std::move(cb));
+  });
+  TcpSocket& c = h.client->connect({h.server_node->id(), kPort}, {});
+  const std::string payload = pattern_text(100 * 1448);
+  c.send_text(payload);
+  h.simulator.run();
+  EXPECT_EQ(received, payload);
+  const auto& st = c.stats();
+  EXPECT_LT(st.retransmits_fast + st.retransmits_rto, 30u);
+}
+
+TEST(TcpEdge, ConnectionSurvivesLongIdlePeriods) {
+  TwoNodeHarness h;
+  std::string received;
+  h.server->listen(kPort, [&](TcpSocket& s) {
+    TcpSocket::Callbacks cb;
+    cb.on_data = [&](net::PayloadRef d) { received += d.to_text(); };
+    s.set_callbacks(std::move(cb));
+  });
+  TcpSocket& c = h.client->connect({h.server_node->id(), kPort}, {});
+  c.send_text("first");
+  h.simulator.run();
+  // Hours of simulated idle time: no timers should fire, state intact.
+  h.simulator.run_until(h.simulator.now() + sim::SimTime::seconds(7200));
+  EXPECT_TRUE(h.simulator.idle());
+  c.send_text("second");
+  h.simulator.run();
+  EXPECT_EQ(received, "firstsecond");
+  EXPECT_EQ(c.state(), TcpState::kEstablished);
+}
+
+
+TEST(TcpCwndValidation, IdleConnectionDecaysCwnd) {
+  TwoNodeOptions opt;
+  opt.tcp.cwnd_validation = true;
+  opt.tcp.initial_cwnd_segments = 2;
+  TwoNodeHarness h(opt);
+  std::string received;
+  h.server->listen(kPort, [&](TcpSocket& s) {
+    TcpSocket::Callbacks cb;
+    cb.on_data = [&](net::PayloadRef d) { received += d.to_text(); };
+    s.set_callbacks(std::move(cb));
+  });
+  TcpSocket& c = h.client->connect({h.server_node->id(), kPort}, {});
+  c.send_text(pattern_text(60 * 1448));  // ramp cwnd well beyond IW
+  h.simulator.run();
+  const std::size_t ramped = c.cwnd_bytes();
+  EXPECT_GT(ramped, 10u * 1448u);
+
+  // Long idle, then another write: cwnd must have decayed to the restart
+  // window before the new burst goes out.
+  h.simulator.run_until(h.simulator.now() + sim::SimTime::seconds(30));
+  std::size_t first_burst = 0;
+  bool counting = true;
+  h.client_node->add_send_tap([&](const net::PacketPtr& p) {
+    if (counting && p->payload_size() > 0) ++first_burst;
+  });
+  c.send_text(pattern_text(40 * 1448));
+  h.simulator.run_steps(1);  // emit the initial burst only
+  counting = false;
+  EXPECT_LE(first_burst, 2u);  // restart window = IW = 2 segments
+  h.simulator.run();
+  EXPECT_EQ(received.size(), 100u * 1448u);
+}
+
+TEST(TcpCwndValidation, DisabledKeepsCwndAcrossIdle) {
+  TwoNodeOptions opt;
+  opt.tcp.cwnd_validation = false;
+  opt.tcp.initial_cwnd_segments = 2;
+  TwoNodeHarness h(opt);
+  h.server->listen(kPort, [](TcpSocket& s) {
+    s.set_callbacks(TcpSocket::Callbacks{});
+  });
+  TcpSocket& c = h.client->connect({h.server_node->id(), kPort}, {});
+  c.send_text(pattern_text(60 * 1448));
+  h.simulator.run();
+  const std::size_t ramped = c.cwnd_bytes();
+  h.simulator.run_until(h.simulator.now() + sim::SimTime::seconds(30));
+  c.send_text(pattern_text(1448));
+  h.simulator.run();
+  EXPECT_EQ(c.cwnd_bytes() >= ramped, true);
+}
+
+TEST(TcpCwndValidation, ShortGapsDoNotDecay) {
+  TwoNodeOptions opt;
+  opt.tcp.cwnd_validation = true;
+  TwoNodeHarness h(opt);
+  h.server->listen(kPort, [](TcpSocket& s) {
+    s.set_callbacks(TcpSocket::Callbacks{});
+  });
+  TcpSocket& c = h.client->connect({h.server_node->id(), kPort}, {});
+  c.send_text(pattern_text(40 * 1448));
+  h.simulator.run();
+  const std::size_t ramped = c.cwnd_bytes();
+  // Idle far below one RTO (RTO floor is 200ms).
+  h.simulator.run_until(h.simulator.now() + 50_ms);
+  c.send_text(pattern_text(1448));
+  h.simulator.run();
+  EXPECT_GE(c.cwnd_bytes(), ramped);
+}
+
+}  // namespace
+}  // namespace dyncdn::tcp

@@ -1,0 +1,475 @@
+// TCP state-machine tests: handshake, transfer integrity, congestion
+// control dynamics, loss recovery, flow control and teardown.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness.hpp"
+#include "net/packet.hpp"
+#include "tcp/socket.hpp"
+#include "tcp/stack.hpp"
+
+namespace dyncdn::tcp {
+namespace {
+
+using dyncdn::testing::pattern_text;
+using dyncdn::testing::TwoNodeHarness;
+using dyncdn::testing::TwoNodeOptions;
+using sim::SimTime;
+using namespace dyncdn::sim::literals;
+
+constexpr net::Port kPort = 80;
+
+/// Collects everything a server needs for an echo/sink test.
+struct SinkServer {
+  std::string received;
+  bool remote_closed = false;
+  bool established = false;
+
+  void install(TcpStack& stack) {
+    stack.listen(kPort, [this](TcpSocket& s) {
+      TcpSocket::Callbacks cb;
+      cb.on_connected = [this] { established = true; };
+      cb.on_data = [this](net::PayloadRef d) { received += d.to_text(); };
+      cb.on_remote_close = [this, &s] {
+        remote_closed = true;
+        s.close();
+      };
+      s.set_callbacks(std::move(cb));
+    });
+  }
+};
+
+TEST(TcpHandshake, TakesOneAndHalfRtt) {
+  TwoNodeOptions opt;
+  opt.one_way_delay = 20_ms;
+  opt.bandwidth_bps = 0;  // isolate propagation
+  TwoNodeHarness h(opt);
+
+  SinkServer sink;
+  sink.install(*h.server);
+
+  SimTime client_connected = SimTime::zero();
+  TcpSocket::Callbacks cb;
+  cb.on_connected = [&] { client_connected = h.simulator.now(); };
+  h.client->connect({h.server_node->id(), kPort}, std::move(cb));
+  h.simulator.run();
+
+  // Client learns of establishment after SYN + SYN-ACK = 1 RTT.
+  EXPECT_EQ(client_connected, 40_ms);
+  EXPECT_TRUE(sink.established);
+}
+
+TEST(TcpHandshake, SrttSeededFromHandshake) {
+  TwoNodeOptions opt;
+  opt.one_way_delay = 30_ms;
+  opt.bandwidth_bps = 0;
+  TwoNodeHarness h(opt);
+  SinkServer sink;
+  sink.install(*h.server);
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  h.simulator.run();
+  EXPECT_NEAR(s.srtt().to_milliseconds(), 60.0, 1.0);
+}
+
+TEST(TcpTransfer, SmallPayloadIntact) {
+  TwoNodeHarness h;
+  SinkServer sink;
+  sink.install(*h.server);
+
+  TcpSocket::Callbacks cb;
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  s.set_callbacks(std::move(cb));
+  s.send_text("GET /search?q=computer+science HTTP/1.1\r\n\r\n");
+  h.simulator.run();
+  EXPECT_EQ(sink.received, "GET /search?q=computer+science HTTP/1.1\r\n\r\n");
+}
+
+TEST(TcpTransfer, DataQueuedBeforeConnectIsDelivered) {
+  TwoNodeHarness h;
+  SinkServer sink;
+  sink.install(*h.server);
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  // send() immediately, well before ESTABLISHED.
+  s.send_text("early");
+  h.simulator.run();
+  EXPECT_EQ(sink.received, "early");
+}
+
+TEST(TcpTransfer, LargeTransferIntactAndSegmented) {
+  TwoNodeHarness h;
+  SinkServer sink;
+  sink.install(*h.server);
+
+  const std::string payload = pattern_text(300 * 1000);
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  s.send_text(payload);
+  h.simulator.run();
+  EXPECT_EQ(sink.received.size(), payload.size());
+  EXPECT_EQ(sink.received, payload);
+  EXPECT_EQ(s.stats().bytes_sent, payload.size());
+  EXPECT_GE(s.stats().segments_sent,
+            payload.size() / h.client->default_config().mss);
+  EXPECT_EQ(s.stats().retransmits_rto, 0u);
+  EXPECT_EQ(s.stats().retransmits_fast, 0u);
+}
+
+TEST(TcpTransfer, MultipleWritesArriveInOrder) {
+  TwoNodeHarness h;
+  SinkServer sink;
+  sink.install(*h.server);
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  s.send_text("one:");
+  s.send_text("two:");
+  s.send_text("three");
+  h.simulator.run();
+  EXPECT_EQ(sink.received, "one:two:three");
+}
+
+TEST(TcpTransfer, BidirectionalEcho) {
+  TwoNodeHarness h;
+  std::string client_got;
+  h.server->listen(kPort, [](TcpSocket& s) {
+    TcpSocket::Callbacks cb;
+    cb.on_data = [&s](net::PayloadRef d) {
+      s.send_text("echo:" + d.to_text());
+    };
+    s.set_callbacks(std::move(cb));
+  });
+
+  TcpSocket::Callbacks cb;
+  cb.on_data = [&](net::PayloadRef d) { client_got += d.to_text(); };
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, std::move(cb));
+  s.send_text("ping");
+  h.simulator.run();
+  EXPECT_EQ(client_got, "echo:ping");
+}
+
+TEST(TcpTransfer, PersistentConnectionSecondExchangeSkipsHandshake) {
+  TwoNodeHarness h;
+  int syns = 0;
+  h.client_node->add_send_tap([&](const net::PacketPtr& p) {
+    if (p->tcp.flags.syn) ++syns;
+  });
+
+  std::string client_got;
+  h.server->listen(kPort, [](TcpSocket& s) {
+    TcpSocket::Callbacks cb;
+    cb.on_data = [&s](net::PayloadRef d) { s.send_text("r:" + d.to_text()); };
+    s.set_callbacks(std::move(cb));
+  });
+  TcpSocket::Callbacks cb;
+  cb.on_data = [&](net::PayloadRef d) { client_got += d.to_text(); };
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, std::move(cb));
+  s.send_text("q1");
+  h.simulator.run();
+  s.send_text("q2");
+  h.simulator.run();
+  EXPECT_EQ(client_got, "r:q1r:q2");
+  EXPECT_EQ(syns, 1);  // one handshake for two request/response exchanges
+}
+
+TEST(TcpCongestion, LargerInitialWindowTransfersFaster) {
+  auto transfer_time = [](std::size_t iw) {
+    TwoNodeOptions opt;
+    opt.one_way_delay = 50_ms;
+    opt.tcp.initial_cwnd_segments = iw;
+    TwoNodeHarness h(opt);
+    SinkServer sink;
+    sink.install(*h.server);
+    TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+    s.send_text(pattern_text(100 * 1000));
+    const SimTime end = h.simulator.run();
+    EXPECT_EQ(sink.received.size(), 100u * 1000u);
+    return end;
+  };
+  const SimTime t2 = transfer_time(2);
+  const SimTime t10 = transfer_time(10);
+  EXPECT_LT(t10, t2);
+  // IW=10 should save at least ~2 RTTs of slow-start ramp.
+  EXPECT_GE((t2 - t10).to_milliseconds(), 150.0);
+}
+
+TEST(TcpCongestion, SlowStartDoublesPerRtt) {
+  // Over an infinite-bandwidth 100ms-RTT link, packet bursts per RTT round
+  // should follow IW, 2*IW, 4*IW... while in slow start.
+  TwoNodeOptions opt;
+  opt.one_way_delay = 50_ms;
+  opt.bandwidth_bps = 0;
+  opt.tcp.initial_cwnd_segments = 2;
+  TwoNodeHarness h(opt);
+  SinkServer sink;
+  sink.install(*h.server);
+
+  std::vector<SimTime> data_sends;
+  h.client_node->add_send_tap([&](const net::PacketPtr& p) {
+    if (p->payload_size() > 0) data_sends.push_back(h.simulator.now());
+  });
+
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  s.send_text(pattern_text(60 * 1448));  // 60 MSS worth
+  h.simulator.run();
+  ASSERT_EQ(sink.received.size(), 60u * 1448u);
+
+  // Bucket send times into RTT rounds starting from the first data send.
+  std::vector<int> per_round;
+  for (const SimTime t : data_sends) {
+    const auto round = static_cast<std::size_t>(
+        (t - data_sends.front()).to_milliseconds() / 100.0 + 0.5);
+    if (per_round.size() <= round) per_round.resize(round + 1, 0);
+    ++per_round[round];
+  }
+  ASSERT_GE(per_round.size(), 3u);
+  EXPECT_EQ(per_round[0], 2);   // IW
+  EXPECT_EQ(per_round[1], 4);   // doubled
+  EXPECT_EQ(per_round[2], 8);   // doubled again
+}
+
+TEST(TcpLoss, BernoulliLossStillDeliversEverything) {
+  TwoNodeOptions opt;
+  opt.loss = 0.02;
+  opt.seed = 99;
+  TwoNodeHarness h(opt);
+  SinkServer sink;
+  sink.install(*h.server);
+  const std::string payload = pattern_text(200 * 1000);
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  s.send_text(payload);
+  h.simulator.run();
+  EXPECT_EQ(sink.received, payload);
+  EXPECT_GT(s.stats().retransmits_fast + s.stats().retransmits_rto, 0u);
+}
+
+TEST(TcpLoss, SingleDropTriggersFastRetransmitNotRto) {
+  TwoNodeOptions opt;
+  opt.one_way_delay = 20_ms;
+  // Drop one mid-stream data packet client->server. Packet indices on the
+  // c2s link: 0=SYN, 1=handshake-ACK, 2.. = data. Drop the 5th data packet.
+  opt.drop_indices_c2s = {6};
+  TwoNodeHarness h(opt);
+  SinkServer sink;
+  sink.install(*h.server);
+  const std::string payload = pattern_text(50 * 1448);
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  s.send_text(payload);
+  h.simulator.run();
+  EXPECT_EQ(sink.received, payload);
+  EXPECT_EQ(s.stats().retransmits_fast, 1u);
+  EXPECT_EQ(s.stats().retransmits_rto, 0u);
+  EXPECT_GE(s.stats().dupacks_received, 3u);
+}
+
+TEST(TcpLoss, LostSynIsRetransmitted) {
+  TwoNodeOptions opt;
+  opt.drop_indices_c2s = {0};  // drop the first SYN
+  TwoNodeHarness h(opt);
+  SinkServer sink;
+  sink.install(*h.server);
+  SimTime connected = SimTime::zero();
+  TcpSocket::Callbacks cb;
+  cb.on_connected = [&] { connected = h.simulator.now(); };
+  h.client->connect({h.server_node->id(), kPort}, std::move(cb));
+  h.simulator.run();
+  EXPECT_TRUE(sink.established);
+  // Initial RTO is 1s, so establishment happens shortly after.
+  EXPECT_GE(connected, 1_s);
+  EXPECT_LE(connected, 1_s + 100_ms);
+}
+
+TEST(TcpLoss, LostFinIsRetransmittedAndConnectionCloses) {
+  TwoNodeOptions opt;
+  opt.drop_indices_c2s = {3};  // SYN, hs-ACK, data, FIN <- dropped
+  TwoNodeHarness h(opt);
+  SinkServer sink;
+  sink.install(*h.server);
+  bool closed = false;
+  TcpSocket::Callbacks cb;
+  cb.on_closed = [&] { closed = true; };
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, std::move(cb));
+  s.send_text("x");
+  s.close();
+  h.simulator.run();
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(sink.remote_closed);
+  EXPECT_EQ(sink.received, "x");
+}
+
+TEST(TcpTeardown, GracefulCloseBothSides) {
+  TwoNodeHarness h;
+  SinkServer sink;
+  sink.install(*h.server);
+  bool client_closed = false, remote_closed = false;
+  TcpSocket::Callbacks cb;
+  cb.on_closed = [&] { client_closed = true; };
+  cb.on_remote_close = [&] { remote_closed = true; };
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, std::move(cb));
+  s.send_text("bye");
+  s.close();
+  h.simulator.run();
+  EXPECT_TRUE(client_closed);
+  EXPECT_TRUE(remote_closed);  // server's FIN reached the client
+  EXPECT_TRUE(sink.remote_closed);
+  EXPECT_EQ(h.client->socket_count(), 0u);
+  EXPECT_EQ(h.server->socket_count(), 0u);
+}
+
+TEST(TcpTeardown, CloseBeforeConnectCompletes) {
+  TwoNodeHarness h;
+  SinkServer sink;
+  sink.install(*h.server);
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  s.send_text("payload");
+  s.close();  // close while still in SYN_SENT
+  h.simulator.run();
+  EXPECT_EQ(sink.received, "payload");
+  EXPECT_TRUE(sink.remote_closed);
+  EXPECT_EQ(h.client->socket_count(), 0u);
+}
+
+TEST(TcpTeardown, SendAfterCloseThrows) {
+  TwoNodeHarness h;
+  SinkServer sink;
+  sink.install(*h.server);
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  s.close();
+  EXPECT_THROW(s.send_text("late"), std::logic_error);
+}
+
+TEST(TcpTeardown, ConnectToClosedPortGetsReset) {
+  TwoNodeHarness h;  // server has no listener
+  bool closed = false, connected = false;
+  TcpSocket::Callbacks cb;
+  cb.on_connected = [&] { connected = true; };
+  cb.on_closed = [&] { closed = true; };
+  h.client->connect({h.server_node->id(), 9999}, std::move(cb));
+  h.simulator.run();
+  EXPECT_FALSE(connected);
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(h.client->socket_count(), 0u);
+}
+
+TEST(TcpTeardown, AbortSendsReset) {
+  TwoNodeHarness h;
+  SinkServer sink;
+  sink.install(*h.server);
+  bool server_closed = false;
+  h.server->listen(81, [&](TcpSocket& s) {
+    TcpSocket::Callbacks cb;
+    cb.on_closed = [&] { server_closed = true; };
+    s.set_callbacks(std::move(cb));
+  });
+  TcpSocket& s = h.client->connect({h.server_node->id(), 81}, {});
+  h.simulator.run();
+  s.abort();
+  h.simulator.run();
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(h.server->socket_count(), 0u);
+}
+
+TEST(TcpFlowControl, ReceiverWindowLimitsFlight) {
+  TwoNodeOptions opt;
+  opt.one_way_delay = 100_ms;  // long RTT so flight would otherwise grow
+  opt.tcp.receive_buffer = 8 * 1448;
+  opt.tcp.initial_cwnd_segments = 64;  // cwnd not the limiter
+  TwoNodeHarness h(opt);
+  SinkServer sink;
+  sink.install(*h.server);
+
+  std::size_t max_flight = 0;
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  s.send_text(pattern_text(100 * 1448));
+  // Sample flight size at every event boundary.
+  while (!h.simulator.idle()) {
+    h.simulator.run_steps(1);
+    max_flight = std::max(max_flight, s.unacked_bytes());
+  }
+  EXPECT_EQ(sink.received.size(), 100u * 1448u);
+  EXPECT_LE(max_flight, 8u * 1448u + 1);  // +1 for the FIN-less probe edge
+}
+
+TEST(TcpFlowControl, DelayedAckStillCompletes) {
+  TwoNodeOptions opt;
+  opt.tcp.delayed_ack = true;
+  TwoNodeHarness h(opt);
+  SinkServer sink;
+  sink.install(*h.server);
+  const std::string payload = pattern_text(40 * 1448);
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  s.send_text(payload);
+  h.simulator.run();
+  EXPECT_EQ(sink.received, payload);
+}
+
+TEST(TcpFlowControl, DelayedAckReducesAckCount) {
+  auto count_acks = [](bool delayed) {
+    TwoNodeOptions opt;
+    opt.tcp.delayed_ack = delayed;
+    TwoNodeHarness h(opt);
+    SinkServer sink;
+    sink.install(*h.server);
+    std::uint64_t acks = 0;
+    h.server_node->add_send_tap([&](const net::PacketPtr& p) {
+      if (p->payload_size() == 0 && p->tcp.flags.ack && !p->tcp.flags.syn &&
+          !p->tcp.flags.fin) {
+        ++acks;
+      }
+    });
+    TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+    s.send_text(pattern_text(60 * 1448));
+    h.simulator.run();
+    EXPECT_EQ(sink.received.size(), 60u * 1448u);
+    return acks;
+  };
+  EXPECT_LT(count_acks(true), count_acks(false));
+}
+
+TEST(TcpDeterminism, SameSeedSameSchedule) {
+  auto run_once = [] {
+    TwoNodeOptions opt;
+    opt.loss = 0.05;
+    opt.seed = 1234;
+    TwoNodeHarness h(opt);
+    SinkServer sink;
+    sink.install(*h.server);
+    TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+    s.send_text(pattern_text(80 * 1000));
+    const SimTime end = h.simulator.run();
+    return std::tuple{end, h.simulator.events_executed(), sink.received.size()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// Property sweep: transfers of many sizes over varied RTT/loss must always
+// deliver byte-identical data.
+class TcpTransferSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, double>> {};
+
+TEST_P(TcpTransferSweep, PayloadAlwaysIntact) {
+  const auto [size, rtt_ms, loss] = GetParam();
+  TwoNodeOptions opt;
+  opt.one_way_delay = SimTime::milliseconds(rtt_ms / 2);
+  opt.loss = loss;
+  opt.seed = 42 + size + static_cast<std::size_t>(rtt_ms);
+  TwoNodeHarness h(opt);
+  SinkServer sink;
+  sink.install(*h.server);
+  const std::string payload = pattern_text(size);
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  s.send_text(payload);
+  s.close();
+  h.simulator.run();
+  EXPECT_EQ(sink.received, payload);
+  EXPECT_TRUE(sink.remote_closed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesRttsLosses, TcpTransferSweep,
+    ::testing::Combine(
+        ::testing::Values<std::size_t>(1, 100, 1448, 1449, 10 * 1448,
+                                       100 * 1000),
+        ::testing::Values(2, 20, 200),
+        ::testing::Values(0.0, 0.01, 0.05)));
+
+}  // namespace
+}  // namespace dyncdn::tcp

@@ -1,0 +1,245 @@
+// dyncdn_experiment — command-line driver for the measurement campaigns.
+//
+// Runs one of the paper's experiment types against a chosen deployment
+// profile and prints per-node results as TSV (easily plotted or piped into
+// further analysis). Optionally saves each vantage point's packet trace.
+//
+//   dyncdn_experiment --experiment=fixed-fe --service=bing --clients=80
+//       --reps=20 --seed=7 --save-traces=/tmp/traces    (one command line)
+//
+// Experiments:
+//   fixed-fe    Datasets B: every client queries FE #0.
+//   default-fe  Datasets A: every client queries its DNS-nearest FE.
+//   caching     §3 same-vs-distinct caching probe.
+//   factoring   Fig. 9 fetch-time factoring over an FE distance sweep.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "capture/serialize.hpp"
+#include "core/inference.hpp"
+#include "search/keywords.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/scenario.hpp"
+
+using namespace dyncdn;
+using namespace dyncdn::sim::literals;
+
+namespace {
+
+struct CliOptions {
+  std::string experiment = "fixed-fe";
+  std::string service = "google";
+  std::size_t clients = 60;
+  std::size_t reps = 15;
+  std::uint64_t seed = 1;
+  std::string save_traces;  // directory; empty = off
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: dyncdn_experiment [--experiment=fixed-fe|default-fe|caching|"
+      "factoring]\n"
+      "                         [--service=google|bing] [--clients=N]\n"
+      "                         [--reps=N] [--seed=S] [--save-traces=DIR]\n");
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&](std::string_view prefix)
+        -> std::optional<std::string> {
+      if (arg.starts_with(prefix)) {
+        return std::string(arg.substr(prefix.size()));
+      }
+      return std::nullopt;
+    };
+    if (auto v = value("--experiment=")) {
+      opt.experiment = *v;
+    } else if (auto v = value("--service=")) {
+      opt.service = *v;
+    } else if (auto v = value("--clients=")) {
+      opt.clients = static_cast<std::size_t>(std::strtoull(v->c_str(),
+                                                           nullptr, 10));
+    } else if (auto v = value("--reps=")) {
+      opt.reps = static_cast<std::size_t>(std::strtoull(v->c_str(), nullptr,
+                                                        10));
+    } else if (auto v = value("--seed=")) {
+      opt.seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (auto v = value("--save-traces=")) {
+      opt.save_traces = *v;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return std::nullopt;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      usage();
+      return std::nullopt;
+    }
+  }
+  if (opt.experiment != "fixed-fe" && opt.experiment != "default-fe" &&
+      opt.experiment != "caching" && opt.experiment != "factoring") {
+    std::fprintf(stderr, "bad --experiment value\n");
+    return std::nullopt;
+  }
+  if (opt.service != "google" && opt.service != "bing") {
+    std::fprintf(stderr, "bad --service value\n");
+    return std::nullopt;
+  }
+  if (opt.clients == 0 || opt.reps == 0) {
+    std::fprintf(stderr, "--clients and --reps must be positive\n");
+    return std::nullopt;
+  }
+  return opt;
+}
+
+void save_all_traces(testbed::Scenario& scenario, const std::string& dir) {
+  for (auto& client : scenario.clients()) {
+    if (!client.recorder) continue;
+    capture::save_trace(client.recorder->trace(),
+                        dir + "/" + client.vantage.name + ".trace");
+  }
+  std::fprintf(stderr, "traces saved under %s\n", dir.c_str());
+}
+
+int run_measurement(const CliOptions& cli, bool fixed_fe) {
+  testbed::ScenarioOptions so;
+  so.profile = cli.service == "google" ? cdn::google_like_profile()
+                                       : cdn::bing_like_profile();
+  so.client_count = cli.clients;
+  so.seed = cli.seed;
+  testbed::Scenario scenario(so);
+  scenario.warm_up();
+
+  testbed::ExperimentOptions eo;
+  eo.reps_per_node = cli.reps;
+  eo.interval = 1200_ms;
+  search::KeywordCatalog catalog(cli.seed);
+  eo.keywords = catalog.figure3_keywords();
+
+  if (!cli.save_traces.empty()) {
+    // Capture-only mode: run the query schedule ourselves, save raw traces
+    // and skip the built-in analysis (the experiment runner frees trace
+    // memory as it analyzes). trace_inspect analyzes the files offline.
+    for (std::size_t i = 0; i < scenario.clients().size(); ++i) {
+      const std::size_t fe = fixed_fe ? 0 : scenario.clients()[i].default_fe;
+      scenario.connect_client_to_fe(i, fe);
+      scenario.clients()[i].recorder->set_capture_payloads(true);
+      const net::Endpoint endpoint = scenario.fe_endpoint(fe);
+      auto* client = scenario.clients()[i].query_client.get();
+      for (std::size_t r = 0; r < cli.reps; ++r) {
+        // Cycle keyword classes so offline content analysis on the saved
+        // trace can find the static/dynamic boundary.
+        const search::Keyword kw = eo.keywords[r % eo.keywords.size()];
+        scenario.simulator().schedule_in(
+            eo.interval * static_cast<std::int64_t>(r),
+            [client, endpoint, kw]() {
+              client->submit(endpoint, kw, [](const cdn::QueryResult&) {});
+            });
+      }
+    }
+    scenario.simulator().run();
+    save_all_traces(scenario, cli.save_traces);
+    return 0;
+  }
+
+  const testbed::ExperimentResult result =
+      fixed_fe ? testbed::run_fixed_fe_experiment(scenario, 0, eo)
+               : testbed::run_default_fe_experiment(scenario, eo);
+
+  std::printf("# experiment=%s service=%s clients=%zu reps=%zu seed=%llu "
+              "boundary=%zu\n",
+              fixed_fe ? "fixed-fe" : "default-fe", cli.service.c_str(),
+              cli.clients, cli.reps,
+              static_cast<unsigned long long>(cli.seed), result.boundary);
+  std::printf("node\trtt_ms\tt_static_ms\tt_dynamic_ms\tt_delta_ms\t"
+              "overall_ms\tsamples\n");
+  for (const auto& n : result.per_node) {
+    std::printf("%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%zu\n",
+                n.node_name.c_str(), n.rtt_ms, n.med_static_ms,
+                n.med_dynamic_ms, n.med_delta_ms, n.med_overall_ms,
+                n.samples);
+  }
+
+  const auto threshold = core::estimate_delta_threshold(result.per_node);
+  std::printf("# %s\n", threshold.to_string().c_str());
+  return 0;
+}
+
+int run_caching(const CliOptions& cli) {
+  testbed::ScenarioOptions so;
+  so.profile = cli.service == "google" ? cdn::google_like_profile()
+                                       : cdn::bing_like_profile();
+  so.client_count = std::max<std::size_t>(cli.clients, 4);
+  so.seed = cli.seed;
+  testbed::Scenario scenario(so);
+  scenario.warm_up();
+
+  // Probe from the lowest-RTT vantage point (see EXPERIMENTS.md).
+  std::size_t probe = 0;
+  sim::SimTime best = sim::SimTime::infinity();
+  for (std::size_t i = 0; i < scenario.clients().size(); ++i) {
+    if (scenario.client_fe_rtt(i, 0) < best) {
+      best = scenario.client_fe_rtt(i, 0);
+      probe = i;
+    }
+  }
+  const auto r =
+      testbed::run_caching_experiment(scenario, probe, 0, cli.reps);
+  std::printf("# experiment=caching service=%s reps=%zu seed=%llu\n",
+              cli.service.c_str(), cli.reps,
+              static_cast<unsigned long long>(cli.seed));
+  std::printf("same_median_ms\t%.2f\ndistinct_median_ms\t%.2f\n"
+              "ks_statistic\t%.4f\nks_p_value\t%.6f\ncaching_detected\t%s\n",
+              r.detection.median_same_ms, r.detection.median_distinct_ms,
+              r.detection.ks.statistic, r.detection.ks.p_value,
+              r.detection.caching_detected ? "yes" : "no");
+  return 0;
+}
+
+int run_factoring(const CliOptions& cli) {
+  testbed::ScenarioOptions so;
+  so.profile = cli.service == "google" ? cdn::google_like_profile()
+                                       : cdn::bing_like_profile();
+  so.seed = cli.seed;
+  std::vector<double> distances;
+  for (std::size_t i = 0; i < std::max<std::size_t>(cli.clients / 5, 6);
+       ++i) {
+    distances.push_back(30.0 + 470.0 * static_cast<double>(i) /
+                                   std::max<std::size_t>(
+                                       cli.clients / 5 - 1, 5));
+  }
+  so.fe_distance_sweep_miles = distances;
+  testbed::Scenario scenario(so);
+  scenario.warm_up();
+
+  const search::Keyword keyword{"command line factoring probe",
+                                search::KeywordClass::kGranular, 5000};
+  const auto r =
+      testbed::run_fetch_factoring_experiment(scenario, keyword, cli.reps);
+  std::printf("# experiment=factoring service=%s reps=%zu seed=%llu\n",
+              cli.service.c_str(), cli.reps,
+              static_cast<unsigned long long>(cli.seed));
+  std::printf("distance_miles\tmed_t_dynamic_ms\n");
+  for (std::size_t i = 0; i < r.distances_miles.size(); ++i) {
+    std::printf("%.1f\t%.2f\n", r.distances_miles[i],
+                r.med_t_dynamic_ms[i]);
+  }
+  std::printf("# %s\n", r.factoring.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = parse_args(argc, argv);
+  if (!cli) return 2;
+  if (cli->experiment == "fixed-fe") return run_measurement(*cli, true);
+  if (cli->experiment == "default-fe") return run_measurement(*cli, false);
+  if (cli->experiment == "caching") return run_caching(*cli);
+  return run_factoring(*cli);
+}
