@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_split_tcp.dir/baseline_split_tcp.cpp.o"
+  "CMakeFiles/baseline_split_tcp.dir/baseline_split_tcp.cpp.o.d"
+  "baseline_split_tcp"
+  "baseline_split_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_split_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

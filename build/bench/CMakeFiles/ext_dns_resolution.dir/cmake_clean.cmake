@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dns_resolution.dir/ext_dns_resolution.cpp.o"
+  "CMakeFiles/ext_dns_resolution.dir/ext_dns_resolution.cpp.o.d"
+  "ext_dns_resolution"
+  "ext_dns_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dns_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

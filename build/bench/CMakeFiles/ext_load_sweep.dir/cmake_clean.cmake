@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_load_sweep.dir/ext_load_sweep.cpp.o"
+  "CMakeFiles/ext_load_sweep.dir/ext_load_sweep.cpp.o.d"
+  "ext_load_sweep"
+  "ext_load_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_load_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_residential_access.dir/ext_residential_access.cpp.o"
+  "CMakeFiles/ext_residential_access.dir/ext_residential_access.cpp.o.d"
+  "ext_residential_access"
+  "ext_residential_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_residential_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_window_sweep.dir/ext_window_sweep.cpp.o"
+  "CMakeFiles/ext_window_sweep.dir/ext_window_sweep.cpp.o.d"
+  "ext_window_sweep"
+  "ext_window_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_window_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

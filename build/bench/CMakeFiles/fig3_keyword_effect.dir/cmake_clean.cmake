@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_keyword_effect.dir/fig3_keyword_effect.cpp.o"
+  "CMakeFiles/fig3_keyword_effect.dir/fig3_keyword_effect.cpp.o.d"
+  "fig3_keyword_effect"
+  "fig3_keyword_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_keyword_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

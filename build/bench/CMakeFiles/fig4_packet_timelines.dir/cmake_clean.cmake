@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_packet_timelines.dir/fig4_packet_timelines.cpp.o"
+  "CMakeFiles/fig4_packet_timelines.dir/fig4_packet_timelines.cpp.o.d"
+  "fig4_packet_timelines"
+  "fig4_packet_timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_packet_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_default_fe.dir/fig7_default_fe.cpp.o"
+  "CMakeFiles/fig7_default_fe.dir/fig7_default_fe.cpp.o.d"
+  "fig7_default_fe"
+  "fig7_default_fe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_default_fe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

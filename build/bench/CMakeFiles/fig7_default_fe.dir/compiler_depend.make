@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_default_fe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fetch_factoring.dir/fig9_fetch_factoring.cpp.o"
+  "CMakeFiles/fig9_fetch_factoring.dir/fig9_fetch_factoring.cpp.o.d"
+  "fig9_fetch_factoring"
+  "fig9_fetch_factoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fetch_factoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

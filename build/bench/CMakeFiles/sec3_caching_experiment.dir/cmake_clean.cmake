@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_caching_experiment.dir/sec3_caching_experiment.cpp.o"
+  "CMakeFiles/sec3_caching_experiment.dir/sec3_caching_experiment.cpp.o.d"
+  "sec3_caching_experiment"
+  "sec3_caching_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_caching_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec3_caching_experiment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec41_threshold.dir/sec41_threshold.cpp.o"
+  "CMakeFiles/sec41_threshold.dir/sec41_threshold.cpp.o.d"
+  "sec41_threshold"
+  "sec41_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec41_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_interactive_search.dir/sec6_interactive_search.cpp.o"
+  "CMakeFiles/sec6_interactive_search.dir/sec6_interactive_search.cpp.o.d"
+  "sec6_interactive_search"
+  "sec6_interactive_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_interactive_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

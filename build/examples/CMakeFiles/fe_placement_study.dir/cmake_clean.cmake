@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fe_placement_study.dir/fe_placement_study.cpp.o"
+  "CMakeFiles/fe_placement_study.dir/fe_placement_study.cpp.o.d"
+  "fe_placement_study"
+  "fe_placement_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fe_placement_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_search.dir/interactive_search.cpp.o"
+  "CMakeFiles/interactive_search.dir/interactive_search.cpp.o.d"
+  "interactive_search"
+  "interactive_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_wireless_client.dir/lossy_wireless_client.cpp.o"
+  "CMakeFiles/lossy_wireless_client.dir/lossy_wireless_client.cpp.o.d"
+  "lossy_wireless_client"
+  "lossy_wireless_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_wireless_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

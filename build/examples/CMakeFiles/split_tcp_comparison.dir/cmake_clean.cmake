@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_tcp_comparison.dir/split_tcp_comparison.cpp.o"
+  "CMakeFiles/split_tcp_comparison.dir/split_tcp_comparison.cpp.o.d"
+  "split_tcp_comparison"
+  "split_tcp_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_tcp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

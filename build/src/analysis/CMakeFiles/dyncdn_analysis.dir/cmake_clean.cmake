@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_analysis.dir/boundary.cpp.o"
+  "CMakeFiles/dyncdn_analysis.dir/boundary.cpp.o.d"
+  "CMakeFiles/dyncdn_analysis.dir/reassembly.cpp.o"
+  "CMakeFiles/dyncdn_analysis.dir/reassembly.cpp.o.d"
+  "CMakeFiles/dyncdn_analysis.dir/timeline.cpp.o"
+  "CMakeFiles/dyncdn_analysis.dir/timeline.cpp.o.d"
+  "libdyncdn_analysis.a"
+  "libdyncdn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/recorder.cpp" "src/capture/CMakeFiles/dyncdn_capture.dir/recorder.cpp.o" "gcc" "src/capture/CMakeFiles/dyncdn_capture.dir/recorder.cpp.o.d"
+  "/root/repo/src/capture/serialize.cpp" "src/capture/CMakeFiles/dyncdn_capture.dir/serialize.cpp.o" "gcc" "src/capture/CMakeFiles/dyncdn_capture.dir/serialize.cpp.o.d"
+  "/root/repo/src/capture/trace.cpp" "src/capture/CMakeFiles/dyncdn_capture.dir/trace.cpp.o" "gcc" "src/capture/CMakeFiles/dyncdn_capture.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dyncdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyncdn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

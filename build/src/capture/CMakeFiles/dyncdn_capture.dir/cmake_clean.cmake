@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_capture.dir/recorder.cpp.o"
+  "CMakeFiles/dyncdn_capture.dir/recorder.cpp.o.d"
+  "CMakeFiles/dyncdn_capture.dir/serialize.cpp.o"
+  "CMakeFiles/dyncdn_capture.dir/serialize.cpp.o.d"
+  "CMakeFiles/dyncdn_capture.dir/trace.cpp.o"
+  "CMakeFiles/dyncdn_capture.dir/trace.cpp.o.d"
+  "libdyncdn_capture.a"
+  "libdyncdn_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/backend.cpp" "src/cdn/CMakeFiles/dyncdn_cdn.dir/backend.cpp.o" "gcc" "src/cdn/CMakeFiles/dyncdn_cdn.dir/backend.cpp.o.d"
+  "/root/repo/src/cdn/client.cpp" "src/cdn/CMakeFiles/dyncdn_cdn.dir/client.cpp.o" "gcc" "src/cdn/CMakeFiles/dyncdn_cdn.dir/client.cpp.o.d"
+  "/root/repo/src/cdn/deployment.cpp" "src/cdn/CMakeFiles/dyncdn_cdn.dir/deployment.cpp.o" "gcc" "src/cdn/CMakeFiles/dyncdn_cdn.dir/deployment.cpp.o.d"
+  "/root/repo/src/cdn/frontend.cpp" "src/cdn/CMakeFiles/dyncdn_cdn.dir/frontend.cpp.o" "gcc" "src/cdn/CMakeFiles/dyncdn_cdn.dir/frontend.cpp.o.d"
+  "/root/repo/src/cdn/interactive.cpp" "src/cdn/CMakeFiles/dyncdn_cdn.dir/interactive.cpp.o" "gcc" "src/cdn/CMakeFiles/dyncdn_cdn.dir/interactive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/dyncdn_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dyncdn_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/dyncdn_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dyncdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyncdn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_cdn.dir/backend.cpp.o"
+  "CMakeFiles/dyncdn_cdn.dir/backend.cpp.o.d"
+  "CMakeFiles/dyncdn_cdn.dir/client.cpp.o"
+  "CMakeFiles/dyncdn_cdn.dir/client.cpp.o.d"
+  "CMakeFiles/dyncdn_cdn.dir/deployment.cpp.o"
+  "CMakeFiles/dyncdn_cdn.dir/deployment.cpp.o.d"
+  "CMakeFiles/dyncdn_cdn.dir/frontend.cpp.o"
+  "CMakeFiles/dyncdn_cdn.dir/frontend.cpp.o.d"
+  "CMakeFiles/dyncdn_cdn.dir/interactive.cpp.o"
+  "CMakeFiles/dyncdn_cdn.dir/interactive.cpp.o.d"
+  "libdyncdn_cdn.a"
+  "libdyncdn_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_detector.cpp" "src/core/CMakeFiles/dyncdn_core.dir/cache_detector.cpp.o" "gcc" "src/core/CMakeFiles/dyncdn_core.dir/cache_detector.cpp.o.d"
+  "/root/repo/src/core/inference.cpp" "src/core/CMakeFiles/dyncdn_core.dir/inference.cpp.o" "gcc" "src/core/CMakeFiles/dyncdn_core.dir/inference.cpp.o.d"
+  "/root/repo/src/core/timings.cpp" "src/core/CMakeFiles/dyncdn_core.dir/timings.cpp.o" "gcc" "src/core/CMakeFiles/dyncdn_core.dir/timings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dyncdn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dyncdn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dyncdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyncdn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/dyncdn_capture.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_core.dir/cache_detector.cpp.o"
+  "CMakeFiles/dyncdn_core.dir/cache_detector.cpp.o.d"
+  "CMakeFiles/dyncdn_core.dir/inference.cpp.o"
+  "CMakeFiles/dyncdn_core.dir/inference.cpp.o.d"
+  "CMakeFiles/dyncdn_core.dir/timings.cpp.o"
+  "CMakeFiles/dyncdn_core.dir/timings.cpp.o.d"
+  "libdyncdn_core.a"
+  "libdyncdn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

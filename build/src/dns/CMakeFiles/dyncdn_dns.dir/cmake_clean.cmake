@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_dns.dir/resolver.cpp.o"
+  "CMakeFiles/dyncdn_dns.dir/resolver.cpp.o.d"
+  "libdyncdn_dns.a"
+  "libdyncdn_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

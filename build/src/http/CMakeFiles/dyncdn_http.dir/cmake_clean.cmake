@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_http.dir/message.cpp.o"
+  "CMakeFiles/dyncdn_http.dir/message.cpp.o.d"
+  "CMakeFiles/dyncdn_http.dir/parser.cpp.o"
+  "CMakeFiles/dyncdn_http.dir/parser.cpp.o.d"
+  "libdyncdn_http.a"
+  "libdyncdn_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_net.dir/address.cpp.o"
+  "CMakeFiles/dyncdn_net.dir/address.cpp.o.d"
+  "CMakeFiles/dyncdn_net.dir/geo.cpp.o"
+  "CMakeFiles/dyncdn_net.dir/geo.cpp.o.d"
+  "CMakeFiles/dyncdn_net.dir/link.cpp.o"
+  "CMakeFiles/dyncdn_net.dir/link.cpp.o.d"
+  "CMakeFiles/dyncdn_net.dir/loss_model.cpp.o"
+  "CMakeFiles/dyncdn_net.dir/loss_model.cpp.o.d"
+  "CMakeFiles/dyncdn_net.dir/network.cpp.o"
+  "CMakeFiles/dyncdn_net.dir/network.cpp.o.d"
+  "CMakeFiles/dyncdn_net.dir/node.cpp.o"
+  "CMakeFiles/dyncdn_net.dir/node.cpp.o.d"
+  "CMakeFiles/dyncdn_net.dir/packet.cpp.o"
+  "CMakeFiles/dyncdn_net.dir/packet.cpp.o.d"
+  "libdyncdn_net.a"
+  "libdyncdn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_search.dir/content_model.cpp.o"
+  "CMakeFiles/dyncdn_search.dir/content_model.cpp.o.d"
+  "CMakeFiles/dyncdn_search.dir/keywords.cpp.o"
+  "CMakeFiles/dyncdn_search.dir/keywords.cpp.o.d"
+  "libdyncdn_search.a"
+  "libdyncdn_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dyncdn_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dyncdn_sim.dir/random.cpp.o"
+  "CMakeFiles/dyncdn_sim.dir/random.cpp.o.d"
+  "CMakeFiles/dyncdn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dyncdn_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/dyncdn_sim.dir/time.cpp.o"
+  "CMakeFiles/dyncdn_sim.dir/time.cpp.o.d"
+  "libdyncdn_sim.a"
+  "libdyncdn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

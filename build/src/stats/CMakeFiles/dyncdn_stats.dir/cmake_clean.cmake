@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/dyncdn_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/dyncdn_stats.dir/boxplot.cpp.o"
+  "CMakeFiles/dyncdn_stats.dir/boxplot.cpp.o.d"
+  "CMakeFiles/dyncdn_stats.dir/cdf.cpp.o"
+  "CMakeFiles/dyncdn_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/dyncdn_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/dyncdn_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/dyncdn_stats.dir/regression.cpp.o"
+  "CMakeFiles/dyncdn_stats.dir/regression.cpp.o.d"
+  "libdyncdn_stats.a"
+  "libdyncdn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_tcp.dir/socket.cpp.o"
+  "CMakeFiles/dyncdn_tcp.dir/socket.cpp.o.d"
+  "CMakeFiles/dyncdn_tcp.dir/stack.cpp.o"
+  "CMakeFiles/dyncdn_tcp.dir/stack.cpp.o.d"
+  "libdyncdn_tcp.a"
+  "libdyncdn_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_testbed.dir/experiment.cpp.o"
+  "CMakeFiles/dyncdn_testbed.dir/experiment.cpp.o.d"
+  "CMakeFiles/dyncdn_testbed.dir/planetlab.cpp.o"
+  "CMakeFiles/dyncdn_testbed.dir/planetlab.cpp.o.d"
+  "CMakeFiles/dyncdn_testbed.dir/scenario.cpp.o"
+  "CMakeFiles/dyncdn_testbed.dir/scenario.cpp.o.d"
+  "libdyncdn_testbed.a"
+  "libdyncdn_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acceptance.dir/acceptance_test.cpp.o"
+  "CMakeFiles/test_acceptance.dir/acceptance_test.cpp.o.d"
+  "test_acceptance"
+  "test_acceptance.pdb"
+  "test_acceptance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acceptance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/inference_property_test.cpp" "tests/CMakeFiles/test_inference_property.dir/inference_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_inference_property.dir/inference_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dyncdn_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/dyncdn_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dyncdn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dyncdn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/dyncdn_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/dyncdn_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/dyncdn_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dyncdn_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/dyncdn_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dyncdn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dyncdn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyncdn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inference_property.dir/inference_property_test.cpp.o"
+  "CMakeFiles/test_inference_property.dir/inference_property_test.cpp.o.d"
+  "test_inference_property"
+  "test_inference_property.pdb"
+  "test_inference_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inference_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

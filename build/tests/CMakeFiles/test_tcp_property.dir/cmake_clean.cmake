@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_property.dir/tcp_property_test.cpp.o"
+  "CMakeFiles/test_tcp_property.dir/tcp_property_test.cpp.o.d"
+  "test_tcp_property"
+  "test_tcp_property.pdb"
+  "test_tcp_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_state.dir/tcp_state_test.cpp.o"
+  "CMakeFiles/test_tcp_state.dir/tcp_state_test.cpp.o.d"
+  "test_tcp_state"
+  "test_tcp_state.pdb"
+  "test_tcp_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

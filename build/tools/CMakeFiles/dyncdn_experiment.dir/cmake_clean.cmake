@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyncdn_experiment.dir/dyncdn_experiment.cpp.o"
+  "CMakeFiles/dyncdn_experiment.dir/dyncdn_experiment.cpp.o.d"
+  "dyncdn_experiment"
+  "dyncdn_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyncdn_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
