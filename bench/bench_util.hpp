@@ -42,8 +42,10 @@ inline bool write_csv(const std::string& filename,
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < rows_by_column.size(); ++c) {
       const auto& col = rows_by_column[c];
-      std::fprintf(f, "%s%.6f", c ? "," : "",
-                   r < col.size() ? col[r] : 0.0);
+      // Ragged columns get *empty* cells: padding with 0.0 would fabricate
+      // data points in anything plotting the export.
+      if (c) std::fputc(',', f);
+      if (r < col.size()) std::fprintf(f, "%.6f", col[r]);
     }
     std::fprintf(f, "\n");
   }

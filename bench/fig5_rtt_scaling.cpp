@@ -16,7 +16,7 @@
 #include "core/inference.hpp"
 #include "search/keywords.hpp"
 #include "stats/regression.hpp"
-#include "testbed/experiment.hpp"
+#include "testbed/parallel_experiment.hpp"
 #include "testbed/scenario.hpp"
 
 using namespace dyncdn;
@@ -35,8 +35,6 @@ ServiceRun run_service(cdn::ServiceProfile profile, std::size_t clients,
   opt.profile = profile;
   opt.client_count = clients;
   opt.seed = 55;
-  testbed::Scenario scenario(opt);
-  scenario.warm_up();
 
   testbed::ExperimentOptions eo;
   eo.reps_per_node = reps;
@@ -44,7 +42,10 @@ ServiceRun run_service(cdn::ServiceProfile profile, std::size_t clients,
   search::KeywordCatalog catalog(5);
   eo.keywords = {catalog.figure3_keywords().front()};
 
-  const auto result = testbed::run_fixed_fe_experiment(scenario, 0, eo);
+  // Sharded replica plan: one replica per vantage point, spread over
+  // DYNCDN_THREADS workers (results are thread-count-invariant).
+  const auto result =
+      testbed::run_fixed_fe_experiment(opt, 0, eo, testbed::ReplicaPlan{});
 
   ServiceRun run;
   run.name = profile.name;

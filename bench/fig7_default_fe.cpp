@@ -12,7 +12,7 @@
 #include "core/inference.hpp"
 #include "search/keywords.hpp"
 #include "stats/descriptive.hpp"
-#include "testbed/experiment.hpp"
+#include "testbed/parallel_experiment.hpp"
 #include "testbed/scenario.hpp"
 
 using namespace dyncdn;
@@ -32,15 +32,15 @@ Run run_service(cdn::ServiceProfile profile, std::size_t clients,
   opt.profile = profile;
   opt.client_count = clients;
   opt.seed = 77;
-  testbed::Scenario scenario(opt);
-  scenario.warm_up();
 
   testbed::ExperimentOptions eo;
   eo.reps_per_node = reps;
   eo.interval = 1300_ms;
   search::KeywordCatalog catalog(7);
   eo.keywords = catalog.figure3_keywords();  // cycle realistic variety
-  const auto result = testbed::run_default_fe_experiment(scenario, eo);
+  // Sharded one-replica-per-vantage-point; thread-count-invariant results.
+  const auto result =
+      testbed::run_default_fe_experiment(opt, eo, testbed::ReplicaPlan{});
 
   Run run;
   run.name = profile.name;

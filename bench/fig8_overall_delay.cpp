@@ -13,7 +13,7 @@
 #include "search/keywords.hpp"
 #include "stats/boxplot.hpp"
 #include "stats/descriptive.hpp"
-#include "testbed/experiment.hpp"
+#include "testbed/parallel_experiment.hpp"
 #include "testbed/scenario.hpp"
 
 using namespace dyncdn;
@@ -34,15 +34,15 @@ Run run_service(cdn::ServiceProfile profile, std::size_t clients,
   opt.profile = profile;
   opt.client_count = clients;
   opt.seed = 88;
-  testbed::Scenario scenario(opt);
-  scenario.warm_up();
 
   testbed::ExperimentOptions eo;
   eo.reps_per_node = reps;
   eo.interval = 1100_ms;
   search::KeywordCatalog catalog(8);
   eo.keywords = catalog.figure3_keywords();
-  const auto result = testbed::run_default_fe_experiment(scenario, eo);
+  // Sharded one-replica-per-vantage-point; thread-count-invariant results.
+  const auto result =
+      testbed::run_default_fe_experiment(opt, eo, testbed::ReplicaPlan{});
 
   Run run;
   run.name = profile.name;
@@ -53,7 +53,7 @@ Run run_service(cdn::ServiceProfile profile, std::size_t clients,
       run.all.push_back(q.overall_ms);
     }
     if (!overall.empty()) {
-      run.per_node.emplace_back(scenario.clients()[i].vantage.name,
+      run.per_node.emplace_back(result.per_node[i].node_name,
                                 std::move(overall));
     }
   }

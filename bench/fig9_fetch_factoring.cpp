@@ -18,7 +18,7 @@
 #include "core/inference.hpp"
 #include "search/keywords.hpp"
 #include "stats/bootstrap.hpp"
-#include "testbed/experiment.hpp"
+#include "testbed/parallel_experiment.hpp"
 #include "testbed/scenario.hpp"
 
 using namespace dyncdn;
@@ -37,14 +37,14 @@ testbed::FetchFactoringResult run_service(cdn::ServiceProfile profile,
                                    static_cast<double>(points - 1));
   }
   opt.fe_distance_sweep_miles = distances;
-  testbed::Scenario scenario(opt);
-  scenario.warm_up();
 
   // An ordinary (not BE-cache-hot) keyword: hot keywords shrink T_proc and
   // could push short-distance points into the delivery-gated regime.
   const search::Keyword keyword{"network measurement study",
                                 search::KeywordClass::kGranular, 5000};
-  return testbed::run_fetch_factoring_experiment(scenario, keyword, reps);
+  // Sharded one-replica-per-sweep-point; thread-count-invariant results.
+  return testbed::run_fetch_factoring_experiment(opt, keyword, reps,
+                                                 testbed::ReplicaPlan{});
 }
 
 void report(const std::string& name,

@@ -1,0 +1,236 @@
+// perf_smoke — machine-readable performance trajectory for the repo.
+//
+// Times the simulator's hot paths (event kernel, cancel churn, TCP bulk
+// transfer) and the sharded experiment engine (queries/sec, thread-scaling
+// curve) and writes everything as JSON so each future PR can diff perf
+// against its predecessor:
+//
+//   ./perf_smoke [output.json]          quick mode (CI: the bench-smoke
+//                                       ctest target runs this)
+//   DYNCDN_FULL=1 ./perf_smoke          paper-scale sizes
+//   DYNCDN_BENCH_JSON=path ./perf_smoke write to `path`
+//
+// JSON schema: {"mode", "threads_available", "event_kernel": {...
+// events_per_sec}, "cancel_churn": {...}, "tcp_bulk": {...}, "experiment":
+// {"queries", "serial_wall_ms", "thread_scaling": [{threads, wall_ms,
+// speedup_vs_1}]}}. See docs/PERF.md.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/network.hpp"
+#include "parallel/replica.hpp"
+#include "search/keywords.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/stack.hpp"
+#include "testbed/parallel_experiment.hpp"
+
+using namespace dyncdn;
+using namespace dyncdn::sim::literals;
+
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Rate {
+  double wall_ms = 0;
+  double per_sec = 0;
+  std::uint64_t items = 0;
+};
+
+/// Schedule-and-fire throughput of the event kernel.
+Rate bench_event_kernel(std::uint64_t events) {
+  const auto start = std::chrono::steady_clock::now();
+  sim::EventQueue q;
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    q.schedule(sim::SimTime::microseconds(static_cast<std::int64_t>(i % 997)),
+               [&sum, i] { sum += i; });
+  }
+  while (!q.empty()) q.pop_and_run();
+  Rate r;
+  r.wall_ms = wall_ms_since(start);
+  r.items = events + (sum & 1);  // keep `sum` observable
+  r.per_sec = static_cast<double>(events) / (r.wall_ms / 1000.0);
+  return r;
+}
+
+/// TCP-RTO-style churn: every event is cancelled and re-armed.
+Rate bench_cancel_churn(std::uint64_t rearms) {
+  const auto start = std::chrono::steady_clock::now();
+  sim::EventQueue q;
+  sim::EventId pending;
+  for (std::uint64_t i = 0; i < rearms; ++i) {
+    if (pending.valid()) q.cancel(pending);
+    pending = q.schedule(
+        sim::SimTime::microseconds(static_cast<std::int64_t>(1000 + i)),
+        [] {});
+  }
+  while (!q.empty()) q.pop_and_run();
+  Rate r;
+  r.wall_ms = wall_ms_since(start);
+  r.items = rearms;
+  r.per_sec = static_cast<double>(rearms) / (r.wall_ms / 1000.0);
+  return r;
+}
+
+/// Full-stack segment throughput: one bulk TCP transfer end to end.
+Rate bench_tcp_bulk(std::size_t bytes) {
+  const auto start = std::chrono::steady_clock::now();
+  sim::Simulator simulator(1);
+  net::Network network(simulator);
+  net::Node& a = network.add_node("a");
+  net::Node& b = network.add_node("b");
+  net::LinkConfig cfg;
+  cfg.propagation_delay = 10_ms;
+  cfg.bandwidth_bps = 1e9;
+  network.connect(a, b, cfg);
+  tcp::TcpStack sa(a), sb(b);
+  std::size_t received = 0;
+  sb.listen(80, [&received](tcp::TcpSocket& s) {
+    tcp::TcpSocket::Callbacks cb;
+    cb.on_data = [&received](net::PayloadRef d) { received += d.length; };
+    s.set_callbacks(std::move(cb));
+  });
+  tcp::TcpSocket& c = sa.connect({b.id(), 80}, {});
+  c.send(net::PayloadRef{
+      net::make_buffer(std::vector<std::uint8_t>(bytes, 0x55)), 0, bytes});
+  c.close();
+  simulator.run();
+  Rate r;
+  r.wall_ms = wall_ms_since(start);
+  r.items = simulator.events_executed();
+  r.per_sec = static_cast<double>(r.items) / (r.wall_ms / 1000.0);
+  if (received != bytes) {
+    std::fprintf(stderr, "perf_smoke: tcp transfer incomplete (%zu/%zu)\n",
+                 received, bytes);
+    std::exit(1);
+  }
+  return r;
+}
+
+struct ScalePoint {
+  std::size_t threads = 0;
+  double wall_ms = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::full_scale();
+  const std::uint64_t kernel_events = full ? 4'000'000 : 400'000;
+  const std::uint64_t churn_rearms = full ? 2'000'000 : 200'000;
+  const std::size_t tcp_bytes = full ? 4'000'000 : 1'000'000;
+  const std::size_t clients = full ? 24 : 8;
+  const std::size_t reps = full ? 10 : 4;
+
+  std::string out_path = "BENCH.json";
+  if (const char* env = std::getenv("DYNCDN_BENCH_JSON")) out_path = env;
+  if (argc > 1) out_path = argv[1];
+
+  bench::banner("perf_smoke — hot-path micro-benchmarks",
+                std::string("mode: ") + (full ? "full" : "quick") +
+                    ", output: " + out_path);
+
+  const Rate kernel = bench_event_kernel(kernel_events);
+  std::printf("event kernel:   %10.0f events/sec (%.1f ms)\n", kernel.per_sec,
+              kernel.wall_ms);
+  const Rate churn = bench_cancel_churn(churn_rearms);
+  std::printf("cancel churn:   %10.0f re-arms/sec (%.1f ms)\n", churn.per_sec,
+              churn.wall_ms);
+  const Rate tcp = bench_tcp_bulk(tcp_bytes);
+  std::printf("tcp bulk:       %10.0f sim events/sec (%.1f ms, %llu events)\n",
+              tcp.per_sec, tcp.wall_ms,
+              static_cast<unsigned long long>(tcp.items));
+
+  // Experiment engine: a fixed-FE campaign sharded one-replica-per-vantage-
+  // point; wall time per thread count gives the scaling curve.
+  testbed::ScenarioOptions scenario;
+  scenario.profile = cdn::google_like_profile();
+  scenario.client_count = clients;
+  scenario.seed = 4242;
+  testbed::ExperimentOptions eo;
+  eo.reps_per_node = reps;
+  eo.interval = 900_ms;
+  search::KeywordCatalog catalog(5);
+  eo.keywords = {catalog.figure3_keywords().front()};
+
+  const std::size_t hw = parallel::resolve_threads({});
+  std::vector<std::size_t> thread_counts{1};
+  for (std::size_t t = 2; t <= hw && t <= 8; t *= 2) {
+    thread_counts.push_back(t);
+  }
+
+  std::vector<ScalePoint> scaling;
+  std::size_t queries = 0;
+  for (const std::size_t threads : thread_counts) {
+    testbed::ReplicaPlan plan;  // default: one shard per vantage point
+    plan.executor.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result =
+        testbed::run_fixed_fe_experiment(scenario, 0, eo, plan);
+    ScalePoint p;
+    p.threads = threads;
+    p.wall_ms = wall_ms_since(start);
+    scaling.push_back(p);
+    queries = result.all().size();
+    std::printf("experiment:     %zu threads -> %8.1f ms (%zu queries, "
+                "%.0f queries/sec)\n",
+                threads, p.wall_ms, queries,
+                static_cast<double>(queries) / (p.wall_ms / 1000.0));
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_smoke: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", full ? "full" : "quick");
+  std::fprintf(f, "  \"threads_available\": %zu,\n", hw);
+  std::fprintf(f,
+               "  \"event_kernel\": {\"events\": %llu, \"wall_ms\": %.3f, "
+               "\"events_per_sec\": %.0f},\n",
+               static_cast<unsigned long long>(kernel_events), kernel.wall_ms,
+               kernel.per_sec);
+  std::fprintf(f,
+               "  \"cancel_churn\": {\"rearms\": %llu, \"wall_ms\": %.3f, "
+               "\"rearms_per_sec\": %.0f},\n",
+               static_cast<unsigned long long>(churn_rearms), churn.wall_ms,
+               churn.per_sec);
+  std::fprintf(f,
+               "  \"tcp_bulk\": {\"bytes\": %zu, \"sim_events\": %llu, "
+               "\"wall_ms\": %.3f, \"events_per_sec\": %.0f},\n",
+               tcp_bytes, static_cast<unsigned long long>(tcp.items),
+               tcp.wall_ms, tcp.per_sec);
+  std::fprintf(f, "  \"experiment\": {\n");
+  std::fprintf(f, "    \"vantage_points\": %zu,\n", clients);
+  std::fprintf(f, "    \"queries\": %zu,\n", queries);
+  std::fprintf(f, "    \"serial_wall_ms\": %.3f,\n", scaling.front().wall_ms);
+  std::fprintf(f, "    \"queries_per_sec_serial\": %.1f,\n",
+               static_cast<double>(queries) /
+                   (scaling.front().wall_ms / 1000.0));
+  std::fprintf(f, "    \"thread_scaling\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    std::fprintf(f,
+                 "      {\"threads\": %zu, \"wall_ms\": %.3f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 scaling[i].threads, scaling[i].wall_ms,
+                 scaling.front().wall_ms / scaling[i].wall_ms,
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\n[bench json written: %s]\n", out_path.c_str());
+  return 0;
+}

@@ -2,8 +2,74 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <new>
 
 namespace dyncdn::net {
+
+namespace {
+
+/// Per-thread free list of fixed-size blocks. Each simulation replica runs
+/// single-threaded on its own worker, so no locking; blocks released on a
+/// different thread than they were acquired on simply migrate pools.
+struct PacketBlockPool {
+  std::vector<void*> blocks;
+  std::size_t block_size = 0;
+
+  ~PacketBlockPool() {
+    for (void* b : blocks) ::operator delete(b);
+  }
+};
+
+thread_local PacketBlockPool t_packet_pool;
+
+/// Recycling allocator used only via allocate_shared<Packet>: every
+/// allocation it ever sees is the single combined (control block + Packet)
+/// node type, so one fixed block size serves the whole pool.
+template <class T>
+struct PacketPoolAllocator {
+  using value_type = T;
+
+  PacketPoolAllocator() = default;
+  template <class U>
+  PacketPoolAllocator(const PacketPoolAllocator<U>&) {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    PacketBlockPool& pool = t_packet_pool;
+    if (n == 1 && bytes == pool.block_size && !pool.blocks.empty()) {
+      void* block = pool.blocks.back();
+      pool.blocks.pop_back();
+      return static_cast<T*>(block);
+    }
+    if (n == 1 && pool.block_size == 0) pool.block_size = bytes;
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    constexpr std::size_t kMaxCachedBlocks = 4096;
+    const std::size_t bytes = n * sizeof(T);
+    PacketBlockPool& pool = t_packet_pool;
+    if (n == 1 && bytes == pool.block_size &&
+        pool.blocks.size() < kMaxCachedBlocks) {
+      pool.blocks.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <class U>
+  bool operator==(const PacketPoolAllocator<U>&) const {
+    return true;
+  }
+};
+
+}  // namespace
+
+PacketPtr acquire_packet() {
+  return std::allocate_shared<Packet>(PacketPoolAllocator<Packet>{});
+}
+
+std::size_t packet_pool_free_count() { return t_packet_pool.blocks.size(); }
 
 Buffer make_buffer(std::string_view text) {
   return make_buffer(std::vector<std::uint8_t>(text.begin(), text.end()));

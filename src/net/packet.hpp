@@ -88,4 +88,15 @@ struct Packet {
 
 using PacketPtr = std::shared_ptr<Packet>;
 
+/// Allocate a zeroed Packet from a thread-local pool. The shared_ptr control
+/// block and the Packet come from one recycled allocation, so the per-segment
+/// cost on the TCP hot path is a free-list pop instead of two heap
+/// allocations. Returned packets are ordinary PacketPtrs: capture taps may
+/// retain them arbitrarily long; the storage goes back to the pool of the
+/// releasing thread when the last reference drops.
+PacketPtr acquire_packet();
+
+/// Pool introspection (tests): blocks currently cached on this thread.
+std::size_t packet_pool_free_count();
+
 }  // namespace dyncdn::net

@@ -1,0 +1,96 @@
+// Deterministic parallel replica execution.
+//
+// The paper's campaigns are embarrassingly parallel: hundreds of vantage
+// points, sweep points and bench repetitions, each an independent
+// simulation. The ReplicaExecutor shards such replicas across a fixed set
+// of worker threads with *static round-robin assignment* — no work
+// stealing, no shared mutable simulation state — so the set of replicas a
+// worker runs is a pure function of (replica_count, thread_count), and the
+// result vector is a pure function of the replica bodies alone. Replica i's
+// result lands at index i regardless of completion order, which makes the
+// merged output bit-identical at any thread count.
+//
+// Seeding: replica_seed(base, i) gives every replica its own independent,
+// stable RNG universe. It is a SplitMix64-style hash, so neighbouring
+// indices produce statistically unrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dyncdn::parallel {
+
+/// Stable per-replica seed: hash of (base_seed, replica_index).
+/// Same inputs always give the same seed, on every platform.
+std::uint64_t replica_seed(std::uint64_t base_seed,
+                           std::uint64_t replica_index);
+
+struct ExecutorConfig {
+  /// Worker count. 0 = use DYNCDN_THREADS if set, else
+  /// std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+};
+
+/// Thread count an ExecutorConfig resolves to (env var / hardware probe
+/// applied, floor of 1).
+std::size_t resolve_threads(const ExecutorConfig& config);
+
+class ReplicaExecutor {
+ public:
+  explicit ReplicaExecutor(ExecutorConfig config = {})
+      : threads_(resolve_threads(config)) {}
+
+  std::size_t threads() const { return threads_; }
+
+  /// Run fn(0) .. fn(count-1), returning results in index order. With one
+  /// thread (or one replica) everything runs inline on the caller — the
+  /// serial path is literally the same code. Exceptions propagate: the
+  /// lowest-index replica's exception is rethrown after all workers join.
+  template <class Fn>
+  auto run(std::size_t count, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(!std::is_void_v<R>,
+                  "ReplicaExecutor::run requires a result per replica");
+
+    std::vector<std::optional<R>> slots(count);
+    const std::size_t workers = std::min(threads_, count);
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < count; ++i) slots[i].emplace(fn(i));
+    } else {
+      std::vector<std::exception_ptr> errors(count);
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w]() {
+          // Static round-robin shard: worker w owns replicas w, w+W, ...
+          for (std::size_t i = w; i < count; i += workers) {
+            try {
+              slots[i].emplace(fn(i));
+            } catch (...) {
+              errors[i] = std::current_exception();
+            }
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      for (const std::exception_ptr& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    }
+
+    std::vector<R> out;
+    out.reserve(count);
+    for (std::optional<R>& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace dyncdn::parallel

@@ -1,0 +1,120 @@
+// Small-buffer-optimized move-only callable for the event kernel.
+//
+// Every TCP ACK re-arms the retransmission timer, so the event queue
+// constructs and destroys one callback per segment. std::function heap
+// allocates for captures beyond ~16 bytes and pays for copyability we never
+// use; this type stores any callable up to kInlineBytes inline (timer
+// lambdas capture a pointer or two) and only falls back to the heap for
+// oversized captures.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dyncdn::sim {
+
+/// Move-only `void()` callable with inline storage.
+class Callback {
+ public:
+  /// Inline capacity: large enough for a lambda capturing a handful of
+  /// pointers/shared_ptrs or a std::function, small enough to keep heap
+  /// entries cache-friendly.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Callback() = default;
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every schedule() call site.
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &InlineModel<D>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapModel<D>::ops;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  void operator()() { ops_->invoke(*this); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(*this);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(Callback&);
+    /// Move-construct src's callable into dst's (empty) storage, then
+    /// destroy src's. dst.ops_ is set by the caller.
+    void (*relocate)(Callback& dst, Callback& src);
+    void (*destroy)(Callback&);
+  };
+
+  template <class D>
+  struct InlineModel {
+    static D& target(Callback& c) {
+      return *std::launder(reinterpret_cast<D*>(c.storage_));
+    }
+    static void invoke(Callback& c) { target(c)(); }
+    static void relocate(Callback& dst, Callback& src) {
+      ::new (static_cast<void*>(dst.storage_)) D(std::move(target(src)));
+      target(src).~D();
+    }
+    static void destroy(Callback& c) { target(c).~D(); }
+    static constexpr Ops ops{invoke, relocate, destroy};
+  };
+
+  template <class D>
+  struct HeapModel {
+    static D*& target(Callback& c) {
+      return *std::launder(reinterpret_cast<D**>(c.storage_));
+    }
+    static void invoke(Callback& c) { (*target(c))(); }
+    static void relocate(Callback& dst, Callback& src) {
+      ::new (static_cast<void*>(dst.storage_)) D*(target(src));
+    }
+    static void destroy(Callback& c) { delete target(c); }
+    static constexpr Ops ops{invoke, relocate, destroy};
+  };
+
+  void move_from(Callback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(*this, other);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+};
+
+}  // namespace dyncdn::sim

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -12,26 +13,65 @@ EventId EventQueue::schedule(SimTime at, Callback cb) {
                            at.to_string() + " < " + last_popped_.to_string() +
                            ")");
   }
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at, seq, std::move(cb)});
-  pending_.insert(seq);
-  return EventId{seq};
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].cb = std::move(cb);
+
+  const std::uint32_t gen = slots_[slot].gen;
+  heap_.push_back(HeapEntry{at, next_seq_++, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++live_;
+  return EventId{(static_cast<std::uint64_t>(slot) << 32) | gen};
+}
+
+void EventQueue::retire_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.reset();
+  ++s.gen;
+  free_slots_.push_back(slot);
+  --live_;
 }
 
 bool EventQueue::cancel(EventId id) {
   if (!id.valid()) return false;
-  if (pending_.erase(id.value()) == 0) return false;  // already fired/cancelled
-  cancelled_.insert(id.value());
+  const std::uint32_t slot = static_cast<std::uint32_t>(id.value() >> 32);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.value());
+  if (slot >= slots_.size() || slots_[slot].gen != gen) {
+    return false;  // already fired/cancelled (or never scheduled here)
+  }
+  retire_slot(slot);
+  ++dead_in_heap_;  // the heap entry stays until skimmed or compacted
+  maybe_compact();
   return true;
 }
 
 void EventQueue::skim() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+  while (!heap_.empty() && entry_dead(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+    --dead_in_heap_;
   }
+}
+
+void EventQueue::maybe_compact() {
+  // Rebuild once dead entries dominate: keeps the heap within 2x the live
+  // event count (plus slack) no matter how hard timers churn.
+  if (dead_in_heap_ < 64 || dead_in_heap_ <= heap_.size() - dead_in_heap_) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) {
+                               return entry_dead(e);
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  dead_in_heap_ = 0;
 }
 
 bool EventQueue::empty() const {
@@ -41,22 +81,25 @@ bool EventQueue::empty() const {
 
 SimTime EventQueue::next_time() const {
   const_cast<EventQueue*>(this)->skim();
-  return heap_.empty() ? SimTime::infinity() : heap_.top().at;
+  return heap_.empty() ? SimTime::infinity() : heap_.front().at;
 }
 
 SimTime EventQueue::pop_and_run() {
   skim();
   assert(!heap_.empty() && "pop_and_run on empty queue");
-  // priority_queue::top() returns const&; the callback must be moved out
-  // before pop. const_cast is confined to this one extraction point.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  pending_.erase(entry.seq);
+  const HeapEntry entry = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  heap_.pop_back();
+  // Move the callback out and retire the slot *before* running: the
+  // callback may itself schedule (possibly reusing this slot) or try to
+  // cancel its own id, which must report "already fired".
+  Callback cb = std::move(slots_[entry.slot].cb);
+  retire_slot(entry.slot);
   last_popped_ = entry.at;
-  entry.cb();
+  cb();
   return entry.at;
 }
 
-std::size_t EventQueue::pending_count() const { return pending_.size(); }
+std::size_t EventQueue::pending_count() const { return live_; }
 
 }  // namespace dyncdn::sim

@@ -4,14 +4,21 @@
 // ties deterministically: two events scheduled for the same instant fire in
 // scheduling order, which makes whole-simulation runs bit-for-bit
 // reproducible regardless of heap internals.
+//
+// Hot-path design: callbacks live in a slot table indexed by small integers;
+// the heap holds only POD (time, seq, slot, generation) entries. An EventId
+// encodes (slot, generation), so cancel is an O(1) generation bump — no
+// hash-set insert/erase — and a stale heap entry is recognized on pop by
+// its generation mismatching the slot's. Cancelled entries are skimmed as
+// they surface and the heap is compacted whenever dead entries outnumber
+// live ones, so churny cancel/re-arm workloads (TCP re-arms its RTO on
+// every ACK) cannot grow the queue without bound.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace dyncdn::sim {
@@ -29,14 +36,10 @@ class EventId {
   std::uint64_t value_ = 0;  // 0 = invalid / never scheduled
 };
 
-/// Min-heap of timed callbacks with O(1) lazy cancellation.
-///
-/// Cancelled events stay in the heap but are skipped on pop; the cancelled
-/// set is purged as entries surface. This keeps cancel cheap, which matters
-/// because TCP re-arms its retransmission timer on every ACK.
+/// Min-heap of timed callbacks with O(1) generation-counter cancellation.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   /// Schedule `cb` to fire at absolute time `at`. `at` must not precede the
   /// last popped event time (no scheduling into the past).
@@ -57,25 +60,45 @@ class EventQueue {
 
   std::size_t pending_count() const;
 
+  /// Introspection for stress tests: total heap entries including
+  /// cancelled-but-not-yet-skimmed ones, and the slot-table size. Both are
+  /// bounded by O(live events) regardless of cancel churn.
+  std::size_t heaped_entries() const { return heap_.size(); }
+  std::size_t slot_count() const { return slots_.size(); }
+
  private:
-  struct Entry {
+  struct HeapEntry {
     SimTime at;
-    std::uint64_t seq;
+    std::uint64_t seq;     // global schedule order, breaks time ties
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct Slot {
     Callback cb;
+    std::uint32_t gen = 1;  // bumped when the slot's event fires/cancels
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+
+  static bool later(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  bool entry_dead(const HeapEntry& e) const {
+    return slots_[e.slot].gen != e.gen;
+  }
 
   /// Drop cancelled entries from the top of the heap.
   void skim();
+  /// Remove all dead entries when they dominate the heap.
+  void maybe_compact();
+  /// Retire a slot whose event fired or was cancelled.
+  void retire_slot(std::uint32_t slot);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> pending_;    // live (not fired/cancelled)
-  std::unordered_set<std::uint64_t> cancelled_;  // cancelled but still heaped
+  std::vector<HeapEntry> heap_;       // binary min-heap via std::*_heap
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;              // scheduled and not fired/cancelled
+  std::size_t dead_in_heap_ = 0;      // cancelled entries still heaped
   std::uint64_t next_seq_ = 1;
   SimTime last_popped_ = SimTime::zero();
 };

@@ -613,7 +613,7 @@ void TcpSocket::send_fin_if_ready() {
 
 void TcpSocket::emit(net::TcpFlags flags, std::uint64_t seq,
                      net::PayloadRef payload) {
-  auto packet = std::make_shared<net::Packet>();
+  auto packet = net::acquire_packet();
   packet->dst = flow_.remote.node;
   packet->tcp.src_port = flow_.local.port;
   packet->tcp.dst_port = flow_.remote.port;

@@ -70,7 +70,7 @@ void TcpStack::on_packet(const net::PacketPtr& packet) {
 }
 
 void TcpStack::send_reset_for(const net::PacketPtr& packet) {
-  auto rst = std::make_shared<net::Packet>();
+  auto rst = net::acquire_packet();
   rst->dst = packet->src;
   rst->tcp.src_port = packet->tcp.dst_port;
   rst->tcp.dst_port = packet->tcp.src_port;

@@ -10,11 +10,10 @@ namespace dyncdn::testbed {
 
 namespace {
 constexpr net::Port kServicePort = 80;
+}  // namespace
 
-/// Analyze one client's captured trace into per-query timings, then free
-/// the trace memory.
-std::vector<core::QueryTimings> analyze_and_clear(
-    Scenario::Client& client, std::size_t boundary) {
+std::vector<core::QueryTimings> analyze_client_trace(Scenario::Client& client,
+                                                     std::size_t boundary) {
   if (!client.recorder) {
     throw std::logic_error("experiment requires capture_clients=true");
   }
@@ -23,7 +22,6 @@ std::vector<core::QueryTimings> analyze_and_clear(
   client.recorder->clear();
   return core::timings_from_timelines(timelines);
 }
-}  // namespace
 
 std::size_t discover_boundary(Scenario& scenario, std::size_t client_index,
                               std::size_t fe_index,
@@ -70,25 +68,25 @@ std::size_t discover_boundary(Scenario& scenario, std::size_t client_index,
   return boundary;
 }
 
-namespace {
-ExperimentResult run_experiment(Scenario& scenario,
-                                const ExperimentOptions& options,
-                                const std::function<std::size_t(std::size_t)>&
-                                    fe_for_client) {
+ExperimentResult run_experiment_subset(
+    Scenario& scenario, const ExperimentOptions& options,
+    std::span<const std::size_t> client_indices,
+    const std::function<std::size_t(std::size_t)>& fe_for_client) {
   if (options.keywords.empty() && !options.zipf) {
     throw std::invalid_argument("ExperimentOptions.keywords is empty");
   }
 
-  // Boundary discovery from the first client against its target FE.
+  // Boundary discovery always probes from client 0 so every shard of a
+  // sharded campaign derives the same boundary the serial run would.
   const std::size_t boundary =
       discover_boundary(scenario, 0, fe_for_client(0));
   const std::size_t discovery_fetches =
       scenario.fes()[fe_for_client(0)].server->fetch_log().size();
 
-  // Launch the query schedule.
+  // Launch the query schedule for the selected vantage points.
   sim::Simulator& simulator = scenario.simulator();
   auto& clients = scenario.clients();
-  for (std::size_t i = 0; i < clients.size(); ++i) {
+  for (const std::size_t i : client_indices) {
     const std::size_t fe = fe_for_client(i);
     scenario.connect_client_to_fe(i, fe);
     const net::Endpoint endpoint = scenario.fe_endpoint(fe);
@@ -110,6 +108,9 @@ ExperimentResult run_experiment(Scenario& scenario,
       const search::Keyword kw =
           options.zipf ? sequence[r]
                        : options.keywords[r % options.keywords.size()];
+      // Stagger by the client's *global* index: a vantage point keeps the
+      // same submission schedule whether it runs in the full fleet or in a
+      // single-client replica.
       const sim::SimTime at =
           options.stagger * static_cast<std::int64_t>(i) +
           options.interval * static_cast<std::int64_t>(r);
@@ -121,18 +122,29 @@ ExperimentResult run_experiment(Scenario& scenario,
   }
   simulator.run();
 
-  // Offline analysis per vantage point.
+  // Offline analysis per selected vantage point (result aligns with
+  // client_indices).
   ExperimentResult result;
   result.boundary = boundary;
   result.discovery_fetches = discovery_fetches;
-  result.per_node_timings.reserve(clients.size());
-  for (std::size_t i = 0; i < clients.size(); ++i) {
-    auto timings = analyze_and_clear(clients[i], boundary);
+  result.per_node_timings.reserve(client_indices.size());
+  for (const std::size_t i : client_indices) {
+    auto timings = analyze_client_trace(clients[i], boundary);
     result.per_node.push_back(
         core::aggregate_node(clients[i].vantage.name, timings));
     result.per_node_timings.push_back(std::move(timings));
   }
   return result;
+}
+
+namespace {
+ExperimentResult run_experiment(Scenario& scenario,
+                                const ExperimentOptions& options,
+                                const std::function<std::size_t(std::size_t)>&
+                                    fe_for_client) {
+  std::vector<std::size_t> all(scenario.clients().size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return run_experiment_subset(scenario, options, all, fe_for_client);
 }
 }  // namespace
 
@@ -178,7 +190,7 @@ CachingExperimentResult run_caching_experiment(Scenario& scenario,
                                        [](const cdn::QueryResult&) {});
   simulator.run();
   {
-    auto timings = analyze_and_clear(client, boundary);
+    auto timings = analyze_client_trace(client, boundary);
     for (const auto& q : timings) {
       result.t_dynamic_same_ms.push_back(q.t_dynamic_ms);
     }
@@ -194,7 +206,7 @@ CachingExperimentResult run_caching_experiment(Scenario& scenario,
   }
   simulator.run();
   {
-    auto timings = analyze_and_clear(client, boundary);
+    auto timings = analyze_client_trace(client, boundary);
     for (const auto& q : timings) {
       result.t_dynamic_distinct_ms.push_back(q.t_dynamic_ms);
     }
@@ -227,7 +239,7 @@ FetchFactoringResult run_fetch_factoring_experiment(
 
   FetchFactoringResult result;
   for (std::size_t i = 0; i < clients.size(); ++i) {
-    auto timings = analyze_and_clear(clients[i], boundary);
+    auto timings = analyze_client_trace(clients[i], boundary);
     if (timings.empty()) continue;
     result.distances_miles.push_back(fes[i].distance_to_be_miles);
     result.med_t_dynamic_ms.push_back(

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,6 +64,25 @@ struct ExperimentResult {
   /// All timings flattened.
   std::vector<core::QueryTimings> all() const;
 };
+
+/// Analyze one client's captured trace into per-query timings, then clear
+/// the recorder (requires capture_clients=true). Shared by the serial and
+/// sharded experiment runners.
+std::vector<core::QueryTimings> analyze_client_trace(Scenario::Client& client,
+                                                     std::size_t boundary);
+
+/// Core measurement loop over an explicit subset of vantage points: runs
+/// boundary discovery (always from client 0, so every shard of a sharded
+/// campaign agrees on the boundary), schedules the query sequence for the
+/// listed clients — each keeps its *global* stagger slot, so a client's
+/// schedule is identical whether it runs alongside the full fleet or alone
+/// in a replica — and analyzes their traces. Result vectors align with
+/// `client_indices`, not with scenario.clients(). This is the unit the
+/// parallel replica engine (parallel_experiment.hpp) shards and merges.
+ExperimentResult run_experiment_subset(
+    Scenario& scenario, const ExperimentOptions& options,
+    std::span<const std::size_t> client_indices,
+    const std::function<std::size_t(std::size_t)>& fe_for_client);
 
 /// Datasets B: all clients query the FE at `fe_index`.
 ExperimentResult run_fixed_fe_experiment(Scenario& scenario,

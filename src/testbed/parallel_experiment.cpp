@@ -1,0 +1,153 @@
+#include "testbed/parallel_experiment.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "core/inference.hpp"
+#include "stats/descriptive.hpp"
+
+namespace dyncdn::testbed {
+
+namespace {
+
+/// Contiguous block partition of [0, clients) into `shards` groups. The
+/// partition depends only on (clients, shards) — never on thread count —
+/// which is what makes merged results thread-count-invariant.
+std::vector<std::vector<std::size_t>> partition_clients(std::size_t clients,
+                                                        std::size_t shards) {
+  std::vector<std::vector<std::size_t>> groups(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t lo = s * clients / shards;
+    const std::size_t hi = (s + 1) * clients / shards;
+    for (std::size_t i = lo; i < hi; ++i) groups[s].push_back(i);
+  }
+  return groups;
+}
+
+std::size_t resolve_shards(const ReplicaPlan& plan, std::size_t clients) {
+  if (clients == 0) {
+    throw std::invalid_argument("sharded experiment: no vantage points");
+  }
+  const std::size_t requested = plan.shards == 0 ? clients : plan.shards;
+  return std::min(requested, clients);
+}
+
+ExperimentResult run_sharded(const ScenarioOptions& base,
+                             const ExperimentOptions& options,
+                             const ReplicaPlan& plan,
+                             std::optional<std::size_t> fixed_fe) {
+  const std::size_t clients = planned_client_count(base);
+  const std::size_t shards = resolve_shards(plan, clients);
+  const auto groups = partition_clients(clients, shards);
+
+  parallel::ReplicaExecutor executor(plan.executor);
+  auto shard_results =
+      executor.run(shards, [&](std::size_t s) -> ExperimentResult {
+        Scenario scenario(base);  // same seed -> identical topology everywhere
+        scenario.warm_up(plan.warm_up);
+        auto& scenario_clients = scenario.clients();
+        const auto fe_for_client = [&](std::size_t i) {
+          return fixed_fe ? *fixed_fe : scenario_clients[i].default_fe;
+        };
+        return run_experiment_subset(scenario, options, groups[s],
+                                     fe_for_client);
+      });
+
+  // Scatter shard results back into fleet order.
+  ExperimentResult merged;
+  merged.boundary = shard_results.front().boundary;
+  merged.discovery_fetches = shard_results.front().discovery_fetches;
+  merged.per_node.resize(clients);
+  merged.per_node_timings.resize(clients);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t k = 0; k < groups[s].size(); ++k) {
+      merged.per_node[groups[s][k]] = std::move(shard_results[s].per_node[k]);
+      merged.per_node_timings[groups[s][k]] =
+          std::move(shard_results[s].per_node_timings[k]);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::size_t planned_client_count(const ScenarioOptions& options) {
+  if (options.fe_distance_sweep_miles) {
+    return options.fe_distance_sweep_miles->size();
+  }
+  return options.client_count;
+}
+
+ExperimentResult run_fixed_fe_experiment(const ScenarioOptions& scenario_options,
+                                         std::size_t fe_index,
+                                         const ExperimentOptions& options,
+                                         const ReplicaPlan& plan) {
+  return run_sharded(scenario_options, options, plan, fe_index);
+}
+
+ExperimentResult run_default_fe_experiment(
+    const ScenarioOptions& scenario_options, const ExperimentOptions& options,
+    const ReplicaPlan& plan) {
+  return run_sharded(scenario_options, options, plan, std::nullopt);
+}
+
+FetchFactoringResult run_fetch_factoring_experiment(
+    const ScenarioOptions& scenario_options, const search::Keyword& keyword,
+    std::size_t reps, const ReplicaPlan& plan) {
+  if (!scenario_options.fe_distance_sweep_miles) {
+    throw std::logic_error(
+        "fetch-factoring requires fe_distance_sweep_miles in the scenario");
+  }
+  const std::size_t points = planned_client_count(scenario_options);
+  const std::size_t shards = resolve_shards(plan, points);
+  const auto groups = partition_clients(points, shards);
+
+  struct ShardSeries {
+    std::vector<double> distances_miles;
+    std::vector<double> med_t_dynamic_ms;
+  };
+
+  parallel::ReplicaExecutor executor(plan.executor);
+  auto shard_results = executor.run(shards, [&](std::size_t s) -> ShardSeries {
+    Scenario scenario(scenario_options);
+    scenario.warm_up(plan.warm_up);
+    auto& clients = scenario.clients();
+    auto& fes = scenario.fes();
+    const std::size_t boundary = discover_boundary(scenario, 0, 0);
+
+    sim::Simulator& simulator = scenario.simulator();
+    for (const std::size_t i : groups[s]) {
+      clients[i].query_client->submit_repeated(
+          scenario.fe_endpoint(i), keyword, reps,
+          sim::SimTime::milliseconds(1700), [](const cdn::QueryResult&) {});
+    }
+    simulator.run();
+
+    ShardSeries series;
+    for (const std::size_t i : groups[s]) {
+      if (!clients[i].recorder) continue;
+      const auto timelines = analyze_client_trace(clients[i], boundary);
+      if (timelines.empty()) continue;
+      series.distances_miles.push_back(fes[i].distance_to_be_miles);
+      series.med_t_dynamic_ms.push_back(
+          stats::median(core::extract_dynamic(timelines)));
+    }
+    return series;
+  });
+
+  FetchFactoringResult result;
+  for (const ShardSeries& s : shard_results) {
+    result.distances_miles.insert(result.distances_miles.end(),
+                                  s.distances_miles.begin(),
+                                  s.distances_miles.end());
+    result.med_t_dynamic_ms.insert(result.med_t_dynamic_ms.end(),
+                                   s.med_t_dynamic_ms.begin(),
+                                   s.med_t_dynamic_ms.end());
+  }
+  result.factoring = core::factor_fetch_time(result.distances_miles,
+                                             result.med_t_dynamic_ms);
+  return result;
+}
+
+}  // namespace dyncdn::testbed

@@ -1,0 +1,64 @@
+// Sharded "replica plan -> merge" experiment runners.
+//
+// The serial runners in experiment.hpp drive every vantage point through
+// one Simulator. These spec-based overloads instead split the campaign
+// into independent replicas — each replica rebuilds the *same* scenario
+// (same seed, same topology, same named RNG streams) and drives only its
+// shard of vantage points — and run the replicas on a deterministic thread
+// pool (parallel/replica.hpp). Merging scatters each shard's per-node
+// results back into fleet order.
+//
+// Determinism contract:
+//   * For a fixed ReplicaPlan::shards, the merged result is bit-identical
+//     at every thread count (1, 2, N...): replicas share no mutable state
+//     and results are merged by index, never by completion order.
+//   * With shards == 1 the single replica is exactly the legacy serial
+//     path (construct, warm_up, run_*_experiment), so old and new results
+//     can be diffed bit-for-bit.
+//   * With shards > 1, vantage points in different shards no longer
+//     contend inside one simulator; per-client submission schedules are
+//     unchanged (global stagger slots), but FE/BE queueing reflects only
+//     same-shard traffic. The default (one shard per vantage point) models
+//     the paper's PlanetLab reality: measurement clients do not share an
+//     access path, and a 60-node campaign perturbing one FE is exactly
+//     what Datasets A/B measured.
+#pragma once
+
+#include "parallel/replica.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/scenario.hpp"
+
+namespace dyncdn::testbed {
+
+struct ReplicaPlan {
+  /// Number of replicas the vantage-point set is split into.
+  /// 0 = one shard per vantage point (maximum parallelism).
+  /// 1 = legacy serial semantics (whole fleet in one simulator).
+  std::size_t shards = 0;
+  /// Worker-thread resolution (DYNCDN_THREADS / hardware concurrency).
+  parallel::ExecutorConfig executor;
+  /// Warm-up simulated before measurement in every replica.
+  sim::SimTime warm_up = sim::SimTime::seconds(5);
+};
+
+/// Vantage points a ScenarioOptions will build (sweep-aware).
+std::size_t planned_client_count(const ScenarioOptions& options);
+
+/// Datasets B, sharded: all clients query the FE at `fe_index`.
+ExperimentResult run_fixed_fe_experiment(const ScenarioOptions& scenario_options,
+                                         std::size_t fe_index,
+                                         const ExperimentOptions& options,
+                                         const ReplicaPlan& plan = {});
+
+/// Datasets A, sharded: each client queries its default (DNS-nearest) FE.
+ExperimentResult run_default_fe_experiment(
+    const ScenarioOptions& scenario_options, const ExperimentOptions& options,
+    const ReplicaPlan& plan = {});
+
+/// Fig. 9, sharded: one replica per group of distance-sweep probes; the
+/// regression runs once over the merged (distance, median) series.
+FetchFactoringResult run_fetch_factoring_experiment(
+    const ScenarioOptions& scenario_options, const search::Keyword& keyword,
+    std::size_t reps, const ReplicaPlan& plan = {});
+
+}  // namespace dyncdn::testbed

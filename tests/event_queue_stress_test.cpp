@@ -1,0 +1,159 @@
+// EventQueue stress: interleaved schedule/cancel/re-arm churn. Verifies
+// (a) determinism — the same seed produces the same pop order — and
+// (b) that the generation-counter design keeps memory bounded: cancelled
+// entries cannot accumulate in the heap or grow the slot table without
+// bound, no matter how hard timers churn.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace dyncdn::sim {
+namespace {
+
+using namespace dyncdn::sim::literals;
+
+/// One churn run: schedule/cancel/re-arm/pop mix driven by `seed`; returns
+/// the (time, tag) sequence of every fired event.
+std::vector<std::pair<std::int64_t, std::uint64_t>> churn(std::uint64_t seed,
+                                                          std::size_t steps) {
+  EventQueue q;
+  RngStream rng(seed);
+  std::vector<std::pair<std::int64_t, std::uint64_t>> fired;
+  std::vector<EventId> live;
+  std::int64_t clock_ms = 0;
+  std::uint64_t tag = 0;
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const double action = rng.uniform01();
+    if (action < 0.45 || live.empty()) {
+      // Schedule a fresh event somewhere ahead of the popped clock.
+      const std::int64_t at = clock_ms + rng.uniform_int(0, 50);
+      const std::uint64_t t = tag++;
+      live.push_back(q.schedule(SimTime::milliseconds(at),
+                                [&fired, at, t] { fired.emplace_back(at, t); }));
+    } else if (action < 0.70) {
+      // Cancel a random live event (may already have fired — that's the
+      // point: stale ids must stay safe).
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      q.cancel(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (action < 0.85) {
+      // TCP-style re-arm: cancel + schedule later, the RTO pattern.
+      if (!live.empty()) {
+        q.cancel(live.back());
+        live.pop_back();
+      }
+      const std::int64_t at = clock_ms + rng.uniform_int(10, 80);
+      const std::uint64_t t = tag++;
+      live.push_back(q.schedule(SimTime::milliseconds(at),
+                                [&fired, at, t] { fired.emplace_back(at, t); }));
+    } else if (!q.empty()) {
+      clock_ms = q.pop_and_run().to_milliseconds();
+    }
+  }
+  while (!q.empty()) q.pop_and_run();
+  return fired;
+}
+
+TEST(EventQueueStress, SameSeedSamePopOrder) {
+  const auto a = churn(2024, 20000);
+  const auto b = churn(2024, 20000);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 1000u);  // the mix actually fires events
+
+  const auto c = churn(2025, 20000);
+  EXPECT_NE(a, c);  // different seed, different history
+}
+
+TEST(EventQueueStress, PopOrderIsGloballyTimeSorted) {
+  const auto fired = churn(7, 20000);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1].first, fired[i].first);
+  }
+}
+
+TEST(EventQueueStress, CancelChurnKeepsHeapAndSlotsBounded) {
+  // The RTO pattern: one live timer, re-armed N times without the clock
+  // ever advancing. Lazy cancellation alone would leave N dead entries in
+  // the heap; the compaction pass must keep the structure O(live).
+  EventQueue q;
+  EventId pending;
+  constexpr std::size_t kChurn = 200000;
+  std::size_t max_heaped = 0;
+  std::size_t max_slots = 0;
+  for (std::size_t i = 0; i < kChurn; ++i) {
+    if (pending.valid()) q.cancel(pending);
+    pending = q.schedule(SimTime::milliseconds(1000 + static_cast<int>(i)),
+                         [] {});
+    max_heaped = std::max(max_heaped, q.heaped_entries());
+    max_slots = std::max(max_slots, q.slot_count());
+  }
+  EXPECT_EQ(q.pending_count(), 1u);
+  // Bound: 2x live + compaction slack, nowhere near kChurn.
+  EXPECT_LE(max_heaped, 2u * 1u + 66u);
+  EXPECT_LE(max_slots, 4u);  // slots are recycled through the free list
+
+  // The surviving timer is the last one armed.
+  bool last_fired = false;
+  q.cancel(pending);
+  pending = q.schedule(SimTime::milliseconds(1000 + kChurn),
+                       [&last_fired] { last_fired = true; });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_TRUE(last_fired);
+}
+
+TEST(EventQueueStress, BoundedUnderManyLiveTimers) {
+  // 1000 live timers all re-arming: heap must stay O(live), not O(churn).
+  EventQueue q;
+  constexpr std::size_t kTimers = 1000;
+  std::vector<EventId> ids(kTimers);
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    ids[i] = q.schedule(SimTime::milliseconds(static_cast<int>(1000 + i)),
+                        [] {});
+  }
+  std::size_t max_heaped = 0;
+  for (std::size_t round = 0; round < 100; ++round) {
+    for (std::size_t i = 0; i < kTimers; ++i) {
+      q.cancel(ids[i]);
+      ids[i] = q.schedule(
+          SimTime::milliseconds(static_cast<int>(1000 + round + i)), [] {});
+    }
+    max_heaped = std::max(max_heaped, q.heaped_entries());
+  }
+  EXPECT_EQ(q.pending_count(), kTimers);
+  EXPECT_LE(max_heaped, 2 * kTimers + 66);
+  EXPECT_LE(q.slot_count(), kTimers + 1);
+
+  std::size_t fired = 0;
+  while (!q.empty()) {
+    q.pop_and_run();
+    ++fired;
+  }
+  EXPECT_EQ(fired, kTimers);
+}
+
+TEST(EventQueueStress, CancelDuringCallbackOfSameSlotGeneration) {
+  // A callback cancelling its own (already-fired) id must be a no-op even
+  // though the slot may have been reused by a later schedule.
+  EventQueue q;
+  EventId self;
+  bool reused_fired = false;
+  self = q.schedule(1_ms, [&] {
+    EXPECT_FALSE(q.cancel(self));  // own id: already fired
+    // This schedule probably reuses the just-freed slot; the stale `self`
+    // id must not be able to cancel it.
+    q.schedule(2_ms, [&] { reused_fired = true; });
+    EXPECT_FALSE(q.cancel(self));
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_TRUE(reused_fired);
+}
+
+}  // namespace
+}  // namespace dyncdn::sim

@@ -1,0 +1,186 @@
+// Parallel replica engine: executor ordering/exception semantics, seed-hash
+// stability, and the headline determinism contract — the same sharded
+// experiment produces byte-identical results at 1, 2 and N threads, and a
+// single-shard plan reproduces the legacy serial path bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+#include "parallel/replica.hpp"
+#include "search/keywords.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/parallel_experiment.hpp"
+#include "testbed/scenario.hpp"
+
+namespace dyncdn {
+namespace {
+
+using namespace dyncdn::sim::literals;
+
+TEST(ReplicaSeed, StableAndDistinct) {
+  EXPECT_EQ(parallel::replica_seed(1, 0), parallel::replica_seed(1, 0));
+  EXPECT_NE(parallel::replica_seed(1, 0), parallel::replica_seed(1, 1));
+  EXPECT_NE(parallel::replica_seed(1, 0), parallel::replica_seed(2, 0));
+  // Neighbouring indices must not produce near-identical seeds.
+  const std::uint64_t a = parallel::replica_seed(7, 100);
+  const std::uint64_t b = parallel::replica_seed(7, 101);
+  EXPECT_GT(__builtin_popcountll(a ^ b), 8);
+}
+
+TEST(ReplicaExecutor, ResultsLandInIndexOrder) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    parallel::ReplicaExecutor exec({threads});
+    const auto out =
+        exec.run(17, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 17u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ReplicaExecutor, MoreThreadsThanReplicasIsFine) {
+  parallel::ReplicaExecutor exec({16});
+  const auto out = exec.run(3, [](std::size_t i) { return i + 1; });
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(ReplicaExecutor, LowestIndexExceptionPropagates) {
+  parallel::ReplicaExecutor exec({4});
+  try {
+    exec.run(8, [](std::size_t i) -> int {
+      if (i == 2 || i == 6) {
+        throw std::runtime_error("replica " + std::to_string(i));
+      }
+      return 0;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "replica 2");
+  }
+}
+
+testbed::ScenarioOptions small_scenario() {
+  testbed::ScenarioOptions opt;
+  opt.profile = cdn::google_like_profile();
+  opt.client_count = 8;
+  opt.seed = 1234;
+  return opt;
+}
+
+testbed::ExperimentOptions small_experiment() {
+  testbed::ExperimentOptions eo;
+  eo.reps_per_node = 3;
+  eo.interval = 900_ms;
+  search::KeywordCatalog catalog(5);
+  eo.keywords = {catalog.figure3_keywords().front()};
+  return eo;
+}
+
+/// Exact equality, field by field: the determinism contract is bit-level.
+void expect_identical(const testbed::ExperimentResult& a,
+                      const testbed::ExperimentResult& b) {
+  ASSERT_EQ(a.boundary, b.boundary);
+  ASSERT_EQ(a.discovery_fetches, b.discovery_fetches);
+  ASSERT_EQ(a.per_node_timings.size(), b.per_node_timings.size());
+  for (std::size_t n = 0; n < a.per_node_timings.size(); ++n) {
+    const auto& qa = a.per_node_timings[n];
+    const auto& qb = b.per_node_timings[n];
+    ASSERT_EQ(qa.size(), qb.size()) << "node " << n;
+    for (std::size_t q = 0; q < qa.size(); ++q) {
+      EXPECT_EQ(std::memcmp(&qa[q], &qb[q], sizeof(qa[q])), 0)
+          << "node " << n << " query " << q;
+    }
+  }
+  ASSERT_EQ(a.per_node.size(), b.per_node.size());
+  for (std::size_t n = 0; n < a.per_node.size(); ++n) {
+    EXPECT_EQ(a.per_node[n].node_name, b.per_node[n].node_name);
+    EXPECT_EQ(a.per_node[n].samples, b.per_node[n].samples);
+    EXPECT_EQ(a.per_node[n].rtt_ms, b.per_node[n].rtt_ms);
+    EXPECT_EQ(a.per_node[n].med_static_ms, b.per_node[n].med_static_ms);
+    EXPECT_EQ(a.per_node[n].med_dynamic_ms, b.per_node[n].med_dynamic_ms);
+    EXPECT_EQ(a.per_node[n].med_delta_ms, b.per_node[n].med_delta_ms);
+  }
+}
+
+TEST(ParallelExperiment, ByteIdenticalAcrossThreadCounts) {
+  const auto scenario = small_scenario();
+  const auto options = small_experiment();
+
+  testbed::ReplicaPlan plan;  // default: one shard per vantage point
+  plan.executor.threads = 1;
+  const auto t1 = testbed::run_fixed_fe_experiment(scenario, 0, options, plan);
+  plan.executor.threads = 2;
+  const auto t2 = testbed::run_fixed_fe_experiment(scenario, 0, options, plan);
+  plan.executor.threads = 5;
+  const auto t5 = testbed::run_fixed_fe_experiment(scenario, 0, options, plan);
+
+  ASSERT_EQ(t1.per_node.size(), 8u);
+  ASSERT_GT(t1.all().size(), 0u);
+  expect_identical(t1, t2);
+  expect_identical(t1, t5);
+}
+
+TEST(ParallelExperiment, SingleShardMatchesLegacySerialPath) {
+  const auto scenario_options = small_scenario();
+  const auto options = small_experiment();
+
+  testbed::Scenario scenario(scenario_options);
+  scenario.warm_up();
+  const auto legacy = testbed::run_fixed_fe_experiment(scenario, 0, options);
+
+  testbed::ReplicaPlan plan;
+  plan.shards = 1;  // whole fleet in one simulator, like the legacy path
+  plan.executor.threads = 3;
+  const auto sharded =
+      testbed::run_fixed_fe_experiment(scenario_options, 0, options, plan);
+
+  expect_identical(legacy, sharded);
+}
+
+TEST(ParallelExperiment, DefaultFeShardingIsThreadCountInvariant) {
+  const auto scenario = small_scenario();
+  const auto options = small_experiment();
+
+  testbed::ReplicaPlan plan;
+  plan.shards = 3;  // mixed shard sizes exercise the scatter merge
+  plan.executor.threads = 1;
+  const auto t1 = testbed::run_default_fe_experiment(scenario, options, plan);
+  plan.executor.threads = 4;
+  const auto t4 = testbed::run_default_fe_experiment(scenario, options, plan);
+  expect_identical(t1, t4);
+}
+
+TEST(ParallelExperiment, FetchFactoringThreadCountInvariant) {
+  testbed::ScenarioOptions opt;
+  opt.profile = cdn::google_like_profile();
+  opt.seed = 99;
+  opt.fe_distance_sweep_miles = std::vector<double>{50, 150, 300, 450};
+
+  const search::Keyword keyword{"network measurement study",
+                                search::KeywordClass::kGranular, 5000};
+  testbed::ReplicaPlan plan;
+  plan.executor.threads = 1;
+  const auto t1 =
+      testbed::run_fetch_factoring_experiment(opt, keyword, 4, plan);
+  plan.executor.threads = 4;
+  const auto t4 =
+      testbed::run_fetch_factoring_experiment(opt, keyword, 4, plan);
+
+  ASSERT_EQ(t1.distances_miles.size(), 4u);
+  ASSERT_EQ(t1.distances_miles, t4.distances_miles);
+  ASSERT_EQ(t1.med_t_dynamic_ms, t4.med_t_dynamic_ms);
+  EXPECT_EQ(t1.factoring.fit.slope, t4.factoring.fit.slope);
+  EXPECT_EQ(t1.factoring.fit.intercept, t4.factoring.fit.intercept);
+}
+
+TEST(ParallelExperiment, PlannedClientCountIsSweepAware) {
+  testbed::ScenarioOptions opt;
+  opt.client_count = 60;
+  EXPECT_EQ(testbed::planned_client_count(opt), 60u);
+  opt.fe_distance_sweep_miles = std::vector<double>{10, 20, 30};
+  EXPECT_EQ(testbed::planned_client_count(opt), 3u);
+}
+
+}  // namespace
+}  // namespace dyncdn

@@ -21,7 +21,7 @@
 #include "capture/serialize.hpp"
 #include "core/inference.hpp"
 #include "search/keywords.hpp"
-#include "testbed/experiment.hpp"
+#include "testbed/parallel_experiment.hpp"
 #include "testbed/scenario.hpp"
 
 using namespace dyncdn;
@@ -36,6 +36,8 @@ struct CliOptions {
   std::size_t reps = 15;
   std::uint64_t seed = 1;
   std::string save_traces;  // directory; empty = off
+  std::size_t threads = 0;  // 0 = DYNCDN_THREADS / hardware concurrency
+  std::size_t shards = 0;   // 0 = one replica per vantage point
 };
 
 void usage() {
@@ -44,7 +46,12 @@ void usage() {
       "usage: dyncdn_experiment [--experiment=fixed-fe|default-fe|caching|"
       "factoring]\n"
       "                         [--service=google|bing] [--clients=N]\n"
-      "                         [--reps=N] [--seed=S] [--save-traces=DIR]\n");
+      "                         [--reps=N] [--seed=S] [--save-traces=DIR]\n"
+      "                         [--threads=N] [--shards=N]\n"
+      "  --threads  worker threads for sharded experiments "
+      "(0 = DYNCDN_THREADS or all cores)\n"
+      "  --shards   replica count (0 = one per vantage point; "
+      "1 = legacy serial semantics)\n");
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -72,6 +79,12 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opt.seed = std::strtoull(v->c_str(), nullptr, 10);
     } else if (auto v = value("--save-traces=")) {
       opt.save_traces = *v;
+    } else if (auto v = value("--threads=")) {
+      opt.threads = static_cast<std::size_t>(std::strtoull(v->c_str(),
+                                                           nullptr, 10));
+    } else if (auto v = value("--shards=")) {
+      opt.shards = static_cast<std::size_t>(std::strtoull(v->c_str(),
+                                                          nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return std::nullopt;
@@ -112,8 +125,6 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
                                        : cdn::bing_like_profile();
   so.client_count = cli.clients;
   so.seed = cli.seed;
-  testbed::Scenario scenario(so);
-  scenario.warm_up();
 
   testbed::ExperimentOptions eo;
   eo.reps_per_node = cli.reps;
@@ -122,6 +133,8 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
   eo.keywords = catalog.figure3_keywords();
 
   if (!cli.save_traces.empty()) {
+    testbed::Scenario scenario(so);
+    scenario.warm_up();
     // Capture-only mode: run the query schedule ourselves, save raw traces
     // and skip the built-in analysis (the experiment runner frees trace
     // memory as it analyzes). trace_inspect analyzes the files offline.
@@ -147,9 +160,12 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
     return 0;
   }
 
+  testbed::ReplicaPlan plan;
+  plan.shards = cli.shards;
+  plan.executor.threads = cli.threads;
   const testbed::ExperimentResult result =
-      fixed_fe ? testbed::run_fixed_fe_experiment(scenario, 0, eo)
-               : testbed::run_default_fe_experiment(scenario, eo);
+      fixed_fe ? testbed::run_fixed_fe_experiment(so, 0, eo, plan)
+               : testbed::run_default_fe_experiment(so, eo, plan);
 
   std::printf("# experiment=%s service=%s clients=%zu reps=%zu seed=%llu "
               "boundary=%zu\n",
@@ -214,13 +230,14 @@ int run_factoring(const CliOptions& cli) {
                                        cli.clients / 5 - 1, 5));
   }
   so.fe_distance_sweep_miles = distances;
-  testbed::Scenario scenario(so);
-  scenario.warm_up();
 
   const search::Keyword keyword{"command line factoring probe",
                                 search::KeywordClass::kGranular, 5000};
+  testbed::ReplicaPlan plan;
+  plan.shards = cli.shards;
+  plan.executor.threads = cli.threads;
   const auto r =
-      testbed::run_fetch_factoring_experiment(scenario, keyword, cli.reps);
+      testbed::run_fetch_factoring_experiment(so, keyword, cli.reps, plan);
   std::printf("# experiment=factoring service=%s reps=%zu seed=%llu\n",
               cli.service.c_str(), cli.reps,
               static_cast<unsigned long long>(cli.seed));
