@@ -57,6 +57,16 @@ std::size_t ReassembledStream::snap_to_segment_end(std::size_t offset) const {
   return best;
 }
 
+ReassembledStream ReassembledStream::from_segments(
+    std::vector<Segment> segments) {
+  ReassembledStream out;
+  out.segments_ = std::move(segments);
+  for (const Segment& s : out.segments_) {
+    out.length_ = std::max(out.length_, s.offset + s.length);
+  }
+  return out;
+}
+
 ReassembledStream reassemble(const capture::PacketTrace& trace,
                              const net::FlowId& flow,
                              capture::Direction direction) {

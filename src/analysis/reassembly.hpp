@@ -28,6 +28,12 @@ class ReassembledStream {
     sim::SimTime at;
   };
 
+  /// Build a stream directly from capture-order segments (offsets already
+  /// normalized so 0 = first application byte). The observability layer
+  /// uses this to reconstruct a receive stream from span "rx" events and
+  /// run the exact same timeline analysis a packet trace would get.
+  static ReassembledStream from_segments(std::vector<Segment> segments);
+
   /// The reconstructed byte stream *content*. Only populated when the
   /// trace retained payload bytes (content analysis); headers-only traces
   /// still produce correct lengths and timings.

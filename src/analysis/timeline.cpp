@@ -61,24 +61,32 @@ QueryTimeline extract_timeline(const capture::PacketTrace& trace,
   // --- response data events ------------------------------------------------
   const ReassembledStream stream =
       reassemble(conn, flow, capture::Direction::kReceived);
+  finish_timeline_from_stream(tl, stream, boundary);
+  return tl;
+}
+
+void finish_timeline_from_stream(QueryTimeline& tl,
+                                 const ReassembledStream& stream,
+                                 std::size_t boundary) {
   if (stream.empty()) {
     tl.invalid_reason = "no response data";
-    return tl;
+    return;
   }
   tl.response_bytes = stream.length();
+  tl.boundary = boundary;
 
   const auto t3 = stream.first_packet_reaching(0);
   const auto te = stream.last_packet_time();
   if (!t3 || !te) {
     tl.invalid_reason = "response stream incomplete";
-    return tl;
+    return;
   }
   tl.t3 = *t3;
   tl.te = *te;
 
   if (boundary == 0 || boundary > stream.length()) {
     tl.invalid_reason = "boundary outside response";
-    return tl;
+    return;
   }
 
   // Packet-granularity snap: the discovered common prefix may overhang a
@@ -93,7 +101,7 @@ QueryTimeline extract_timeline(const capture::PacketTrace& trace,
   const auto t4 = stream.prefix_complete_time(split - 1);
   if (!t4) {
     tl.invalid_reason = "static portion never completed";
-    return tl;
+    return;
   }
   tl.t4 = *t4;
 
@@ -101,7 +109,7 @@ QueryTimeline extract_timeline(const capture::PacketTrace& trace,
     const auto t5 = stream.first_packet_reaching(split);
     if (!t5) {
       tl.invalid_reason = "dynamic portion never observed";
-      return tl;
+      return;
     }
     tl.t5 = *t5;
   } else {
@@ -109,7 +117,6 @@ QueryTimeline extract_timeline(const capture::PacketTrace& trace,
   }
 
   tl.valid = true;
-  return tl;
 }
 
 std::vector<QueryTimeline> extract_all_timelines(

@@ -50,6 +50,16 @@ struct QueryTimeline {
 QueryTimeline extract_timeline(const capture::PacketTrace& trace,
                                const net::FlowId& flow, std::size_t boundary);
 
+/// Fill the response-data events (t3, t4, t5, te) of `tl` from an
+/// already-reassembled receive stream, including the packet-granularity
+/// boundary snap, and set `tl.valid`. The control events (tb, t_synack,
+/// t1, t2) must already be set by the caller. Shared by extract_timeline
+/// and the span-based reconstruction in the observability tooling, so both
+/// paths agree bit-for-bit.
+void finish_timeline_from_stream(QueryTimeline& tl,
+                                 const ReassembledStream& stream,
+                                 std::size_t boundary);
+
 /// Extract timelines for every flow in the trace towards `server_port`
 /// (one per query connection), e.g. all port-80 connections of a node.
 std::vector<QueryTimeline> extract_all_timelines(

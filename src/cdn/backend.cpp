@@ -1,11 +1,13 @@
 #include "cdn/backend.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <memory>
 #include <utility>
 
 #include "http/message.hpp"
 #include "http/parser.hpp"
+#include "obs/obs.hpp"
 
 namespace dyncdn::cdn {
 
@@ -88,6 +90,7 @@ void BackendDataCenter::remember_query(const std::string& text) {
 
 void BackendDataCenter::process_query(
     const search::Keyword& keyword, std::uint64_t query_id,
+    [[maybe_unused]] std::uint64_t trace_parent,
     std::function<void(std::string)> done) {
   sim::Simulator& simulator = node_.network().simulator();
   const sim::SimTime now = simulator.now();
@@ -100,9 +103,25 @@ void BackendDataCenter::process_query(
   const sim::SimTime t_proc = config_.processing.load.draw_scaled(
       proc_rng_, now, active_, base_ms);
   ++active_;
+  active_peak_ = std::max(active_peak_, active_);
+
+  obs::SpanId span = obs::kNoSpan;
+#if DYNCDN_OBS
+  if (obs::TraceSession* trace = obs::active_trace(simulator)) {
+    span = trace->begin_span(now, "be.process", "be", trace_parent);
+    trace->add_arg(span, "keyword", obs::ArgValue::of(keyword.text));
+    trace->add_arg(span, "query_id",
+                   obs::ArgValue::of(static_cast<std::int64_t>(query_id)));
+    trace->add_arg(span, "t_proc_ms",
+                   obs::ArgValue::of(t_proc.to_milliseconds()));
+    if (correlated) {
+      trace->add_arg(span, "correlated", obs::ArgValue::of(std::int64_t{1}));
+    }
+  }
+#endif
 
   simulator.schedule_in(
-      t_proc, [this, keyword, query_id, now, t_proc, correlated,
+      t_proc, [this, keyword, query_id, now, t_proc, correlated, span,
                done = std::move(done)]() {
         --active_;
         std::string body = content_.dynamic_body(keyword, content_rng_);
@@ -115,6 +134,12 @@ void BackendDataCenter::process_query(
         rec.dynamic_bytes = body.size();
         rec.correlated = correlated;
         query_log_.push_back(std::move(rec));
+#if DYNCDN_OBS
+        if (obs::TraceSession* trace =
+                obs::active_trace(node_.network().simulator())) {
+          trace->end_span(span, node_.network().simulator().now());
+        }
+#endif
         done(std::move(body));
       });
 }
@@ -143,7 +168,12 @@ void BackendDataCenter::serve_fetch(tcp::TcpSocket& socket) {
         }
 
         const search::Keyword keyword = keyword_from_request(req);
-        process_query(keyword, query_id,
+        std::uint64_t trace_parent = 0;
+        if (const auto span = req.header("X-Trace-Span")) {
+          std::from_chars(span->data(), span->data() + span->size(),
+                          trace_parent);
+        }
+        process_query(keyword, query_id, trace_parent,
                       [sock, alive, query_id](std::string body) {
                         if (!*alive) return;  // FE connection died meanwhile
                         http::HttpResponse resp;
@@ -177,7 +207,7 @@ void BackendDataCenter::serve_direct(tcp::TcpSocket& socket) {
   auto parser = std::make_shared<http::RequestParser>(
       [this, sock, alive](http::HttpRequest req) {
         const search::Keyword keyword = keyword_from_request(req);
-        process_query(keyword, 0, [this, sock, alive](std::string body) {
+        process_query(keyword, 0, 0, [this, sock, alive](std::string body) {
           if (!*alive) return;
           http::HttpResponse resp;
           resp.set_header("Server", config_.name);

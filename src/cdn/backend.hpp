@@ -94,11 +94,16 @@ class BackendDataCenter {
   }
   std::size_t queries_served() const { return query_log_.size(); }
   std::size_t active_queries() const { return active_; }
+  std::size_t active_queries_peak() const { return active_peak_; }
+  tcp::TcpStack& stack() { return stack_; }
 
  private:
   void serve_fetch(tcp::TcpSocket& socket);
   void serve_direct(tcp::TcpSocket& socket);
+  /// `trace_parent` is the caller's span id (from X-Trace-Span; 0 = none):
+  /// the be.process span nests under the FE's fe.fetch across nodes.
   void process_query(const search::Keyword& keyword, std::uint64_t query_id,
+                     std::uint64_t trace_parent,
                      std::function<void(std::string dynamic_body)> done);
 
   /// True when `text` extends (or repeats) a recently processed query.
@@ -112,6 +117,7 @@ class BackendDataCenter {
   sim::RngStream proc_rng_;
   sim::RngStream content_rng_;
   std::size_t active_ = 0;
+  std::size_t active_peak_ = 0;
   std::vector<BackendQueryRecord> query_log_;
   std::deque<std::string> recent_queries_;  // newest at the back
 };

@@ -5,6 +5,7 @@
 
 #include "http/message.hpp"
 #include "http/parser.hpp"
+#include "obs/obs.hpp"
 
 namespace dyncdn::cdn {
 
@@ -31,10 +32,26 @@ void QueryClient::submit(net::Endpoint server, const search::Keyword& keyword,
     std::unique_ptr<http::ResponseParser> parser;
     tcp::TcpSocket* socket = nullptr;
     bool reported = false;
+#if DYNCDN_OBS
+    sim::Simulator* sim = nullptr;
+    obs::TraceSession* trace = nullptr;  // outlives the query (Scenario-owned)
+    obs::SpanId span = obs::kNoSpan;
+#endif
 
     void report() {
       if (reported) return;
       reported = true;
+#if DYNCDN_OBS
+      if (trace != nullptr) {
+        trace->add_arg(span, "status",
+                       obs::ArgValue::of(
+                           static_cast<std::int64_t>(result.status)));
+        trace->add_arg(span, "failed",
+                       obs::ArgValue::of(
+                           static_cast<std::int64_t>(result.failed)));
+        trace->end_span(span, sim->now());
+      }
+#endif
       handler(result);
     }
   };
@@ -42,20 +59,39 @@ void QueryClient::submit(net::Endpoint server, const search::Keyword& keyword,
   ctx->result.keyword = keyword;
   ctx->result.start = simulator.now();
   ctx->handler = std::move(handler);
+#if DYNCDN_OBS
+  // Root span of the query's tree; fe.*/be.* spans parent onto it via the
+  // X-Trace-Span request header, the tcp.flow child carries the
+  // wire-level t-stamps (see docs/OBSERVABILITY.md).
+  obs::TraceSession* const trace = obs::active_trace(simulator);
+  if (trace != nullptr) {
+    ctx->sim = &simulator;
+    ctx->trace = trace;
+    ctx->span = trace->begin_span(simulator.now(), "query", "client");
+    trace->add_arg(ctx->span, "node", obs::ArgValue::of(node_.name()));
+    trace->add_arg(ctx->span, "keyword",
+                   obs::ArgValue::of(keyword.text));
+  }
+#endif
 
+  // The parser lives inside ctx, so its callbacks must NOT share ownership
+  // of ctx — that would be a ctx -> parser -> callbacks -> ctx cycle and
+  // the whole query context would leak. The raw pointer is safe: the
+  // parser cannot outlive the context that owns it.
+  QueryCtx* const self = ctx.get();
   http::ResponseParser::Callbacks pc;
-  pc.on_headers = [ctx, &simulator](const http::HttpResponse& resp,
-                                    std::optional<std::size_t>) {
-    ctx->result.status = resp.status;
+  pc.on_headers = [self](const http::HttpResponse& resp,
+                         std::optional<std::size_t>) {
+    self->result.status = resp.status;
   };
-  pc.on_body_data = [ctx, &simulator](std::string_view chunk) {
-    if (ctx->result.body_bytes == 0) {
-      ctx->result.first_byte = simulator.now();
+  pc.on_body_data = [self, &simulator](std::string_view chunk) {
+    if (self->result.body_bytes == 0) {
+      self->result.first_byte = simulator.now();
     }
-    ctx->result.body_bytes += chunk.size();
+    self->result.body_bytes += chunk.size();
   };
-  pc.on_complete = [ctx, &simulator](const http::HttpResponse&) {
-    ctx->result.complete = simulator.now();
+  pc.on_complete = [self, &simulator](const http::HttpResponse&) {
+    self->result.complete = simulator.now();
   };
   ctx->parser = std::make_unique<http::ResponseParser>(std::move(pc));
 
@@ -94,12 +130,27 @@ void QueryClient::submit(net::Endpoint server, const search::Keyword& keyword,
 
   tcp::TcpSocket& socket = stack_.connect(server, std::move(cb));
   ctx->socket = &socket;
+#if DYNCDN_OBS
+  if (trace != nullptr) {
+    const obs::SpanId flow_span = trace->begin_span(
+        simulator.now(), "tcp.flow", "client", ctx->span);
+    trace->add_arg(flow_span, "local_port",
+                   obs::ArgValue::of(static_cast<std::int64_t>(
+                       socket.flow().local.port)));
+    socket.attach_trace(trace, flow_span);
+  }
+#endif
   // The GET is queued now and transmitted the instant the handshake
   // completes — like a browser writing into a connecting socket.
   http::HttpRequest req;
   req.target = target;
   req.set_header("Host", "search.example");
   req.set_header("Connection", "close");
+#if DYNCDN_OBS
+  if (trace != nullptr) {
+    req.set_header("X-Trace-Span", std::to_string(ctx->span));
+  }
+#endif
   socket.send_text(req.serialize());
   // Half-close after the request: we have nothing more to send. The FE
   // still sends its full response (close-framed) afterwards.

@@ -5,6 +5,21 @@
 #include <utility>
 
 #include "http/message.hpp"
+#include "obs/obs.hpp"
+
+#if DYNCDN_OBS
+namespace {
+
+// Parse an X-Trace-Span/X-Query-Id-style decimal header value; 0 when
+// absent or malformed.
+std::uint64_t parse_id_header(const std::optional<std::string_view>& v) {
+  std::uint64_t id = 0;
+  if (v) std::from_chars(v->data(), v->data() + v->size(), id);
+  return id;
+}
+
+}  // namespace
+#endif
 
 namespace dyncdn::cdn {
 
@@ -44,6 +59,7 @@ FrontEndServer::BackendConn& FrontEndServer::open_backend_conn(bool warm) {
   auto owned = std::make_unique<BackendConn>();
   BackendConn& conn = *owned;
   be_pool_.push_back(std::move(owned));
+  be_pool_peak_ = std::max(be_pool_peak_, be_pool_.size());
   conn.alive = std::make_shared<bool>(true);
   auto alive = conn.alive;
   BackendConn* conn_ptr = &conn;
@@ -61,6 +77,13 @@ FrontEndServer::BackendConn& FrontEndServer::open_backend_conn(bool warm) {
     if (it != pending_.end()) {
       fetch_log_[it->second.log_index].first_byte =
           node_.network().simulator().now();
+#if DYNCDN_OBS
+      if (obs::TraceSession* trace =
+              obs::active_trace(node_.network().simulator())) {
+        trace->add_event(it->second.fetch_span, "first_byte",
+                         node_.network().simulator().now());
+      }
+#endif
     }
   };
   pc.on_body_data = [this, conn_ptr](std::string_view chunk) {
@@ -105,6 +128,15 @@ FrontEndServer::BackendConn& FrontEndServer::open_backend_conn(bool warm) {
           }
           ctx.socket->close();
         }
+#if DYNCDN_OBS
+        if (obs::TraceSession* trace =
+                obs::active_trace(node_.network().simulator())) {
+          const sim::SimTime now = node_.network().simulator().now();
+          trace->end_span(pending.fetch_span, now);
+          // The FE's part in the query ends once the relay is queued.
+          trace->end_span(ctx.span, now);
+        }
+#endif
       }
     }
     // This connection is free again: drain one queued fetch, if any.
@@ -161,6 +193,16 @@ void FrontEndServer::backend_conn_lost(BackendConn& conn) {
     auto it = pending_.find(conn.in_flight_query);
     if (it != pending_.end()) {
       if (it->second.ctx->alive) it->second.ctx->socket->abort();
+#if DYNCDN_OBS
+      if (obs::TraceSession* trace =
+              obs::active_trace(node_.network().simulator())) {
+        const sim::SimTime now = node_.network().simulator().now();
+        trace->add_arg(it->second.fetch_span, "failed",
+                       obs::ArgValue::of(std::int64_t{1}));
+        trace->end_span(it->second.fetch_span, now);
+        trace->end_span(it->second.ctx->span, now);
+      }
+#endif
       pending_.erase(it);
     }
   }
@@ -205,6 +247,16 @@ void FrontEndServer::accept_client(tcp::TcpSocket& socket) {
 
 void FrontEndServer::send_head_and_static(ClientCtx& ctx) {
   if (!ctx.alive) return;
+#if DYNCDN_OBS
+  if (obs::TraceSession* trace =
+          obs::active_trace(node_.network().simulator())) {
+    // Role 1 of the paper: the static flush leaves the FE here; the
+    // client-side t3/t4 stamps are its arrival as seen by the tcp.flow
+    // span's rx events.
+    trace->add_event(ctx.span, "static_flush",
+                     node_.network().simulator().now());
+  }
+#endif
   http::HttpResponse head;
   // Service-level constant headers only: the response head is part of the
   // static portion the analyzer discovers by cross-query (and cross-FE)
@@ -224,10 +276,36 @@ void FrontEndServer::handle_request(std::shared_ptr<ClientCtx> ctx,
   const sim::SimTime service_delay = config_.service.draw(
       service_rng_, simulator.now(), active_requests_);
   ++active_requests_;
+  active_requests_peak_ = std::max(active_requests_peak_, active_requests_);
+
+#if DYNCDN_OBS
+  obs::SpanId service_span = obs::kNoSpan;
+  if (obs::TraceSession* trace = obs::active_trace(simulator)) {
+    // Cross-node parenting: the client put its query-span id in the
+    // request; our whole request span hangs under it.
+    ctx->span = trace->begin_span(simulator.now(), "fe.request", "fe",
+                                  parse_id_header(req.header("X-Trace-Span")));
+    trace->add_arg(ctx->span, "fe", obs::ArgValue::of(config_.name));
+    trace->add_arg(ctx->span, "target", obs::ArgValue::of(req.target));
+    service_span = trace->begin_span(simulator.now(), "fe.service", "fe",
+                                     ctx->span);
+  }
+#endif
 
   simulator.schedule_in(
-      service_delay, [this, ctx, target = req.target]() {
+      service_delay,
+      [this, ctx,
+#if DYNCDN_OBS
+       service_span,
+#endif
+       target = req.target]() {
         --active_requests_;
+#if DYNCDN_OBS
+        if (obs::TraceSession* trace =
+                obs::active_trace(node_.network().simulator())) {
+          trace->end_span(service_span, node_.network().simulator().now());
+        }
+#endif
         if (!ctx->alive) return;
 
         // FE result cache (counterfactual; off per the paper's finding).
@@ -245,6 +323,14 @@ void FrontEndServer::handle_request(std::shared_ptr<ClientCtx> ctx,
             const sim::SimTime now = node_.network().simulator().now();
             rec.fetch_start = rec.first_byte = rec.last_byte = now;
             fetch_log_.push_back(std::move(rec));
+#if DYNCDN_OBS
+            if (obs::TraceSession* trace =
+                    obs::active_trace(node_.network().simulator())) {
+              trace->add_arg(ctx->span, "cache_hit",
+                             obs::ArgValue::of(std::int64_t{1}));
+              trace->end_span(ctx->span, now);
+            }
+#endif
             return;
           }
         }
@@ -272,6 +358,16 @@ void FrontEndServer::begin_fetch(std::shared_ptr<ClientCtx> ctx,
   pending.log_index = fetch_log_.size() - 1;
   pending.cache_key = target;
   pending.target = target;
+#if DYNCDN_OBS
+  if (obs::TraceSession* trace =
+          obs::active_trace(node_.network().simulator())) {
+    pending.fetch_span =
+        trace->begin_span(node_.network().simulator().now(), "fe.fetch",
+                          "fe", pending.ctx->span);
+    trace->add_arg(pending.fetch_span, "query_id",
+                   obs::ArgValue::of(static_cast<std::int64_t>(id)));
+  }
+#endif
   pending_.emplace(id, std::move(pending));
 
   dispatch_fetch(id);
@@ -291,6 +387,7 @@ void FrontEndServer::dispatch_fetch(std::uint64_t query_id) {
       conn = &open_backend_conn(/*warm=*/false);
     } else {
       fetch_queue_.push_back(query_id);
+      fetch_queue_peak_ = std::max(fetch_queue_peak_, fetch_queue_.size());
       return;
     }
   }
@@ -299,6 +396,11 @@ void FrontEndServer::dispatch_fetch(std::uint64_t query_id) {
   http::HttpRequest fetch;
   fetch.target = it->second.target;
   fetch.set_header("X-Query-Id", std::to_string(query_id));
+#if DYNCDN_OBS
+  if (it->second.fetch_span != 0) {
+    fetch.set_header("X-Trace-Span", std::to_string(it->second.fetch_span));
+  }
+#endif
   conn->socket->send_text(fetch.serialize());
 }
 

@@ -106,12 +106,21 @@ class FrontEndServer {
   bool backend_connected() const;
   std::size_t backend_pool_size() const { return be_pool_.size(); }
 
+  /// High-water marks for the metrics layer.
+  std::size_t backend_pool_peak() const { return be_pool_peak_; }
+  std::size_t fetch_queue_peak() const { return fetch_queue_peak_; }
+  std::size_t active_requests_peak() const { return active_requests_peak_; }
+  tcp::TcpStack& stack() { return stack_; }
+
  private:
   /// Per-client-connection state, shared between callbacks.
   struct ClientCtx {
     tcp::TcpSocket* socket = nullptr;
     bool alive = true;
     std::string buffered;  // store-and-forward accumulation
+    /// Observability: the fe.request span for the request in flight on
+    /// this connection (kNoSpan when tracing is off).
+    std::uint64_t span = 0;
   };
 
   /// One pooled persistent connection to the BE.
@@ -150,6 +159,7 @@ class FrontEndServer {
     std::size_t log_index = 0;
     std::string cache_key;
     std::string target;
+    std::uint64_t fetch_span = 0;  // obs: fe.fetch span id
   };
   std::unordered_map<std::uint64_t, Pending> pending_;
 
@@ -158,6 +168,9 @@ class FrontEndServer {
   std::size_t queries_handled_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t active_requests_ = 0;
+  std::size_t be_pool_peak_ = 0;
+  std::size_t fetch_queue_peak_ = 0;
+  std::size_t active_requests_peak_ = 0;
 };
 
 }  // namespace dyncdn::cdn

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <memory>
 
+#include "obs/obs.hpp"
+
 namespace dyncdn::dns {
 
 // ---------------------------------------------------------------------------
@@ -78,6 +80,23 @@ DnsClient::DnsClient(tcp::TcpStack& stack, net::Endpoint server)
 
 void DnsClient::resolve(const std::string& name, Handler handler) {
   sim::Simulator& simulator = stack_.simulator();
+
+#if DYNCDN_OBS
+  if (obs::TraceSession* trace = obs::active_trace(simulator)) {
+    // Root span (footnote 1 of the paper: resolution is *not* part of the
+    // per-query timeline, so it does not hang under a query span).
+    const obs::SpanId span =
+        trace->begin_span(simulator.now(), "dns.resolve", "dns");
+    trace->add_arg(span, "name", obs::ArgValue::of(name));
+    handler = [&simulator, trace, span,
+               inner = std::move(handler)](const ResolveResult& r) {
+      trace->add_arg(span, "failed",
+                     obs::ArgValue::of(static_cast<std::int64_t>(r.failed)));
+      trace->end_span(span, simulator.now());
+      inner(r);
+    };
+  }
+#endif
 
   if (cache_ttl_ > sim::SimTime::zero()) {
     auto it = cache_.find(name);

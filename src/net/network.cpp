@@ -72,6 +72,7 @@ void Network::compute_routes() {
 
 void Network::route(NodeId from, PacketPtr packet) {
   if (routes_dirty_) compute_routes();
+  ++packets_routed_;
   if (packet->id == 0) packet->id = next_packet_id_++;
   if (packet->dst == from) {  // local delivery without touching a link
     node(from).deliver(packet);
@@ -143,6 +144,22 @@ Link* Network::first_hop_link(NodeId a, NodeId b) {
   if (src_it == next_hop_.end()) return nullptr;
   auto dst_it = src_it->second.find(b.value());
   return dst_it == src_it->second.end() ? nullptr : dst_it->second;
+}
+
+LinkStats Network::aggregate_link_stats() const {
+  LinkStats total;
+  for (const auto& [from, edges] : adjacency_) {
+    for (const auto& edge : edges) {
+      const LinkStats& s = edge.link->stats();
+      total.packets_offered += s.packets_offered;
+      total.packets_delivered += s.packets_delivered;
+      total.drops_loss += s.drops_loss;
+      total.drops_queue += s.drops_queue;
+      total.packets_reordered += s.packets_reordered;
+      total.bytes_delivered += s.bytes_delivered;
+    }
+  }
+  return total;
 }
 
 }  // namespace dyncdn::net

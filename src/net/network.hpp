@@ -50,6 +50,14 @@ class Network {
   std::size_t node_count() const { return nodes_.size(); }
   std::uint64_t no_route_drops() const { return no_route_drops_; }
 
+  /// Packets that entered the network (route() calls, local delivery
+  /// included) and distinct packet ids issued, for the metrics layer.
+  std::uint64_t packets_routed() const { return packets_routed_; }
+  std::uint64_t packets_created() const { return next_packet_id_ - 1; }
+
+  /// Element-wise sum of every directed link's counters.
+  LinkStats aggregate_link_stats() const;
+
   /// One-way shortest-path propagation delay between two nodes (sum of link
   /// propagation delays; ignores bandwidth). Infinity if unreachable.
   sim::SimTime path_delay(NodeId a, NodeId b) const;
@@ -72,6 +80,7 @@ class Network {
       next_hop_;
   bool routes_dirty_ = true;
   std::uint64_t no_route_drops_ = 0;
+  std::uint64_t packets_routed_ = 0;
   std::uint64_t next_packet_id_ = 1;
 
   friend class Node;

@@ -1,0 +1,144 @@
+#include "obs/export_chrome.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace dyncdn::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void append_micros(std::string& out, std::int64_t ns) {
+  // Chrome `ts` is microseconds; three decimals preserve the nanosecond.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  out += buf;
+}
+
+void append_arg_value(std::string& out, const ArgValue& v) {
+  switch (v.type) {
+    case ArgValue::Type::kInt:
+      append_i64(out, v.i);
+      break;
+    case ArgValue::Type::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.d);
+      out += buf;
+      break;
+    }
+    case ArgValue::Type::kString:
+      append_escaped(out, v.s);
+      break;
+  }
+}
+
+void append_args(std::string& out, const std::vector<Arg>& args) {
+  for (const auto& arg : args) {
+    out.push_back(',');
+    append_escaped(out, arg.key);
+    out.push_back(':');
+    append_arg_value(out, arg.value);
+  }
+}
+
+void append_span(std::string& out, const SpanRecord& span, bool& first) {
+  const std::int64_t tid = static_cast<std::int64_t>(span.replica) + 1;
+  if (!first) out += ",\n";
+  first = false;
+  out += R"({"ph":"X","name":)";
+  append_escaped(out, span.name);
+  out += R"(,"cat":)";
+  append_escaped(out, span.category);
+  out += R"(,"ts":)";
+  append_micros(out, span.start.ns());
+  out += R"(,"dur":)";
+  append_micros(out, span.end.ns() - span.start.ns());
+  out += R"(,"pid":1,"tid":)";
+  append_i64(out, tid);
+  out += R"(,"args":{"span_id":)";
+  append_i64(out, static_cast<std::int64_t>(span.id));
+  out += R"(,"parent":)";
+  append_i64(out, static_cast<std::int64_t>(span.parent));
+  out += R"(,"start_ns":)";
+  append_i64(out, span.start.ns());
+  out += R"(,"end_ns":)";
+  append_i64(out, span.end.ns());
+  if (span.open) out += R"(,"open":1)";
+  append_args(out, span.args);
+  out += "}}";
+  for (const auto& event : span.events) {
+    out += ",\n";
+    out += R"({"ph":"i","s":"t","name":)";
+    append_escaped(out, event.name);
+    out += R"(,"cat":)";
+    append_escaped(out, span.category);
+    out += R"(,"ts":)";
+    append_micros(out, event.at.ns());
+    out += R"(,"pid":1,"tid":)";
+    append_i64(out, tid);
+    out += R"(,"args":{"span_id":)";
+    append_i64(out, static_cast<std::int64_t>(span.id));
+    out += R"(,"at_ns":)";
+    append_i64(out, event.at.ns());
+    append_args(out, event.args);
+    out += "}}";
+  }
+}
+
+}  // namespace
+
+std::string export_chrome_trace(const TraceSession& session) {
+  std::string out;
+  out.reserve(256 + session.spans().size() * 256);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& span : session.spans()) {
+    append_span(out, span, first);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const TraceSession& session,
+                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = export_chrome_trace(session);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) ==
+                  body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace dyncdn::obs

@@ -1,0 +1,24 @@
+// Chrome trace_event JSON exporter (chrome://tracing, Perfetto, Speedscope).
+//
+// Each closed span becomes a "ph":"X" complete event; span events become
+// "ph":"i" instant events. Chrome timestamps are microseconds (double), so
+// the exact nanosecond stamps are additionally carried in args
+// (`start_ns`, `end_ns`, `at_ns`) together with `span_id`/`parent` — the
+// `trace_inspect spans` tool reads those back for the tolerance-0 diff
+// against analysis/timeline.
+#pragma once
+
+#include <string>
+
+namespace dyncdn::obs {
+
+class TraceSession;
+
+// Serialize the whole session as {"traceEvents":[...],"displayTimeUnit":"ms"}.
+std::string export_chrome_trace(const TraceSession& session);
+
+// Convenience: write to a file; returns false on I/O error.
+bool write_chrome_trace(const TraceSession& session,
+                        const std::string& path);
+
+}  // namespace dyncdn::obs

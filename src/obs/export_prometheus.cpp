@@ -1,0 +1,87 @@
+#include "obs/export_prometheus.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace dyncdn::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string export_prometheus(const MetricsRegistry& registry,
+                              const std::string& prefix) {
+  std::string out;
+  for (const auto& [name, value] : registry.counters()) {
+    const std::string full = prefix + name;
+    out += "# TYPE " + full + " counter\n" + full + " ";
+    append_u64(out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    const std::string full = prefix + name;
+    out += "# TYPE " + full + " gauge\n" + full + " ";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out += buf;
+    out.push_back('\n');
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const std::string full = prefix + name;
+    out += "# TYPE " + full + " histogram\n";
+    const auto& bounds = Histogram::upper_bounds();
+    const auto& buckets = histogram.bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      cumulative += buckets[i];
+      // Skip interior empty prefixes? No — Prometheus wants every bucket,
+      // but 65 lines x N histograms is noisy; emit only buckets that
+      // change the cumulative count, plus the mandatory +Inf line.
+      const bool is_inf = i == buckets.size() - 1;
+      if (buckets[i] == 0 && !is_inf) continue;
+      out += full + "_bucket{le=\"";
+      if (is_inf) {
+        out += "+Inf";
+      } else {
+        append_double(out, bounds[i]);
+      }
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out.push_back('\n');
+    }
+    out += full + "_sum ";
+    append_double(out, histogram.sum());
+    out.push_back('\n');
+    out += full + "_count ";
+    append_u64(out, histogram.count());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool write_prometheus(const MetricsRegistry& registry,
+                      const std::string& path,
+                      const std::string& prefix) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = export_prometheus(registry, prefix);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) ==
+                  body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace dyncdn::obs

@@ -1,0 +1,24 @@
+// Prometheus text exposition format (version 0.0.4) for MetricsRegistry.
+//
+// Counters export as `<name> <value>`, gauges likewise, histograms as the
+// canonical `<name>_bucket{le="..."}` / `_sum` / `_count` triple. Output
+// is fully deterministic: names iterate in sorted order and numbers are
+// printed with a fixed format, so two registries with identical contents
+// produce byte-identical dumps (the thread-count determinism test relies
+// on this).
+#pragma once
+
+#include <string>
+
+namespace dyncdn::obs {
+
+class MetricsRegistry;
+
+std::string export_prometheus(const MetricsRegistry& registry,
+                              const std::string& prefix = "dyncdn_");
+
+bool write_prometheus(const MetricsRegistry& registry,
+                      const std::string& path,
+                      const std::string& prefix = "dyncdn_");
+
+}  // namespace dyncdn::obs

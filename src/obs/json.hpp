@@ -1,0 +1,51 @@
+// Minimal recursive-descent JSON parser — just enough for trace_inspect
+// and the tests to read back the Chrome-trace files this library writes.
+// No external dependencies; integer literals up to int64 are kept exact
+// (nanosecond timestamps must not round-trip through double).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dyncdn::obs::json {
+
+class Value {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::int64_t integer = 0;  // exact when is_integer
+  bool is_integer = false;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* get(std::string_view key) const;
+
+  // Convenience accessors with defaults.
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  double as_double(double fallback = 0.0) const;
+  const std::string& as_string() const { return string; }
+};
+
+// Parse a complete JSON document; nullopt on any syntax error.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace dyncdn::obs::json

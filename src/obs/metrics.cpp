@@ -1,0 +1,128 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dyncdn::obs {
+
+namespace {
+
+// Geometric ladder from 0.01 to ~1.3e5 (covers sub-RTT microsecond spans
+// through multi-minute outliers when samples are in milliseconds), factor
+// ~1.47 per step, 64 finite buckets + overflow.
+constexpr std::size_t kFiniteBuckets = 64;
+
+std::vector<double> make_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(kFiniteBuckets);
+  double b = 0.01;
+  for (std::size_t i = 0; i < kFiniteBuckets; ++i) {
+    bounds.push_back(b);
+    b *= 1.47;
+  }
+  return bounds;
+}
+
+}  // namespace
+
+const std::vector<double>& Histogram::upper_bounds() {
+  static const std::vector<double> bounds = make_bounds();
+  return bounds;
+}
+
+Histogram::Histogram() : buckets_(kFiniteBuckets + 1, 0) {}
+
+void Histogram::observe(double value) {
+  const auto& bounds = upper_bounds();
+  const auto it =
+      std::lower_bound(bounds.begin(), bounds.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds.begin())] += 1;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += 1;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  const auto& bounds = upper_bounds();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t next = cumulative + buckets_[i];
+    if (static_cast<double>(next) >= target && buckets_[i] > 0) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : max_;
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets_[i]);
+      return std::clamp(lo + (hi - lo) * frac, min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::gauge_max(const std::string& name,
+                                std::int64_t value) {
+  auto [it, inserted] = gauges_.emplace(name, value);
+  if (!inserted) it->second = std::max(it->second, value);
+}
+
+std::int64_t MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  histograms_[name].observe(value);
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauge_max(name, value);
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].merge(histogram);
+  }
+}
+
+}  // namespace dyncdn::obs

@@ -1,0 +1,93 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Designed for the sharded replica engine: each replica owns a private
+// registry (no locks, no atomics — replicas never share one), and the
+// coordinator merges shard registries *in shard-index order* after the
+// executor joins. Every merge operation is commutative over equal key
+// sets (counters add, gauges take max, histogram bins add), so the merged
+// registry is bit-identical at any thread count.
+//
+// Metric names follow Prometheus conventions (snake_case, `_total` suffix
+// for monotonic counters); see docs/OBSERVABILITY.md for the catalog.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dyncdn::obs {
+
+// Log-scale histogram of non-negative double samples (milliseconds in
+// practice). Bucket upper bounds form a fixed geometric ladder so that two
+// histograms are always merge-compatible without negotiation.
+class Histogram {
+ public:
+  Histogram();
+
+  void observe(double value);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  // Parallel arrays: upper_bounds()[i] is the inclusive upper bound of
+  // bucket i; the final bucket is +Inf. Cumulative counts (Prometheus
+  // `le` semantics) are computed by the exporter.
+  static const std::vector<double>& upper_bounds();
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+
+  // Linear-interpolated quantile estimate from the bucket counts.
+  double quantile(double q) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // Counters are monotonic uint64 values; add() creates on first use.
+  void add(const std::string& name, std::uint64_t delta);
+  std::uint64_t counter(const std::string& name) const;  // 0 if absent
+
+  // Gauges are "high-water mark" values: set() keeps the max seen, which
+  // is the only gauge-merge rule that is order-independent across shards.
+  void gauge_max(const std::string& name, std::int64_t value);
+  std::int64_t gauge(const std::string& name) const;  // 0 if absent
+
+  void observe(const std::string& name, double value);
+  const Histogram* histogram(const std::string& name) const;
+
+  // Merge `other` into this registry. Deterministic for any merge order
+  // over the same multiset of shard registries.
+  void merge(const MetricsRegistry& other);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Ordered iteration for the exporters (std::map keeps names sorted, so
+  // export output is canonical without an extra sort).
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::int64_t>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dyncdn::obs

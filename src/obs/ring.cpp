@@ -1,0 +1,168 @@
+#include "obs/ring.hpp"
+
+#include <cstring>
+
+#include "obs/trace.hpp"
+
+namespace dyncdn::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'C', 'O', 'B', 'S', 'R', '0', '1'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+class Reader {
+ public:
+  Reader(const std::string& bytes, std::size_t pos)
+      : bytes_(bytes), pos_(pos) {}
+
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool str(std::string& s) {
+    std::uint32_t len = 0;
+    if (!u32(len) || pos_ + len > bytes_.size()) return false;
+    s.assign(bytes_, pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  std::size_t pos() const { return pos_; }
+  bool done() const { return pos_ >= bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_;
+};
+
+std::optional<SpanRecord> decode_one(Reader& r) {
+  SpanRecord span;
+  std::uint64_t u = 0;
+  std::uint32_t replica = 0;
+  if (!r.u64(u)) return std::nullopt;
+  span.id = u;
+  if (!r.u64(u)) return std::nullopt;
+  span.parent = u;
+  if (!r.u32(replica)) return std::nullopt;
+  span.replica = replica;
+  if (!r.u64(u)) return std::nullopt;
+  span.start = sim::SimTime::nanoseconds(static_cast<std::int64_t>(u));
+  if (!r.u64(u)) return std::nullopt;
+  span.end = sim::SimTime::nanoseconds(static_cast<std::int64_t>(u));
+  if (!r.str(span.name)) return std::nullopt;
+  if (!r.str(span.category)) return std::nullopt;
+  span.open = false;
+  return span;
+}
+
+}  // namespace
+
+std::string RingBuffer::encode(const SpanRecord& span) {
+  std::string out;
+  out.reserve(44 + span.name.size() + span.category.size());
+  put_u64(out, span.id);
+  put_u64(out, span.parent);
+  put_u32(out, span.replica);
+  put_u64(out, static_cast<std::uint64_t>(span.start.ns()));
+  put_u64(out, static_cast<std::uint64_t>(span.end.ns()));
+  put_str(out, span.name);
+  put_str(out, span.category);
+  return out;
+}
+
+void RingBuffer::append(const SpanRecord& span) {
+  std::string encoded = encode(span);
+  ++appended_;
+  if (encoded.size() > capacity_) {
+    ++evicted_;  // cannot fit even alone
+    return;
+  }
+  used_ += encoded.size();
+  records_.push_back(std::move(encoded));
+  while (used_ > capacity_) {
+    used_ -= records_.front().size();
+    records_.pop_front();
+    ++evicted_;
+  }
+}
+
+std::vector<SpanRecord> RingBuffer::decode_all() const {
+  std::vector<SpanRecord> out;
+  out.reserve(records_.size());
+  for (const auto& rec : records_) {
+    Reader r(rec, 0);
+    if (auto span = decode_one(r)) out.push_back(std::move(*span));
+  }
+  return out;
+}
+
+std::string RingBuffer::dump() const {
+  std::string out(kMagic, sizeof(kMagic));
+  for (const auto& rec : records_) {
+    put_u32(out, static_cast<std::uint32_t>(rec.size()));
+    out.append(rec);
+  }
+  return out;
+}
+
+std::optional<std::vector<SpanRecord>> RingBuffer::load(
+    const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::vector<SpanRecord> out;
+  std::size_t pos = sizeof(kMagic);
+  while (pos < bytes.size()) {
+    Reader header(bytes, pos);
+    std::uint32_t len = 0;
+    if (!header.u32(len) || header.pos() + len > bytes.size()) {
+      return std::nullopt;
+    }
+    Reader body(bytes, header.pos());
+    auto span = decode_one(body);
+    if (!span || body.pos() != header.pos() + len) return std::nullopt;
+    out.push_back(std::move(*span));
+    pos = header.pos() + len;
+  }
+  return out;
+}
+
+}  // namespace dyncdn::obs

@@ -1,0 +1,54 @@
+// Compact binary flight recorder: a byte-budgeted ring of encoded span
+// records. Always-on deployments size it to a few hundred kB and dump it
+// post-mortem; encoding keeps only the fields needed to reconstruct a
+// timeline (ids, replica, name, category, start/end), dropping args and
+// events to stay compact.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dyncdn::obs {
+
+struct SpanRecord;
+
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  // Append a closed span; evicts oldest records to respect the budget.
+  // A record larger than the whole budget is dropped (counted).
+  void append(const SpanRecord& span);
+
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t used_bytes() const { return used_; }
+  std::uint64_t appended() const { return appended_; }
+  std::uint64_t evicted() const { return evicted_; }
+  std::size_t record_count() const { return records_.size(); }
+
+  // Decode the retained records, oldest first. Dropped fields (args,
+  // events) come back empty; `open` is always false.
+  std::vector<SpanRecord> decode_all() const;
+
+  // Concatenated wire encoding: an 8-byte header ("DCOBSR01") followed by
+  // the retained records. load() reverses dump(); returns nullopt on a
+  // malformed buffer.
+  std::string dump() const;
+  static std::optional<std::vector<SpanRecord>> load(
+      const std::string& bytes);
+
+  static std::string encode(const SpanRecord& span);
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::deque<std::string> records_;  // each element: one encoded record
+};
+
+}  // namespace dyncdn::obs

@@ -26,6 +26,7 @@ EventId EventQueue::schedule(SimTime at, Callback cb) {
   const std::uint32_t gen = slots_[slot].gen;
   heap_.push_back(HeapEntry{at, next_seq_++, slot, gen});
   std::push_heap(heap_.begin(), heap_.end(), later);
+  if (heap_.size() > max_heaped_) max_heaped_ = heap_.size();
   ++live_;
   return EventId{(static_cast<std::uint64_t>(slot) << 32) | gen};
 }
@@ -46,6 +47,7 @@ bool EventQueue::cancel(EventId id) {
     return false;  // already fired/cancelled (or never scheduled here)
   }
   retire_slot(slot);
+  ++cancelled_;
   ++dead_in_heap_;  // the heap entry stays until skimmed or compacted
   maybe_compact();
   return true;

@@ -66,6 +66,13 @@ class EventQueue {
   std::size_t heaped_entries() const { return heap_.size(); }
   std::size_t slot_count() const { return slots_.size(); }
 
+  /// Lifetime counters for the metrics layer (maintained unconditionally:
+  /// one increment / one comparison per schedule or cancel, noise next to
+  /// the heap push itself).
+  std::uint64_t scheduled_count() const { return next_seq_ - 1; }
+  std::uint64_t cancelled_count() const { return cancelled_; }
+  std::size_t max_heaped() const { return max_heaped_; }
+
  private:
   struct HeapEntry {
     SimTime at;
@@ -100,6 +107,8 @@ class EventQueue {
   std::size_t live_ = 0;              // scheduled and not fired/cancelled
   std::size_t dead_in_heap_ = 0;      // cancelled entries still heaped
   std::uint64_t next_seq_ = 1;
+  std::uint64_t cancelled_ = 0;
+  std::size_t max_heaped_ = 0;
   SimTime last_popped_ = SimTime::zero();
 };
 

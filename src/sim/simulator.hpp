@@ -12,6 +12,10 @@
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
+namespace dyncdn::obs {
+class TraceSession;  // src/obs/trace.hpp; sim never dereferences it
+}  // namespace dyncdn::obs
+
 namespace dyncdn::sim {
 
 class Simulator {
@@ -53,11 +57,28 @@ class Simulator {
 
   const RngFactory& rng() const { return rng_factory_; }
 
+  /// Event-kernel introspection for the metrics layer.
+  std::uint64_t events_scheduled() const {
+    return queue_.scheduled_count();
+  }
+  std::uint64_t events_cancelled() const {
+    return queue_.cancelled_count();
+  }
+  std::size_t max_heaped_entries() const { return queue_.max_heaped(); }
+
+  /// Observability hook: a non-owning pointer to the trace session for
+  /// this simulation, set by whoever owns both (testbed::Scenario). The
+  /// kernel itself never touches it — components reach it through
+  /// obs::active_trace(sim) so a null/disabled session costs one branch.
+  obs::TraceSession* trace() const { return trace_; }
+  void set_trace(obs::TraceSession* session) { trace_ = session; }
+
  private:
   EventQueue queue_;
   RngFactory rng_factory_;
   SimTime now_ = SimTime::zero();
   std::uint64_t events_executed_ = 0;
+  obs::TraceSession* trace_ = nullptr;
 };
 
 }  // namespace dyncdn::sim

@@ -83,6 +83,19 @@ std::size_t TcpSocket::unacked_bytes() const {
   return static_cast<std::size_t>(snd_nxt_ - snd_una_);
 }
 
+void TcpSocket::attach_trace([[maybe_unused]] obs::TraceSession* session,
+                             [[maybe_unused]] obs::SpanId span) {
+#if DYNCDN_OBS
+  trace_ = session;
+  trace_span_ = span;
+  if (trace_ != nullptr && state_ == TcpState::kSynSent) {
+    // connect() emitted the SYN synchronously in this same event, so
+    // now() is exactly the SYN's wire timestamp (= the paper's tb).
+    trace_->add_event(trace_span_, "syn", stack_.simulator().now());
+  }
+#endif
+}
+
 // ---------------------------------------------------------------------------
 // Connection establishment
 // ---------------------------------------------------------------------------
@@ -135,6 +148,12 @@ void TcpSocket::on_packet(const net::PacketPtr& p) {
 
     case TcpState::kSynSent: {
       if (p->tcp.flags.syn && p->tcp.flags.ack && p->tcp.ack == snd_nxt_) {
+#if DYNCDN_OBS
+        if (trace_ != nullptr) {
+          trace_->add_event(trace_span_, "synack",
+                            stack_.simulator().now());
+        }
+#endif
         irs_ = p->tcp.seq;
         rcv_nxt_ = irs_ + 1;
         peer_window_ = p->tcp.window;
@@ -185,6 +204,27 @@ void TcpSocket::on_packet(const net::PacketPtr& p) {
 }
 
 void TcpSocket::handle_established_packet(const net::PacketPtr& p) {
+#if DYNCDN_OBS
+  if (trace_ != nullptr) {
+    // Mirror what a packet capture at this node records, so the span's
+    // timeline reconstruction matches analysis/timeline bit-for-bit:
+    // the first ACK covering data is t2, and every payload-bearing
+    // arrival (duplicates included — capture sees those too) is an "rx"
+    // segment keyed by its server-relative stream offset.
+    if (!trace_ack_data_ && p->tcp.flags.ack && p->tcp.ack > iss_ + 1) {
+      trace_ack_data_ = true;
+      trace_->add_event(trace_span_, "ack_data", stack_.simulator().now());
+    }
+    if (!p->payload.empty() && p->tcp.seq >= irs_ + 1) {
+      trace_->add_event(
+          trace_span_, "rx", stack_.simulator().now(),
+          {obs::Arg{"off", obs::ArgValue::of(static_cast<std::int64_t>(
+                               p->tcp.seq - (irs_ + 1)))},
+           obs::Arg{"len", obs::ArgValue::of(static_cast<std::int64_t>(
+                               p->payload.length))}});
+    }
+  }
+#endif
   if (p->tcp.flags.ack) process_ack(p);
   if (state_ == TcpState::kClosed) return;  // teardown completed in ACK path
   if (!p->payload.empty()) process_payload(p);
@@ -574,6 +614,12 @@ void TcpSocket::try_send_data() {
     ++stats_.segments_sent;
     stats_.bytes_sent += len;
     last_data_sent_ = stack_.simulator().now();
+#if DYNCDN_OBS
+    if (trace_ != nullptr && !trace_tx_data_) {
+      trace_tx_data_ = true;  // first payload transmission = t1
+      trace_->add_event(trace_span_, "tx_data", stack_.simulator().now());
+    }
+#endif
 
     if (!timing_segment_) {
       timing_segment_ = true;
@@ -714,6 +760,18 @@ void TcpSocket::enter_time_wait() {
 void TcpSocket::finish_close() {
   if (state_ == TcpState::kClosed) return;
   state_ = TcpState::kClosed;
+#if DYNCDN_OBS
+  if (trace_ != nullptr) {
+    trace_->add_arg(trace_span_, "bytes_received",
+                    obs::ArgValue::of(static_cast<std::int64_t>(
+                        stats_.bytes_received)));
+    trace_->add_arg(trace_span_, "retransmits",
+                    obs::ArgValue::of(static_cast<std::int64_t>(
+                        stats_.retransmits_rto + stats_.retransmits_fast)));
+    trace_->end_span(trace_span_, stack_.simulator().now());
+    trace_ = nullptr;
+  }
+#endif
   disarm_rto();
   if (delayed_ack_timer_.valid()) {
     stack_.simulator().cancel(delayed_ack_timer_);

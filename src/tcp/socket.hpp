@@ -20,6 +20,7 @@
 #include "net/address.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/config.hpp"
 
@@ -98,6 +99,14 @@ class TcpSocket {
 
   /// Replace the callback set (used by accept handlers).
   void set_callbacks(Callbacks cb) { callbacks_ = std::move(cb); }
+
+  /// Observability: record wire-level events onto `span` in `session`
+  /// (handshake "syn"/"synack", first data "tx_data" = t1, first
+  /// data-covering ACK "ack_data" = t2, per-payload "rx" segments, span
+  /// closed at teardown). Call immediately after TcpStack::connect — the
+  /// SYN emission is synchronous with connect, so the "syn" stamp taken
+  /// here equals the wire time. No-op when DYNCDN_OBS=0.
+  void attach_trace(obs::TraceSession* session, obs::SpanId span);
 
   // ---- TcpStack interface -------------------------------------------------
 
@@ -204,6 +213,15 @@ class TcpSocket {
   sim::EventId delayed_ack_timer_;
   sim::EventId time_wait_timer_;
   bool ack_pending_ = false;
+
+#if DYNCDN_OBS
+  // Observability (see attach_trace). The session outlives the socket:
+  // it is owned by the Scenario that owns the whole node graph.
+  obs::TraceSession* trace_ = nullptr;
+  obs::SpanId trace_span_ = obs::kNoSpan;
+  bool trace_tx_data_ = false;   // "tx_data" (t1) recorded
+  bool trace_ack_data_ = false;  // "ack_data" (t2) recorded
+#endif
 
   SocketStats stats_;
 };

@@ -32,6 +32,7 @@ TcpSocket& TcpStack::connect(net::Endpoint remote,
                                             /*passive=*/false);
   TcpSocket& ref = *socket;
   sockets_.emplace(flow, std::move(socket));
+  ++sockets_opened_;
   ref.start_connect();
   return ref;
 }
@@ -55,6 +56,7 @@ void TcpStack::on_packet(const net::PacketPtr& packet) {
           /*passive=*/true);
       TcpSocket& ref = *socket;
       sockets_.emplace(flow, std::move(socket));
+      ++sockets_opened_;
       listener->second(ref);  // install application callbacks
       ref.on_syn(packet);
       return;
@@ -83,9 +85,35 @@ void TcpStack::send_reset_for(const net::PacketPtr& packet) {
 
 void TcpStack::destroy(TcpSocket& socket) {
   const net::FlowId flow = socket.flow();
-  // Deferred: the socket may be deep in its own call stack.
-  simulator().schedule_in(sim::SimTime::zero(),
-                          [this, flow]() { sockets_.erase(flow); });
+  // Deferred: the socket may be deep in its own call stack. Stats are
+  // banked at reap time (not here) so aggregate_stats never double-counts
+  // a socket that is both retired and still in the map.
+  simulator().schedule_in(sim::SimTime::zero(), [this, flow]() {
+    const auto it = sockets_.find(flow);
+    if (it == sockets_.end()) return;
+    const SocketStats& s = it->second->stats();
+    retired_stats_.bytes_sent += s.bytes_sent;
+    retired_stats_.bytes_received += s.bytes_received;
+    retired_stats_.segments_sent += s.segments_sent;
+    retired_stats_.retransmits_rto += s.retransmits_rto;
+    retired_stats_.retransmits_fast += s.retransmits_fast;
+    retired_stats_.dupacks_received += s.dupacks_received;
+    sockets_.erase(it);
+  });
+}
+
+SocketStats TcpStack::aggregate_stats() const {
+  SocketStats total = retired_stats_;
+  for (const auto& [flow, socket] : sockets_) {
+    const SocketStats& s = socket->stats();
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_received += s.bytes_received;
+    total.segments_sent += s.segments_sent;
+    total.retransmits_rto += s.retransmits_rto;
+    total.retransmits_fast += s.retransmits_fast;
+    total.dupacks_received += s.dupacks_received;
+  }
+  return total;
 }
 
 net::Port TcpStack::allocate_ephemeral_port() {

@@ -41,6 +41,12 @@ class TcpStack {
 
   std::size_t socket_count() const { return sockets_.size(); }
 
+  /// Lifetime totals for the metrics layer: stats of every socket this
+  /// stack ever ran — destroyed ones (accumulated at teardown) plus the
+  /// ones still alive.
+  SocketStats aggregate_stats() const;
+  std::uint64_t sockets_opened() const { return sockets_opened_; }
+
   // ---- TcpSocket interface ------------------------------------------------
   /// Transmit a packet built by a socket.
   void transmit(net::PacketPtr packet) { node_.send(std::move(packet)); }
@@ -58,6 +64,8 @@ class TcpStack {
   std::unordered_map<net::FlowId, std::unique_ptr<TcpSocket>> sockets_;
   std::unordered_map<net::Port, AcceptHandler> listeners_;
   net::Port next_ephemeral_ = 40000;
+  SocketStats retired_stats_;  // summed when destroyed sockets are reaped
+  std::uint64_t sockets_opened_ = 0;
 };
 
 }  // namespace dyncdn::tcp

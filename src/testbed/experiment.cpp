@@ -130,10 +130,20 @@ ExperimentResult run_experiment_subset(
   result.per_node_timings.reserve(client_indices.size());
   for (const std::size_t i : client_indices) {
     auto timings = analyze_client_trace(clients[i], boundary);
+    for (const core::QueryTimings& t : timings) {
+      result.metrics.add("queries_analyzed", 1);
+      result.metrics.observe("query_rtt_ms", t.rtt_ms);
+      result.metrics.observe("query_t_static_ms", t.t_static_ms);
+      result.metrics.observe("query_t_dynamic_ms", t.t_dynamic_ms);
+      result.metrics.observe("query_t_delta_ms", t.t_delta_ms);
+      result.metrics.observe("query_overall_ms", t.overall_ms);
+    }
     result.per_node.push_back(
         core::aggregate_node(clients[i].vantage.name, timings));
     result.per_node_timings.push_back(std::move(timings));
   }
+  scenario.collect_metrics(result.metrics);
+  result.trace = scenario.shared_trace();
   return result;
 }
 
@@ -247,6 +257,7 @@ FetchFactoringResult run_fetch_factoring_experiment(
   }
   result.factoring = core::factor_fetch_time(result.distances_miles,
                                              result.med_t_dynamic_ms);
+  scenario.collect_metrics(result.metrics);
   return result;
 }
 

@@ -61,6 +61,16 @@ struct ExperimentResult {
   /// Raw per-query timings per vantage point (same alignment).
   std::vector<std::vector<core::QueryTimings>> per_node_timings;
 
+  /// Operational counters + per-query latency histograms. Sharded runs
+  /// merge shard registries in shard-index order; the merge rules
+  /// (counters add, gauges max, histogram bins add) make the result
+  /// thread-count invariant.
+  obs::MetricsRegistry metrics;
+
+  /// Trace session of the run (merged across shards, stamped with replica
+  /// ids). Null unless ScenarioOptions::enable_tracing.
+  std::shared_ptr<obs::TraceSession> trace;
+
   /// All timings flattened.
   std::vector<core::QueryTimings> all() const;
 };
@@ -114,6 +124,8 @@ struct FetchFactoringResult {
   std::vector<double> distances_miles;
   std::vector<double> med_t_dynamic_ms;
   core::FetchFactoring factoring;
+  /// Operational counters (merged across shards in the parallel runner).
+  obs::MetricsRegistry metrics;
 };
 
 FetchFactoringResult run_fetch_factoring_experiment(

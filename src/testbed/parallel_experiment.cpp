@@ -54,7 +54,9 @@ ExperimentResult run_sharded(const ScenarioOptions& base,
                                      fe_for_client);
       });
 
-  // Scatter shard results back into fleet order.
+  // Scatter shard results back into fleet order. Metrics and traces merge
+  // by shard index — never completion order — so the output is identical
+  // at every thread count.
   ExperimentResult merged;
   merged.boundary = shard_results.front().boundary;
   merged.discovery_fetches = shard_results.front().discovery_fetches;
@@ -65,6 +67,14 @@ ExperimentResult run_sharded(const ScenarioOptions& base,
       merged.per_node[groups[s][k]] = std::move(shard_results[s].per_node[k]);
       merged.per_node_timings[groups[s][k]] =
           std::move(shard_results[s].per_node_timings[k]);
+    }
+    merged.metrics.merge(shard_results[s].metrics);
+    if (shard_results[s].trace) {
+      if (!merged.trace) {
+        merged.trace = std::make_shared<obs::TraceSession>();
+      }
+      merged.trace->merge_from(std::move(*shard_results[s].trace),
+                               static_cast<std::uint32_t>(s));
     }
   }
   return merged;
@@ -106,6 +116,7 @@ FetchFactoringResult run_fetch_factoring_experiment(
   struct ShardSeries {
     std::vector<double> distances_miles;
     std::vector<double> med_t_dynamic_ms;
+    obs::MetricsRegistry metrics;
   };
 
   parallel::ReplicaExecutor executor(plan.executor);
@@ -133,6 +144,7 @@ FetchFactoringResult run_fetch_factoring_experiment(
       series.med_t_dynamic_ms.push_back(
           stats::median(core::extract_dynamic(timelines)));
     }
+    scenario.collect_metrics(series.metrics);
     return series;
   });
 
@@ -144,6 +156,7 @@ FetchFactoringResult run_fetch_factoring_experiment(
     result.med_t_dynamic_ms.insert(result.med_t_dynamic_ms.end(),
                                    s.med_t_dynamic_ms.begin(),
                                    s.med_t_dynamic_ms.end());
+    result.metrics.merge(s.metrics);
   }
   result.factoring = core::factor_fetch_time(result.distances_miles,
                                              result.med_t_dynamic_ms);

@@ -8,6 +8,10 @@ namespace dyncdn::testbed {
 
 Scenario::Scenario(ScenarioOptions options) : options_(std::move(options)) {
   simulator_ = std::make_unique<sim::Simulator>(options_.seed);
+  if (options_.enable_tracing) {
+    trace_ = std::make_shared<obs::TraceSession>(options_.trace_ring_bytes);
+    simulator_->set_trace(trace_.get());
+  }
   network_ = std::make_unique<net::Network>(*simulator_);
   content_ = std::make_unique<search::ContentModel>(options_.profile.content,
                                                     options_.profile.name);
@@ -237,6 +241,80 @@ void Scenario::warm_up(sim::SimTime duration) {
   for (Client& c : clients_) {
     if (c.recorder) c.recorder->clear();
   }
+}
+
+void Scenario::collect_metrics(obs::MetricsRegistry& out) {
+  // Event kernel. All counters are replica-additive: a sharded campaign
+  // merging its shards' registries reports fleet totals.
+  out.add("sim_events_executed", simulator_->events_executed());
+  out.add("sim_events_scheduled", simulator_->events_scheduled());
+  out.add("sim_timer_cancels", simulator_->events_cancelled());
+  out.gauge_max("sim_event_heap_peak",
+                static_cast<std::int64_t>(simulator_->max_heaped_entries()));
+
+  // Network layer.
+  out.add("net_packets_created", network_->packets_created());
+  out.add("net_packets_routed", network_->packets_routed());
+  out.add("net_no_route_drops", network_->no_route_drops());
+  const net::LinkStats links = network_->aggregate_link_stats();
+  out.add("link_packets_offered", links.packets_offered);
+  out.add("link_packets_delivered", links.packets_delivered);
+  out.add("link_drops_loss", links.drops_loss);
+  out.add("link_drops_queue", links.drops_queue);
+  out.add("link_packets_reordered", links.packets_reordered);
+  out.add("link_bytes_delivered", links.bytes_delivered);
+
+  // TCP: every stack in the testbed (clients + FE fleet + BE).
+  tcp::SocketStats tcp_totals;
+  std::uint64_t sockets_opened = 0;
+  const auto fold = [&](tcp::TcpStack& stack) {
+    const tcp::SocketStats s = stack.aggregate_stats();
+    tcp_totals.bytes_sent += s.bytes_sent;
+    tcp_totals.bytes_received += s.bytes_received;
+    tcp_totals.segments_sent += s.segments_sent;
+    tcp_totals.retransmits_rto += s.retransmits_rto;
+    tcp_totals.retransmits_fast += s.retransmits_fast;
+    tcp_totals.dupacks_received += s.dupacks_received;
+    sockets_opened += stack.sockets_opened();
+  };
+  for (Client& c : clients_) fold(c.query_client->stack());
+  for (FrontEnd& fe : fes_) fold(fe.server->stack());
+  fold(backend_->stack());
+  out.add("tcp_sockets_opened", sockets_opened);
+  out.add("tcp_bytes_sent", tcp_totals.bytes_sent);
+  out.add("tcp_bytes_received", tcp_totals.bytes_received);
+  out.add("tcp_segments_sent", tcp_totals.segments_sent);
+  out.add("tcp_retransmits_rto", tcp_totals.retransmits_rto);
+  out.add("tcp_retransmits_fast", tcp_totals.retransmits_fast);
+  out.add("tcp_dupacks_received", tcp_totals.dupacks_received);
+
+  // Front-end fleet.
+  std::uint64_t fe_handled = 0, fe_cache_hits = 0;
+  std::int64_t be_pool_peak = 0, fetch_queue_peak = 0,
+               active_requests_peak = 0;
+  for (FrontEnd& fe : fes_) {
+    fe_handled += fe.server->queries_handled();
+    fe_cache_hits += fe.server->cache_hits();
+    be_pool_peak =
+        std::max(be_pool_peak,
+                 static_cast<std::int64_t>(fe.server->backend_pool_peak()));
+    fetch_queue_peak =
+        std::max(fetch_queue_peak,
+                 static_cast<std::int64_t>(fe.server->fetch_queue_peak()));
+    active_requests_peak = std::max(
+        active_requests_peak,
+        static_cast<std::int64_t>(fe.server->active_requests_peak()));
+  }
+  out.add("fe_queries_handled", fe_handled);
+  out.add("fe_cache_hits", fe_cache_hits);
+  out.gauge_max("fe_backend_pool_peak", be_pool_peak);
+  out.gauge_max("fe_fetch_queue_peak", fetch_queue_peak);
+  out.gauge_max("fe_active_requests_peak", active_requests_peak);
+
+  // Back-end data center.
+  out.add("be_queries_served", backend_->queries_served());
+  out.gauge_max("be_queue_depth_peak",
+                static_cast<std::int64_t>(backend_->active_queries_peak()));
 }
 
 }  // namespace dyncdn::testbed

@@ -16,6 +16,8 @@
 #include "cdn/deployment.hpp"
 #include "cdn/frontend.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "search/content_model.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/planetlab.hpp"
@@ -48,6 +50,15 @@ struct ScenarioOptions {
   /// DSL-interleaving latency; wireless nodes add latency plus loss.
   double residential_fraction = 0.0;
   double wireless_fraction = 0.0;
+
+  /// Query-timeline tracing (obs::TraceSession attached to the simulator).
+  /// Off by default: tracing adds an X-Trace-Span header to requests, so a
+  /// traced run is internally consistent but not byte-identical with an
+  /// untraced one.
+  bool enable_tracing = false;
+  /// When >0, completed spans also feed a bounded binary flight recorder
+  /// of this many bytes (obs::RingBuffer).
+  std::size_t trace_ring_bytes = 0;
 
   /// FrontEnd config overrides applied to every FE (ablations).
   std::optional<cdn::FrontEndServer::RelayMode> relay_mode;
@@ -108,6 +119,16 @@ class Scenario {
   /// established and warmed. Call before submitting measured queries.
   void warm_up(sim::SimTime duration = sim::SimTime::seconds(5));
 
+  /// Tracing session attached to the simulator (null unless
+  /// ScenarioOptions::enable_tracing).
+  obs::TraceSession* trace() { return trace_.get(); }
+  std::shared_ptr<obs::TraceSession> shared_trace() { return trace_; }
+
+  /// Snapshot the testbed's operational counters into `out` (event kernel,
+  /// network, TCP stacks, FE/BE servers). Purely additive: callers can
+  /// merge registries across replicas.
+  void collect_metrics(obs::MetricsRegistry& out);
+
  private:
   void build_backend();
   void build_frontends();
@@ -116,6 +137,7 @@ class Scenario {
                                      const net::GeoPoint& fe_location) const;
 
   ScenarioOptions options_;
+  std::shared_ptr<obs::TraceSession> trace_;
   std::unique_ptr<sim::Simulator> simulator_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<search::ContentModel> content_;

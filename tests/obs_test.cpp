@@ -1,0 +1,427 @@
+// Observability layer: span tracing, metrics registry, exporters, ring
+// buffer — and the headline cross-check: a traced query's span events
+// reproduce the paper's t1..te timeline with ZERO sim-clock error against
+// the packet-capture analysis pipeline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/boundary.hpp"
+#include "analysis/reassembly.hpp"
+#include "analysis/timeline.hpp"
+#include "obs/export_chrome.hpp"
+#include "obs/export_prometheus.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/ring.hpp"
+#include "obs/trace.hpp"
+#include "search/keywords.hpp"
+#include "testbed/scenario.hpp"
+
+using namespace dyncdn;
+using sim::SimTime;
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CountersGaugesHistograms) {
+  obs::MetricsRegistry r;
+  EXPECT_TRUE(r.empty());
+  r.add("events_total", 3);
+  r.add("events_total", 4);
+  EXPECT_EQ(r.counter("events_total"), 7u);
+  EXPECT_EQ(r.counter("absent"), 0u);
+
+  r.gauge_max("heap_peak", 10);
+  r.gauge_max("heap_peak", 4);  // high-water mark keeps the max
+  EXPECT_EQ(r.gauge("heap_peak"), 10);
+
+  r.observe("latency_ms", 5.0);
+  r.observe("latency_ms", 50.0);
+  ASSERT_NE(r.histogram("latency_ms"), nullptr);
+  EXPECT_EQ(r.histogram("latency_ms")->count(), 2u);
+  EXPECT_DOUBLE_EQ(r.histogram("latency_ms")->sum(), 55.0);
+  EXPECT_DOUBLE_EQ(r.histogram("latency_ms")->min(), 5.0);
+  EXPECT_DOUBLE_EQ(r.histogram("latency_ms")->max(), 50.0);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Metrics, MergeIsOrderIndependent) {
+  const auto build = [](std::uint64_t c, std::int64_t g, double h) {
+    obs::MetricsRegistry r;
+    r.add("queries_total", c);
+    r.gauge_max("depth_peak", g);
+    r.observe("rtt_ms", h);
+    return r;
+  };
+  const obs::MetricsRegistry a = build(3, 7, 12.0);
+  const obs::MetricsRegistry b = build(5, 2, 180.0);
+
+  obs::MetricsRegistry ab, ba;
+  ab.merge(a);
+  ab.merge(b);
+  ba.merge(b);
+  ba.merge(a);
+
+  EXPECT_EQ(ab.counter("queries_total"), 8u);
+  EXPECT_EQ(ab.gauge("depth_peak"), 7);
+  EXPECT_EQ(ab.histogram("rtt_ms")->count(), 2u);
+  // Byte-identical exports regardless of merge order.
+  EXPECT_EQ(obs::export_prometheus(ab), obs::export_prometheus(ba));
+}
+
+TEST(Metrics, PrometheusTextFormat) {
+  obs::MetricsRegistry r;
+  r.add("queries_total", 42);
+  r.gauge_max("queue_peak", 9);
+  r.observe("rtt_ms", 80.0);
+  const std::string text = obs::export_prometheus(r);
+
+  EXPECT_NE(text.find("# TYPE dyncdn_queries_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dyncdn_queries_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dyncdn_queue_peak gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("dyncdn_queue_peak 9\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dyncdn_rtt_ms histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("dyncdn_rtt_ms_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dyncdn_rtt_ms_count 1\n"), std::string::npos);
+
+  // Canonical: identical registries export identical bytes.
+  obs::MetricsRegistry r2;
+  r2.add("queries_total", 42);
+  r2.gauge_max("queue_peak", 9);
+  r2.observe("rtt_ms", 80.0);
+  EXPECT_EQ(text, obs::export_prometheus(r2));
+}
+
+// ---------------------------------------------------------------------------
+// Span tracing
+// ---------------------------------------------------------------------------
+
+TEST(Trace, SpanNestingAndEvents) {
+  obs::TraceSession t;
+  const obs::SpanId root =
+      t.begin_span(SimTime::milliseconds(10), "query", "client");
+  const obs::SpanId child =
+      t.begin_span(SimTime::milliseconds(11), "tcp.flow", "client", root);
+  ASSERT_NE(root, obs::kNoSpan);
+  ASSERT_NE(child, obs::kNoSpan);
+  EXPECT_EQ(t.open_span_count(), 2u);
+
+  t.add_arg(root, "keyword", obs::ArgValue::of(std::string("test")));
+  t.add_event(child, "synack", SimTime::milliseconds(12));
+  t.end_span(child, SimTime::milliseconds(20));
+  t.end_span(root, SimTime::milliseconds(21));
+  EXPECT_EQ(t.open_span_count(), 0u);
+
+  const obs::SpanRecord* c = t.find(child);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->parent, root);
+  EXPECT_EQ(c->start, SimTime::milliseconds(11));
+  EXPECT_EQ(c->end, SimTime::milliseconds(20));
+  ASSERT_EQ(c->events.size(), 1u);
+  EXPECT_EQ(c->events[0].name, "synack");
+}
+
+TEST(Trace, DisabledSessionIsNoOp) {
+  obs::TraceSession t;
+  t.set_enabled(false);
+  const obs::SpanId id = t.begin_span(SimTime::zero(), "query", "client");
+  EXPECT_EQ(id, obs::kNoSpan);
+  t.add_arg(id, "k", obs::ArgValue::of(std::int64_t{1}));
+  t.add_event(id, "e", SimTime::zero());
+  t.end_span(id, SimTime::zero());
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(Trace, ActiveTraceGate) {
+  sim::Simulator simulator(1);
+  EXPECT_EQ(obs::active_trace(simulator), nullptr);
+  obs::TraceSession t;
+  simulator.set_trace(&t);
+  EXPECT_EQ(obs::active_trace(simulator), &t);
+  t.set_enabled(false);
+  EXPECT_EQ(obs::active_trace(simulator), nullptr);
+}
+
+TEST(Trace, MergeRemapsIdsAndParents) {
+  obs::TraceSession main;
+  const obs::SpanId existing =
+      main.begin_span(SimTime::zero(), "query", "client");
+  main.end_span(existing, SimTime::milliseconds(1));
+
+  obs::TraceSession shard;
+  const obs::SpanId p = shard.begin_span(SimTime::zero(), "query", "client");
+  const obs::SpanId c =
+      shard.begin_span(SimTime::milliseconds(1), "tcp.flow", "client", p);
+  shard.end_span(c, SimTime::milliseconds(2));
+  shard.end_span(p, SimTime::milliseconds(3));
+
+  main.merge_from(std::move(shard), /*replica_id=*/4);
+  ASSERT_EQ(main.spans().size(), 3u);
+  const obs::SpanRecord& mp = main.spans()[1];
+  const obs::SpanRecord& mc = main.spans()[2];
+  EXPECT_NE(mp.id, p);  // remapped past the existing span's id
+  EXPECT_EQ(mc.parent, mp.id);
+  EXPECT_EQ(mp.replica, 4u);
+  EXPECT_EQ(mc.replica, 4u);
+  EXPECT_EQ(main.spans()[0].replica, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(ChromeExport, RoundTripsThroughJsonParser) {
+  obs::TraceSession t;
+  const obs::SpanId root =
+      t.begin_span(SimTime::nanoseconds(1'500'000), "query", "client");
+  t.add_arg(root, "keyword", obs::ArgValue::of(std::string("a \"b\"")));
+  t.add_arg(root, "rank", obs::ArgValue::of(std::int64_t{12}));
+  t.add_event(root, "synack", SimTime::nanoseconds(2'000'001),
+              {{"off", obs::ArgValue::of(std::int64_t{3})}});
+  t.end_span(root, SimTime::nanoseconds(4'000'123));
+
+  const std::string text = obs::export_chrome_trace(t);
+  const auto doc = obs::json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  const obs::json::Value* events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 2u);  // one X + one i
+
+  const obs::json::Value& x = events->array[0];
+  EXPECT_EQ(x.get("ph")->as_string(), "X");
+  EXPECT_EQ(x.get("name")->as_string(), "query");
+  // Exact nanoseconds survive via args; ts/dur are micros for the viewer.
+  EXPECT_EQ(x.get("args")->get("start_ns")->as_int(), 1'500'000);
+  EXPECT_EQ(x.get("args")->get("end_ns")->as_int(), 4'000'123);
+  EXPECT_EQ(x.get("args")->get("rank")->as_int(), 12);
+  EXPECT_EQ(x.get("args")->get("keyword")->as_string(), "a \"b\"");
+
+  const obs::json::Value& i = events->array[1];
+  EXPECT_EQ(i.get("ph")->as_string(), "i");
+  EXPECT_EQ(i.get("args")->get("at_ns")->as_int(), 2'000'001);
+  EXPECT_EQ(i.get("args")->get("off")->as_int(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Binary ring buffer
+// ---------------------------------------------------------------------------
+
+TEST(Ring, EvictsOldestAndRoundTrips) {
+  obs::TraceSession t(/*ring_capacity_bytes=*/256);
+  ASSERT_NE(t.ring(), nullptr);
+  for (int i = 0; i < 32; ++i) {
+    const obs::SpanId s = t.begin_span(SimTime::milliseconds(i),
+                                       "span-" + std::to_string(i), "cat");
+    t.end_span(s, SimTime::milliseconds(i + 1));
+  }
+  EXPECT_EQ(t.ring()->appended(), 32u);
+  EXPECT_GT(t.ring()->evicted(), 0u);  // budget forced eviction
+  EXPECT_LE(t.ring()->used_bytes(), 256u);
+
+  const std::string bytes = t.ring()->dump();
+  const auto loaded = obs::RingBuffer::load(bytes);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), t.ring()->record_count());
+  // The survivors are the most recent spans, in order.
+  EXPECT_EQ(loaded->back().name, "span-31");
+  EXPECT_EQ(loaded->back().start, SimTime::milliseconds(31));
+  EXPECT_EQ(loaded->back().end, SimTime::milliseconds(32));
+}
+
+TEST(Ring, RejectsCorruptDump) {
+  EXPECT_FALSE(obs::RingBuffer::load("not a ring dump").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// End to end: spans vs. packet-capture analysis, tolerance 0
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Rebuild a QueryTimeline from one tcp.flow span, the way
+/// `trace_inspect spans --diff` does: control events from the span
+/// markers, data events via the shared analysis helpers.
+analysis::QueryTimeline timeline_from_flow_span(const obs::SpanRecord& span,
+                                                std::size_t boundary) {
+  analysis::QueryTimeline tl;
+  bool syn = false, synack = false, t1 = false, t2 = false;
+  std::vector<analysis::ReassembledStream::Segment> segments;
+  for (const obs::SpanEvent& e : span.events) {
+    if (e.name == "syn" && !syn) {
+      tl.tb = e.at;
+      syn = true;
+    } else if (e.name == "synack" && !synack) {
+      tl.t_synack = e.at;
+      synack = true;
+    } else if (e.name == "tx_data" && !t1) {
+      tl.t1 = e.at;
+      t1 = true;
+    } else if (e.name == "ack_data" && !t2) {
+      tl.t2 = e.at;
+      t2 = true;
+    } else if (e.name == "rx") {
+      std::size_t off = 0, len = 0;
+      for (const obs::Arg& a : e.args) {
+        if (a.key == "off") off = static_cast<std::size_t>(a.value.i);
+        if (a.key == "len") len = static_cast<std::size_t>(a.value.i);
+      }
+      segments.push_back(
+          analysis::ReassembledStream::Segment{off, len, e.at});
+    }
+  }
+  if (!(syn && synack && t1 && t2)) {
+    tl.invalid_reason = "incomplete control events";
+    return tl;
+  }
+  const auto stream =
+      analysis::ReassembledStream::from_segments(std::move(segments));
+  analysis::finish_timeline_from_stream(tl, stream, boundary);
+  return tl;
+}
+
+std::uint64_t int_arg(const std::vector<obs::Arg>& args,
+                      const std::string& key) {
+  for (const obs::Arg& a : args) {
+    if (a.key == key) return static_cast<std::uint64_t>(a.value.i);
+  }
+  return 0;
+}
+
+}  // namespace
+
+TEST(ObsEndToEnd, SpanTimelineMatchesPacketAnalysisExactly) {
+  testbed::ScenarioOptions so;
+  so.profile = cdn::google_like_profile();
+  so.client_count = 2;
+  so.seed = 7;
+  so.capture_payloads = true;
+  so.enable_tracing = true;
+  testbed::Scenario scenario(so);
+  scenario.warm_up();
+  scenario.connect_client_to_fe(0, 0);
+
+  auto& client = scenario.clients()[0];
+  ASSERT_NE(client.recorder, nullptr);
+  const net::Endpoint fe = scenario.fe_endpoint(0);
+  const search::KeywordCatalog catalog(9);
+  const auto keywords = catalog.distinct_corpus(4);
+  sim::SimTime at = SimTime::zero();
+  for (const search::Keyword& kw : keywords) {
+    scenario.simulator().schedule_in(at, [&client, fe, kw]() {
+      client.query_client->submit(fe, kw, [](const cdn::QueryResult&) {});
+    });
+    at = at + SimTime::milliseconds(1500);
+  }
+  scenario.simulator().run();
+
+  // Boundary discovery from the capture, exactly like the offline path.
+  const capture::PacketTrace web =
+      client.recorder->trace().filter_remote_port(80);
+  std::vector<std::string> responses;
+  for (const auto& flow : web.flows()) {
+    auto stream = analysis::reassemble(web, flow);
+    if (!stream.bytes().empty()) responses.push_back(stream.bytes());
+  }
+  ASSERT_GE(responses.size(), 2u);
+  const std::size_t boundary = analysis::common_prefix_boundary(responses);
+  ASSERT_GT(boundary, 0u);
+  const auto packet_tls = analysis::extract_all_timelines(web, 80, boundary);
+
+  obs::TraceSession* trace = scenario.trace();
+  ASSERT_NE(trace, nullptr);
+
+  std::size_t compared = 0;
+  for (const obs::SpanRecord& span : trace->spans()) {
+    if (span.name != "tcp.flow") continue;
+    const std::uint64_t port = int_arg(span.args, "local_port");
+    const analysis::QueryTimeline from_span =
+        timeline_from_flow_span(span, boundary);
+
+    const analysis::QueryTimeline* from_packets = nullptr;
+    for (const auto& tl : packet_tls) {
+      if (tl.flow.local.port == port) from_packets = &tl;
+    }
+    ASSERT_NE(from_packets, nullptr) << "no capture flow for port " << port;
+
+    // Tolerance 0: both observation paths agree on every timestamp.
+    ASSERT_TRUE(from_packets->valid) << from_packets->invalid_reason;
+    ASSERT_TRUE(from_span.valid) << from_span.invalid_reason;
+    EXPECT_EQ(from_span.tb.ns(), from_packets->tb.ns());
+    EXPECT_EQ(from_span.t_synack.ns(), from_packets->t_synack.ns());
+    EXPECT_EQ(from_span.t1.ns(), from_packets->t1.ns());
+    EXPECT_EQ(from_span.t2.ns(), from_packets->t2.ns());
+    EXPECT_EQ(from_span.t3.ns(), from_packets->t3.ns());
+    EXPECT_EQ(from_span.t4.ns(), from_packets->t4.ns());
+    EXPECT_EQ(from_span.t5.ns(), from_packets->t5.ns());
+    EXPECT_EQ(from_span.te.ns(), from_packets->te.ns());
+    EXPECT_EQ(from_span.boundary, from_packets->boundary);
+    EXPECT_EQ(from_span.response_bytes, from_packets->response_bytes);
+    ++compared;
+  }
+  EXPECT_EQ(compared, keywords.size());
+}
+
+TEST(ObsEndToEnd, SpanTreeLinksClientFeAndBe) {
+  testbed::ScenarioOptions so;
+  so.profile = cdn::google_like_profile();
+  so.client_count = 2;
+  so.seed = 11;
+  so.enable_tracing = true;
+  testbed::Scenario scenario(so);
+  scenario.warm_up();
+  scenario.connect_client_to_fe(0, 0);
+
+  auto& client = scenario.clients()[0];
+  const search::Keyword kw{"observability probe",
+                           search::KeywordClass::kPopular, 100};
+  client.query_client->submit(scenario.fe_endpoint(0), kw,
+                              [](const cdn::QueryResult&) {});
+  scenario.simulator().run();
+
+  obs::TraceSession* trace = scenario.trace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->open_span_count(), 0u);
+
+  const obs::SpanRecord* query = nullptr;
+  for (const obs::SpanRecord& s : trace->spans()) {
+    if (s.name == "query") query = &s;
+  }
+  ASSERT_NE(query, nullptr);
+
+  // The cross-node chain the X-Trace-Span header stitches together:
+  // query -> fe.request -> fe.fetch -> be.process, plus the local
+  // query -> tcp.flow child.
+  const auto find_child = [&](const std::string& name,
+                              obs::SpanId parent) -> const obs::SpanRecord* {
+    for (const obs::SpanRecord& s : trace->spans()) {
+      if (s.name == name && s.parent == parent) return &s;
+    }
+    return nullptr;
+  };
+  EXPECT_NE(find_child("tcp.flow", query->id), nullptr);
+  const obs::SpanRecord* fe_req = find_child("fe.request", query->id);
+  ASSERT_NE(fe_req, nullptr);
+  EXPECT_EQ(fe_req->category, "fe");
+  EXPECT_NE(find_child("fe.service", fe_req->id), nullptr);
+  const obs::SpanRecord* fetch = find_child("fe.fetch", fe_req->id);
+  ASSERT_NE(fetch, nullptr);
+  const obs::SpanRecord* be = find_child("be.process", fetch->id);
+  ASSERT_NE(be, nullptr);
+  EXPECT_EQ(be->category, "be");
+  EXPECT_GE(be->start.ns(), fetch->start.ns());
+  EXPECT_LE(be->end.ns(), fetch->end.ns());
+
+  // static_flush marker (role 1 of the FE) sits on the request span.
+  bool static_flush = false;
+  for (const obs::SpanEvent& e : fe_req->events) {
+    if (e.name == "static_flush") static_flush = true;
+  }
+  EXPECT_TRUE(static_flush);
+}

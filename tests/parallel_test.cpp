@@ -8,6 +8,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/export_chrome.hpp"
+#include "obs/export_prometheus.hpp"
 #include "parallel/replica.hpp"
 #include "search/keywords.hpp"
 #include "testbed/experiment.hpp"
@@ -119,6 +121,52 @@ TEST(ParallelExperiment, ByteIdenticalAcrossThreadCounts) {
   ASSERT_GT(t1.all().size(), 0u);
   expect_identical(t1, t2);
   expect_identical(t1, t5);
+}
+
+// Satellite of the observability PR: the merged metrics registry (and its
+// canonical Prometheus rendering) must be bit-identical at any thread
+// count, because shards merge in index order and every collected counter
+// is derived from the deterministic simulation, never from wall clocks.
+TEST(ParallelExperiment, MetricsPrometheusDumpThreadCountInvariant) {
+  const auto scenario = small_scenario();
+  const auto options = small_experiment();
+
+  testbed::ReplicaPlan plan;  // default: one shard per vantage point
+  std::vector<std::string> dumps;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    plan.executor.threads = threads;
+    const auto r = testbed::run_fixed_fe_experiment(scenario, 0, options, plan);
+    EXPECT_GT(r.metrics.counter("queries_analyzed"), 0u);
+    EXPECT_GT(r.metrics.counter("sim_events_executed"), 0u);
+    ASSERT_NE(r.metrics.histogram("query_rtt_ms"), nullptr);
+    dumps.push_back(obs::export_prometheus(r.metrics));
+  }
+  ASSERT_EQ(dumps.size(), 3u);
+  EXPECT_FALSE(dumps[0].empty());
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_EQ(dumps[0], dumps[2]);
+}
+
+// Same contract for the merged span trace: shard traces are absorbed in
+// shard-index order with deterministic id remapping, so the Chrome export
+// is byte-identical at any thread count.
+TEST(ParallelExperiment, TraceChromeExportThreadCountInvariant) {
+  auto scenario = small_scenario();
+  scenario.enable_tracing = true;
+  const auto options = small_experiment();
+
+  testbed::ReplicaPlan plan;
+  std::vector<std::string> dumps;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    plan.executor.threads = threads;
+    const auto r = testbed::run_fixed_fe_experiment(scenario, 0, options, plan);
+    ASSERT_NE(r.trace, nullptr);
+    EXPECT_GT(r.trace->spans().size(), 0u);
+    dumps.push_back(obs::export_chrome_trace(*r.trace));
+  }
+  ASSERT_EQ(dumps.size(), 2u);
+  EXPECT_EQ(dumps[0], dumps[1]);
 }
 
 TEST(ParallelExperiment, SingleShardMatchesLegacySerialPath) {

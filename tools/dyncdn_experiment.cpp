@@ -20,6 +20,8 @@
 
 #include "capture/serialize.hpp"
 #include "core/inference.hpp"
+#include "obs/export_chrome.hpp"
+#include "obs/export_prometheus.hpp"
 #include "search/keywords.hpp"
 #include "testbed/parallel_experiment.hpp"
 #include "testbed/scenario.hpp"
@@ -38,6 +40,8 @@ struct CliOptions {
   std::string save_traces;  // directory; empty = off
   std::size_t threads = 0;  // 0 = DYNCDN_THREADS / hardware concurrency
   std::size_t shards = 0;   // 0 = one replica per vantage point
+  std::string trace_out;    // Chrome trace_event JSON; empty = off
+  std::string metrics_out;  // Prometheus text dump; empty = off
 };
 
 void usage() {
@@ -48,10 +52,15 @@ void usage() {
       "                         [--service=google|bing] [--clients=N]\n"
       "                         [--reps=N] [--seed=S] [--save-traces=DIR]\n"
       "                         [--threads=N] [--shards=N]\n"
+      "                         [--trace-out=FILE] [--metrics-out=FILE]\n"
       "  --threads  worker threads for sharded experiments "
       "(0 = DYNCDN_THREADS or all cores)\n"
       "  --shards   replica count (0 = one per vantage point; "
-      "1 = legacy serial semantics)\n");
+      "1 = legacy serial semantics)\n"
+      "  --trace-out    write per-query span timelines as Chrome "
+      "trace_event JSON (chrome://tracing, Perfetto)\n"
+      "  --metrics-out  write the run's metrics registry in Prometheus "
+      "text format\n");
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -85,6 +94,10 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     } else if (auto v = value("--shards=")) {
       opt.shards = static_cast<std::size_t>(std::strtoull(v->c_str(),
                                                           nullptr, 10));
+    } else if (auto v = value("--trace-out=")) {
+      opt.trace_out = *v;
+    } else if (auto v = value("--metrics-out=")) {
+      opt.metrics_out = *v;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return std::nullopt;
@@ -119,12 +132,30 @@ void save_all_traces(testbed::Scenario& scenario, const std::string& dir) {
   std::fprintf(stderr, "traces saved under %s\n", dir.c_str());
 }
 
+void write_obs_outputs(const CliOptions& cli, const obs::TraceSession* trace,
+                       const obs::MetricsRegistry& metrics) {
+  if (!cli.trace_out.empty()) {
+    if (trace) {
+      obs::write_chrome_trace(*trace, cli.trace_out);
+      std::fprintf(stderr, "chrome trace written to %s\n",
+                   cli.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "--trace-out: no trace session (tracing off)\n");
+    }
+  }
+  if (!cli.metrics_out.empty()) {
+    obs::write_prometheus(metrics, cli.metrics_out);
+    std::fprintf(stderr, "metrics written to %s\n", cli.metrics_out.c_str());
+  }
+}
+
 int run_measurement(const CliOptions& cli, bool fixed_fe) {
   testbed::ScenarioOptions so;
   so.profile = cli.service == "google" ? cdn::google_like_profile()
                                        : cdn::bing_like_profile();
   so.client_count = cli.clients;
   so.seed = cli.seed;
+  so.enable_tracing = !cli.trace_out.empty();
 
   testbed::ExperimentOptions eo;
   eo.reps_per_node = cli.reps;
@@ -157,6 +188,9 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
     }
     scenario.simulator().run();
     save_all_traces(scenario, cli.save_traces);
+    obs::MetricsRegistry metrics;
+    scenario.collect_metrics(metrics);
+    write_obs_outputs(cli, scenario.trace(), metrics);
     return 0;
   }
 
@@ -183,6 +217,7 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
 
   const auto threshold = core::estimate_delta_threshold(result.per_node);
   std::printf("# %s\n", threshold.to_string().c_str());
+  write_obs_outputs(cli, result.trace.get(), result.metrics);
   return 0;
 }
 
@@ -192,6 +227,7 @@ int run_caching(const CliOptions& cli) {
                                        : cdn::bing_like_profile();
   so.client_count = std::max<std::size_t>(cli.clients, 4);
   so.seed = cli.seed;
+  so.enable_tracing = !cli.trace_out.empty();
   testbed::Scenario scenario(so);
   scenario.warm_up();
 
@@ -214,6 +250,9 @@ int run_caching(const CliOptions& cli) {
               r.detection.median_same_ms, r.detection.median_distinct_ms,
               r.detection.ks.statistic, r.detection.ks.p_value,
               r.detection.caching_detected ? "yes" : "no");
+  obs::MetricsRegistry metrics;
+  scenario.collect_metrics(metrics);
+  write_obs_outputs(cli, scenario.trace(), metrics);
   return 0;
 }
 
@@ -247,6 +286,9 @@ int run_factoring(const CliOptions& cli) {
                 r.med_t_dynamic_ms[i]);
   }
   std::printf("# %s\n", r.factoring.to_string().c_str());
+  // Factoring merges only series + metrics across shards; span traces are
+  // a measurement-experiment feature.
+  write_obs_outputs(cli, nullptr, r.metrics);
   return 0;
 }
 

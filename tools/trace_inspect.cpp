@@ -1,15 +1,34 @@
-// trace_inspect — offline analyzer for saved dyncdn packet traces.
+// trace_inspect — offline analyzer for saved dyncdn traces.
 //
+// Packet mode (default):
 //   trace_inspect <trace-file> [boundary]
 //
-// Prints the connections found in the trace, reassembles each response
-// stream, discovers the static/dynamic boundary by cross-query content
-// analysis (when payloads were retained and at least two responses exist;
-// otherwise pass the boundary explicitly) and prints the paper's timing
-// parameters for every query.
+// Prints the connections found in a packet capture, reassembles each
+// response stream, discovers the static/dynamic boundary by cross-query
+// content analysis (when payloads were retained and at least two responses
+// exist; otherwise pass the boundary explicitly) and prints the paper's
+// timing parameters for every query.
+//
+// Span mode:
+//   trace_inspect spans <trace.json> [--diff=<capture.trace>]
+//       [--boundary=N] [--node=NAME] [--tree]
+//
+// Reads a Chrome trace_event file written by --trace-out, prints the span
+// tree (per-query Fig. 2 timelines), and — with --diff — reconstructs each
+// query's tb/t_synack/t1..te from the tcp.flow span events and compares
+// them against the packet-capture analysis pipeline at tolerance 0: the
+// two observation paths (in-process spans vs. offline tcpdump-style
+// analysis) must agree on every timestamp, bit for bit.
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/boundary.hpp"
 #include "analysis/reassembly.hpp"
@@ -17,15 +36,345 @@
 #include "capture/serialize.hpp"
 #include "core/inference.hpp"
 #include "core/timings.hpp"
+#include "obs/json.hpp"
 
 using namespace dyncdn;
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: trace_inspect <trace-file> [boundary]\n");
-    return 2;
+namespace {
+
+// ---------------------------------------------------------------------------
+// Span mode
+// ---------------------------------------------------------------------------
+
+struct SpanNode {
+  std::int64_t id = 0;
+  std::int64_t parent = 0;
+  std::string name;
+  std::string cat;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  /// Pretty-printable args (export order), minus the structural ones.
+  std::vector<std::pair<std::string, std::string>> args;
+
+  struct Event {
+    std::string name;
+    std::int64_t at_ns = 0;
+    std::int64_t off = -1;  // rx events: stream offset
+    std::int64_t len = -1;  // rx events: payload length
+  };
+  std::vector<Event> events;
+  std::vector<std::size_t> children;
+};
+
+std::string arg_to_string(const obs::json::Value& v) {
+  using Type = obs::json::Value::Type;
+  switch (v.type) {
+    case Type::kString:
+      return "\"" + v.string + "\"";
+    case Type::kNumber: {
+      if (v.is_integer) return std::to_string(v.integer);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", v.number);
+      return buf;
+    }
+    case Type::kBool:
+      return v.boolean ? "true" : "false";
+    default:
+      return "?";
+  }
+}
+
+/// Parse the traceEvents array into a span forest. Returns false on
+/// malformed input.
+bool load_spans(const std::string& path, std::vector<SpanNode>& nodes,
+                std::vector<std::size_t>& roots) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto doc = obs::json::parse(ss.str());
+  if (!doc) {
+    std::fprintf(stderr, "error: %s is not valid JSON\n", path.c_str());
+    return false;
+  }
+  const obs::json::Value* events = doc->get("traceEvents");
+  if (!events || !events->is_array()) {
+    std::fprintf(stderr, "error: no traceEvents array in %s\n", path.c_str());
+    return false;
   }
 
+  std::map<std::int64_t, std::size_t> by_id;
+  for (const obs::json::Value& ev : events->array) {
+    const obs::json::Value* ph = ev.get("ph");
+    const obs::json::Value* jargs = ev.get("args");
+    if (!ph || !jargs) continue;
+    if (ph->as_string() == "X") {
+      SpanNode n;
+      if (const auto* v = ev.get("name")) n.name = v->as_string();
+      if (const auto* v = ev.get("cat")) n.cat = v->as_string();
+      if (const auto* v = jargs->get("span_id")) n.id = v->as_int();
+      if (const auto* v = jargs->get("parent")) n.parent = v->as_int();
+      if (const auto* v = jargs->get("start_ns")) n.start_ns = v->as_int();
+      if (const auto* v = jargs->get("end_ns")) n.end_ns = v->as_int();
+      for (const auto& [key, val] : jargs->object) {
+        if (key == "span_id" || key == "parent" || key == "start_ns" ||
+            key == "end_ns" || key == "open") {
+          continue;
+        }
+        n.args.emplace_back(key, arg_to_string(val));
+      }
+      by_id[n.id] = nodes.size();
+      nodes.push_back(std::move(n));
+    } else if (ph->as_string() == "i") {
+      SpanNode::Event e;
+      if (const auto* v = ev.get("name")) e.name = v->as_string();
+      if (const auto* v = jargs->get("at_ns")) e.at_ns = v->as_int();
+      if (const auto* v = jargs->get("off")) e.off = v->as_int();
+      if (const auto* v = jargs->get("len")) e.len = v->as_int();
+      const obs::json::Value* sid = jargs->get("span_id");
+      if (!sid) continue;
+      const auto it = by_id.find(sid->as_int());
+      if (it != by_id.end()) nodes[it->second].events.push_back(std::move(e));
+    }
+  }
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto it = by_id.find(nodes[i].parent);
+    if (nodes[i].parent != 0 && it != by_id.end()) {
+      nodes[it->second].children.push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  return true;
+}
+
+void print_span(const std::vector<SpanNode>& nodes, std::size_t idx,
+                int depth) {
+  const SpanNode& n = nodes[idx];
+  std::printf("%*s[%s] %s  %.6f ms  +%.6f ms", depth * 2, "", n.cat.c_str(),
+              n.name.c_str(), static_cast<double>(n.start_ns) / 1e6,
+              static_cast<double>(n.end_ns - n.start_ns) / 1e6);
+  for (const auto& [key, val] : n.args) {
+    std::printf("  %s=%s", key.c_str(), val.c_str());
+  }
+  std::printf("\n");
+  for (const SpanNode::Event& e : n.events) {
+    std::printf("%*s. %s @%.6f ms", depth * 2 + 2, "", e.name.c_str(),
+                static_cast<double>(e.at_ns) / 1e6);
+    if (e.off >= 0) {
+      std::printf(" off=%" PRId64 " len=%" PRId64, e.off, e.len);
+    }
+    std::printf("\n");
+  }
+  for (const std::size_t c : n.children) print_span(nodes, c, depth + 1);
+}
+
+/// Timeline reconstructed from one tcp.flow span, for the --diff check.
+struct SpanTimeline {
+  std::string node_name;  // from the parent query span
+  std::uint64_t local_port = 0;
+  analysis::QueryTimeline tl;
+};
+
+std::vector<SpanTimeline> reconstruct_timelines(
+    const std::vector<SpanNode>& nodes, std::size_t boundary) {
+  std::map<std::int64_t, std::size_t> by_id;
+  for (std::size_t i = 0; i < nodes.size(); ++i) by_id[nodes[i].id] = i;
+
+  std::vector<SpanTimeline> out;
+  for (const SpanNode& n : nodes) {
+    if (n.name != "tcp.flow") continue;
+    SpanTimeline st;
+    for (const auto& [key, val] : n.args) {
+      if (key == "local_port") {
+        st.local_port = std::strtoull(val.c_str(), nullptr, 10);
+      }
+    }
+    const auto pit = by_id.find(n.parent);
+    if (pit != by_id.end()) {
+      for (const auto& [key, val] : nodes[pit->second].args) {
+        // Strip the quotes arg_to_string added around the string value.
+        if (key == "node" && val.size() >= 2) {
+          st.node_name = val.substr(1, val.size() - 2);
+        }
+      }
+    }
+
+    bool saw_syn = false, saw_synack = false, saw_t1 = false, saw_t2 = false;
+    std::vector<analysis::ReassembledStream::Segment> segments;
+    for (const SpanNode::Event& e : n.events) {
+      const sim::SimTime at = sim::SimTime::nanoseconds(e.at_ns);
+      if (e.name == "syn" && !saw_syn) {
+        st.tl.tb = at;
+        saw_syn = true;
+      } else if (e.name == "synack" && !saw_synack) {
+        st.tl.t_synack = at;
+        saw_synack = true;
+      } else if (e.name == "tx_data" && !saw_t1) {
+        st.tl.t1 = at;
+        saw_t1 = true;
+      } else if (e.name == "ack_data" && !saw_t2) {
+        st.tl.t2 = at;
+        saw_t2 = true;
+      } else if (e.name == "rx" && e.off >= 0 && e.len > 0) {
+        segments.push_back(analysis::ReassembledStream::Segment{
+            static_cast<std::size_t>(e.off), static_cast<std::size_t>(e.len),
+            at});
+      }
+    }
+    if (!saw_syn || !saw_synack || !saw_t1 || !saw_t2) {
+      st.tl.invalid_reason = "incomplete handshake/request events";
+      out.push_back(std::move(st));
+      continue;
+    }
+    // The exact same data-plane analysis the packet pipeline runs.
+    const auto stream =
+        analysis::ReassembledStream::from_segments(std::move(segments));
+    analysis::finish_timeline_from_stream(st.tl, stream, boundary);
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+int diff_against_capture(const std::vector<SpanNode>& nodes,
+                         const std::string& capture_path,
+                         std::size_t boundary, const std::string& node_name) {
+  capture::PacketTrace trace;
+  try {
+    trace = capture::load_trace(capture_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const capture::PacketTrace web = trace.filter_remote_port(80);
+
+  if (boundary == 0) {
+    std::vector<std::string> responses;
+    for (const auto& flow : web.flows()) {
+      auto stream =
+          analysis::reassemble(web, flow, capture::Direction::kReceived);
+      if (!stream.bytes().empty()) responses.push_back(stream.bytes());
+    }
+    if (responses.size() >= 2) {
+      boundary = analysis::common_prefix_boundary(responses);
+    }
+  }
+  if (boundary == 0) {
+    std::fprintf(stderr,
+                 "diff: no boundary available (trace lacks payloads); pass "
+                 "--boundary=N\n");
+    return 1;
+  }
+
+  std::vector<SpanTimeline> span_tls = reconstruct_timelines(nodes, boundary);
+  const auto capture_tls = analysis::extract_all_timelines(web, 80, boundary);
+
+  std::size_t compared = 0, mismatches = 0, unmatched = 0;
+  for (const auto& ct : capture_tls) {
+    if (!ct.valid) continue;
+    const SpanTimeline* match = nullptr;
+    bool ambiguous = false;
+    for (const SpanTimeline& st : span_tls) {
+      if (st.local_port != ct.flow.local.port) continue;
+      if (!node_name.empty() && st.node_name != node_name) continue;
+      if (st.tl.tb != ct.tb) continue;  // same port on another vantage point
+      if (match) ambiguous = true;
+      match = &st;
+    }
+    if (!match || ambiguous) {
+      std::printf("port %u: %s\n", ct.flow.local.port,
+                  ambiguous ? "AMBIGUOUS (pass --node=NAME)" : "NO SPAN");
+      ++unmatched;
+      continue;
+    }
+    ++compared;
+    const analysis::QueryTimeline& st = match->tl;
+    const struct {
+      const char* name;
+      sim::SimTime span, capture;
+    } checks[] = {
+        {"tb", st.tb, ct.tb},       {"t_synack", st.t_synack, ct.t_synack},
+        {"t1", st.t1, ct.t1},       {"t2", st.t2, ct.t2},
+        {"t3", st.t3, ct.t3},       {"t4", st.t4, ct.t4},
+        {"t5", st.t5, ct.t5},       {"te", st.te, ct.te},
+    };
+    bool ok = st.valid == ct.valid;
+    for (const auto& c : checks) ok = ok && c.span == c.capture;
+    if (ok) {
+      std::printf("port %u: OK  %s\n", ct.flow.local.port,
+                  ct.to_string().c_str());
+      continue;
+    }
+    ++mismatches;
+    std::printf("port %u: MISMATCH\n", ct.flow.local.port);
+    for (const auto& c : checks) {
+      if (c.span != c.capture) {
+        std::printf("  %-9s span=%" PRId64 "ns capture=%" PRId64 "ns\n",
+                    c.name, c.span.ns(), c.capture.ns());
+      }
+    }
+  }
+  std::printf("diff: %zu compared, %zu mismatched, %zu unmatched "
+              "(boundary=%zu, tolerance=0)\n",
+              compared, mismatches, unmatched, boundary);
+  if (compared == 0) {
+    std::fprintf(stderr, "diff: nothing compared\n");
+    return 1;
+  }
+  return (mismatches == 0 && unmatched == 0) ? 0 : 1;
+}
+
+int inspect_spans(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: trace_inspect spans <trace.json> "
+                 "[--diff=<capture.trace>] [--boundary=N] [--node=NAME] "
+                 "[--tree]\n");
+    return 2;
+  }
+  const std::string json_path = argv[2];
+  std::string diff_path, node_name;
+  std::size_t boundary = 0;
+  bool tree = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--diff=")) {
+      diff_path = arg.substr(7);
+    } else if (arg.starts_with("--boundary=")) {
+      boundary = std::strtoull(argv[i] + 11, nullptr, 10);
+    } else if (arg.starts_with("--node=")) {
+      node_name = arg.substr(7);
+    } else if (arg == "--tree") {
+      tree = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::vector<SpanNode> nodes;
+  std::vector<std::size_t> roots;
+  if (!load_spans(json_path, nodes, roots)) return 1;
+  std::printf("spans: %zu total, %zu roots\n", nodes.size(), roots.size());
+
+  if (tree || diff_path.empty()) {
+    for (const std::size_t r : roots) print_span(nodes, r, 0);
+  }
+  if (!diff_path.empty()) {
+    return diff_against_capture(nodes, diff_path, boundary, node_name);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Packet mode (the original tool)
+// ---------------------------------------------------------------------------
+
+int inspect_packets(int argc, char** argv) {
   capture::PacketTrace trace;
   try {
     trace = capture::load_trace(argv[1]);
@@ -81,4 +430,19 @@ int main(int argc, char** argv) {
                 q->overall_ms, bounds.lower_ms, bounds.upper_ms);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: trace_inspect <trace-file> [boundary]\n"
+                 "       trace_inspect spans <trace.json> "
+                 "[--diff=<capture.trace>] [--boundary=N] [--node=NAME] "
+                 "[--tree]\n");
+    return 2;
+  }
+  if (std::strcmp(argv[1], "spans") == 0) return inspect_spans(argc, argv);
+  return inspect_packets(argc, argv);
 }
