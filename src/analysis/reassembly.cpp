@@ -102,8 +102,13 @@ ReassembledStream reassemble(const capture::PacketTrace& trace,
       if (bytes.size() < offset + r.payload.length) {
         bytes.resize(offset + r.payload.length, '\0');
       }
-      const auto span = r.payload.bytes();
-      std::copy(span.begin(), span.end(), bytes.begin() + offset);
+      std::size_t at = offset;
+      r.payload.for_each_slice(
+          [&bytes, &at](std::span<const std::uint8_t> span) {
+            std::copy(span.begin(), span.end(),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(at));
+            at += span.size();
+          });
     }
   }
   return out;

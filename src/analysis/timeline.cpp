@@ -17,14 +17,16 @@ std::string QueryTimeline::to_string() const {
   return buf;
 }
 
-QueryTimeline extract_timeline(const capture::PacketTrace& trace,
-                               const net::FlowId& flow,
-                               std::size_t boundary) {
+namespace {
+
+/// Timeline extraction over a trace already reduced to one connection.
+QueryTimeline timeline_from_conn(const capture::PacketTrace& conn,
+                                 const net::FlowId& flow,
+                                 std::size_t boundary) {
   QueryTimeline tl;
   tl.flow = flow;
   tl.boundary = boundary;
 
-  const capture::PacketTrace conn = trace.filter_flow(flow);
   if (conn.empty()) {
     tl.invalid_reason = "no packets for flow";
     return tl;
@@ -63,6 +65,14 @@ QueryTimeline extract_timeline(const capture::PacketTrace& trace,
       reassemble(conn, flow, capture::Direction::kReceived);
   finish_timeline_from_stream(tl, stream, boundary);
   return tl;
+}
+
+}  // namespace
+
+QueryTimeline extract_timeline(const capture::PacketTrace& trace,
+                               const net::FlowId& flow,
+                               std::size_t boundary) {
+  return timeline_from_conn(trace.filter_flow(flow), flow, boundary);
 }
 
 void finish_timeline_from_stream(QueryTimeline& tl,
@@ -122,10 +132,12 @@ void finish_timeline_from_stream(QueryTimeline& tl,
 std::vector<QueryTimeline> extract_all_timelines(
     const capture::PacketTrace& trace, net::Port server_port,
     std::size_t boundary) {
+  // One grouping pass instead of a full-trace rescan per flow: with Q
+  // queries in a client's capture the old shape was O(Q^2) record visits,
+  // which dominated campaign analysis time.
   std::vector<QueryTimeline> out;
-  const capture::PacketTrace service = trace.filter_remote_port(server_port);
-  for (const net::FlowId& flow : service.flows()) {
-    out.push_back(extract_timeline(service, flow, boundary));
+  for (const auto& [flow, conn] : trace.split_by_flow(server_port)) {
+    out.push_back(timeline_from_conn(conn, flow, boundary));
   }
   return out;
 }

@@ -114,7 +114,9 @@ std::string serialize_trace(const PacketTrace& trace, bool with_payloads) {
     out += buf;
     if (with_payloads && !r.payload.empty()) {
       out += ' ';
-      append_hex(out, r.payload.bytes());
+      r.payload.for_each_slice([&out](std::span<const std::uint8_t> span) {
+        append_hex(out, span);
+      });
     }
     out += '\n';
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <unordered_map>
 
 namespace dyncdn::capture {
 
@@ -47,6 +48,20 @@ PacketTrace PacketTrace::filter_remote_port(net::Port port) const {
   return filter([&](const PacketRecord& r) {
     return r.flow_at_capture_node().remote.port == port;
   });
+}
+
+std::vector<std::pair<net::FlowId, PacketTrace>> PacketTrace::split_by_flow(
+    std::optional<net::Port> remote_port) const {
+  std::vector<std::pair<net::FlowId, PacketTrace>> out;
+  std::unordered_map<net::FlowId, std::size_t> index;
+  for (const PacketRecord& r : records_) {
+    const net::FlowId f = r.flow_at_capture_node();
+    if (remote_port && f.remote.port != *remote_port) continue;
+    const auto [it, inserted] = index.try_emplace(f, out.size());
+    if (inserted) out.emplace_back(f, PacketTrace(node_));
+    out[it->second].second.add(r);
+  }
+  return out;
 }
 
 std::vector<net::FlowId> PacketTrace::flows() const {

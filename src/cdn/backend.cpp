@@ -214,7 +214,11 @@ void BackendDataCenter::serve_direct(tcp::TcpSocket& socket) {
           resp.set_header("Connection", "close");
           // Close-framed: no Content-Length.
           sock->send_text(resp.serialize_head());
-          sock->send_text(content_.static_prefix());
+          if (!static_prefix_buf_) {
+            static_prefix_buf_ = net::make_buffer(content_.static_prefix());
+          }
+          sock->send(net::PayloadRef{static_prefix_buf_, 0,
+                                     static_prefix_buf_->size()});
           sock->send_text(body);
           sock->close();
         });

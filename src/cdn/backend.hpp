@@ -112,6 +112,9 @@ class BackendDataCenter {
 
   net::Node& node_;
   const search::ContentModel& content_;
+  /// Static portion as a wire buffer for direct-connection serves,
+  /// primed on first use and sent zero-copy afterwards.
+  net::Buffer static_prefix_buf_;
   Config config_;
   tcp::TcpStack stack_;
   sim::RngStream proc_rng_;

@@ -101,7 +101,12 @@ class FrontEndServer {
 
   const std::vector<FetchRecord>& fetch_log() const { return fetch_log_; }
   std::size_t queries_handled() const { return queries_handled_; }
+  /// Hits of the (off-by-default) dynamic result cache only.
   std::size_t cache_hits() const { return cache_hits_; }
+  /// Hits of the static-portion cache (role 1). The first query primes
+  /// the prefix into the FE cache; every later serve of it is a hit, so a
+  /// repeated query from the same vantage point always records one.
+  std::size_t static_cache_hits() const { return static_cache_hits_; }
   /// True when at least one pooled BE connection is established.
   bool backend_connected() const;
   std::size_t backend_pool_size() const { return be_pool_.size(); }
@@ -167,6 +172,11 @@ class FrontEndServer {
   std::vector<FetchRecord> fetch_log_;
   std::size_t queries_handled_ = 0;
   std::size_t cache_hits_ = 0;
+  std::size_t static_cache_hits_ = 0;
+  bool static_prefix_primed_ = false;
+  /// The cached static portion as a wire buffer: primed on first serve,
+  /// then sent zero-copy on every hit instead of re-copied per query.
+  net::Buffer static_prefix_buf_;
   std::size_t active_requests_ = 0;
   std::size_t be_pool_peak_ = 0;
   std::size_t fetch_queue_peak_ = 0;

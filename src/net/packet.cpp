@@ -78,15 +78,75 @@ Buffer make_buffer(std::string_view text) {
 PayloadRef PayloadRef::slice(std::size_t off, std::size_t len) const {
   PayloadRef out;
   if (off >= length) return out;
-  out.buffer = buffer;
-  out.offset = offset + off;
-  out.length = std::min(len, length - off);
+  len = std::min(len, length - off);
+  if (len == 0) return out;
+
+  const std::size_t first = first_length();
+  std::size_t remaining = len;
+  auto it = chain.begin();
+  if (off < first) {
+    out.buffer = buffer;
+    out.offset = offset + off;
+    const std::size_t take = std::min(remaining, first - off);
+    out.length = take;
+    remaining -= take;
+  } else {
+    std::size_t skip = off - first;
+    while (skip >= it->length) skip -= (it++)->length;
+    out.buffer = it->buffer;
+    out.offset = it->offset + skip;
+    const std::size_t take = std::min(remaining, it->length - skip);
+    out.length = take;
+    remaining -= take;
+    ++it;
+  }
+  for (; remaining > 0; ++it) {
+    const std::size_t take = std::min(remaining, it->length);
+    out.chain.push_back(PayloadSlice{it->buffer, it->offset, take});
+    out.length += take;
+    remaining -= take;
+  }
   return out;
 }
 
+void PayloadRef::append(PayloadRef tail) {
+  if (tail.length == 0) return;
+  if (length == 0) {
+    *this = std::move(tail);
+    return;
+  }
+  // Merge physically adjacent views of the same buffer, so contiguous
+  // data split across many application writes of one buffer collapses
+  // back into a single slice.
+  const auto push_slice = [this](const Buffer& b, std::size_t off,
+                                 std::size_t len) {
+    if (len == 0) return;
+    const bool primary = chain.empty();
+    const Buffer& last_buf = primary ? buffer : chain.back().buffer;
+    const std::size_t last_end =
+        primary ? offset + first_length()
+                : chain.back().offset + chain.back().length;
+    if (b == last_buf && off == last_end) {
+      if (!primary) chain.back().length += len;
+      length += len;  // growing the primary slice is implicit in `length`
+    } else {
+      chain.push_back(PayloadSlice{b, off, len});
+      length += len;
+    }
+  };
+  push_slice(tail.buffer, tail.offset, tail.first_length());
+  for (const PayloadSlice& s : tail.chain) {
+    push_slice(s.buffer, s.offset, s.length);
+  }
+}
+
 std::string PayloadRef::to_text() const {
-  const auto b = bytes();
-  return std::string(b.begin(), b.end());
+  std::string out;
+  out.reserve(length);
+  for_each_slice([&out](std::span<const std::uint8_t> span) {
+    out.append(reinterpret_cast<const char*>(span.data()), span.size());
+  });
+  return out;
 }
 
 std::string TcpFlags::to_string() const {

@@ -25,8 +25,8 @@ inline Buffer make_buffer(std::vector<std::uint8_t> bytes) {
 }
 Buffer make_buffer(std::string_view text);
 
-/// A (buffer, offset, length) view. Empty view has length 0.
-struct PayloadRef {
+/// One contiguous (buffer, offset, length) piece of a payload.
+struct PayloadSlice {
   Buffer buffer;
   std::size_t offset = 0;
   std::size_t length = 0;
@@ -35,10 +35,57 @@ struct PayloadRef {
     if (!buffer || length == 0) return {};
     return std::span<const std::uint8_t>(buffer->data() + offset, length);
   }
+};
+
+/// A payload view: one primary slice plus an optional chain of
+/// continuation slices. A TCP segment gathered across application writes
+/// keeps one slice per source buffer instead of copying into a fresh
+/// allocation, so cross-chunk segments stay zero-copy through net,
+/// capture, and reassembly. `length` is the TOTAL across all slices; the
+/// chain is empty in the overwhelmingly common single-buffer case, where
+/// this degrades to the plain (buffer, offset, length) view it used to be.
+struct PayloadRef {
+  Buffer buffer;
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  std::vector<PayloadSlice> chain;  // continuation slices, in stream order
+
+  PayloadRef() = default;
+  PayloadRef(Buffer buf, std::size_t off, std::size_t len)
+      : buffer(std::move(buf)), offset(off), length(len) {}
+
+  bool chained() const { return !chain.empty(); }
+  std::size_t first_length() const {
+    std::size_t rest = 0;
+    for (const PayloadSlice& s : chain) rest += s.length;
+    return length - rest;
+  }
+
+  /// Contiguous byte view of the FIRST slice (the whole payload when not
+  /// chained). Chained payloads must be walked with for_each_slice.
+  std::span<const std::uint8_t> bytes() const {
+    if (!buffer || length == 0) return {};
+    return std::span<const std::uint8_t>(buffer->data() + offset,
+                                         first_length());
+  }
   bool empty() const { return length == 0; }
 
-  /// Sub-view; clamps to the parent extent.
+  /// Visit every slice in stream order as a span.
+  template <class F>
+  void for_each_slice(F&& f) const {
+    if (length == 0) return;
+    if (buffer) {
+      f(std::span<const std::uint8_t>(buffer->data() + offset,
+                                      first_length()));
+    }
+    for (const PayloadSlice& s : chain) f(s.bytes());
+  }
+
+  /// Sub-view; clamps to the parent extent. Chain-aware.
   PayloadRef slice(std::size_t off, std::size_t len) const;
+  /// Concatenate `tail` after this payload (builds/extends the chain;
+  /// physically adjacent views of the same buffer are merged).
+  void append(PayloadRef tail);
   std::string to_text() const;
 };
 

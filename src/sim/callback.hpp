@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -36,7 +38,17 @@ class Callback {
                   alignof(D) <= alignof(std::max_align_t) &&
                   std::is_nothrow_move_constructible_v<D>) {
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
-      ops_ = &InlineModel<D>::ops;
+      // Almost every kernel callback is a lambda over a few raw pointers:
+      // trivially copyable and trivially destructible. Tag those in the
+      // ops pointer's low bit so move and reset — the per-event hot path,
+      // hit twice per schedule/cancel pair — become an inline memcpy and
+      // a store instead of two indirect calls.
+      if constexpr (std::is_trivially_copyable_v<D> &&
+                    std::is_trivially_destructible_v<D>) {
+        ops_ = tag(&InlineModel<D>::ops);
+      } else {
+        ops_ = &InlineModel<D>::ops;
+      }
     } else {
       ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
       ops_ = &HeapModel<D>::ops;
@@ -58,13 +70,13 @@ class Callback {
 
   ~Callback() { reset(); }
 
-  void operator()() { ops_->invoke(*this); }
+  void operator()() { ops()->invoke(*this); }
 
   explicit operator bool() const { return ops_ != nullptr; }
 
   void reset() {
     if (ops_ != nullptr) {
-      ops_->destroy(*this);
+      if (!trivial()) ops()->destroy(*this);
       ops_ = nullptr;
     }
   }
@@ -77,6 +89,20 @@ class Callback {
     void (*relocate)(Callback& dst, Callback& src);
     void (*destroy)(Callback&);
   };
+
+  static constexpr std::uintptr_t kTrivialBit = 1;
+
+  static const Ops* tag(const Ops* p) {
+    return reinterpret_cast<const Ops*>(reinterpret_cast<std::uintptr_t>(p) |
+                                        kTrivialBit);
+  }
+  bool trivial() const {
+    return (reinterpret_cast<std::uintptr_t>(ops_) & kTrivialBit) != 0;
+  }
+  const Ops* ops() const {
+    return reinterpret_cast<const Ops*>(reinterpret_cast<std::uintptr_t>(ops_) &
+                                        ~kTrivialBit);
+  }
 
   template <class D>
   struct InlineModel {
@@ -107,7 +133,17 @@ class Callback {
 
   void move_from(Callback& other) noexcept {
     if (other.ops_ != nullptr) {
-      other.ops_->relocate(*this, other);
+      if (other.trivial()) {
+        // Whole-buffer copy on purpose: the callable may be smaller than
+        // kInlineBytes and the tail indeterminate, but copying a fixed 48
+        // bytes beats a per-type size lookup on the hot path.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+        std::memcpy(storage_, other.storage_, kInlineBytes);
+#pragma GCC diagnostic pop
+      } else {
+        other.ops()->relocate(*this, other);
+      }
       ops_ = other.ops_;
       other.ops_ = nullptr;
     }

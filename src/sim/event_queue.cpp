@@ -7,6 +7,23 @@
 
 namespace dyncdn::sim {
 
+namespace {
+
+constexpr std::uint64_t kBucketMask = EventQueue::kBucketsPerLevel - 1;
+
+/// Level-0 bucket index of an absolute time.
+constexpr std::int64_t idx0_of(SimTime t) {
+  return t.ns() >> EventQueue::kWheelShift;
+}
+
+}  // namespace
+
+void EventQueue::heap_push(Entry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  if (heap_.size() > max_heaped_) max_heaped_ = heap_.size();
+}
+
 EventId EventQueue::schedule(SimTime at, Callback cb) {
   if (at < last_popped_) {
     throw std::logic_error("EventQueue::schedule: scheduling into the past (" +
@@ -24,11 +41,113 @@ EventId EventQueue::schedule(SimTime at, Callback cb) {
   slots_[slot].cb = std::move(cb);
 
   const std::uint32_t gen = slots_[slot].gen;
-  heap_.push_back(HeapEntry{at, next_seq_++, slot, gen});
-  std::push_heap(heap_.begin(), heap_.end(), later);
-  if (heap_.size() > max_heaped_) max_heaped_ = heap_.size();
+  const Entry entry{at, next_seq_++, slot, gen};
+  // Near events (and any event behind the cursor, which can happen when
+  // next_time() has drained ahead of last_popped_) go straight to the
+  // heap; far cancellable timers go to the wheel.
+  if (idx0_of(at) <
+      static_cast<std::int64_t>(cursor_idx0_) + kNearBuckets) {
+    heap_push(entry);
+  } else {
+    wheel_place(entry);
+    if (++wheel_size_ > max_wheeled_) max_wheeled_ = wheel_size_;
+  }
   ++live_;
   return EventId{(static_cast<std::uint64_t>(slot) << 32) | gen};
+}
+
+void EventQueue::wheel_place(Entry e) {
+  const std::uint64_t at = static_cast<std::uint64_t>(e.at.ns());
+  const std::uint64_t cur = cursor_idx0_ << kWheelShift;
+  for (int level = 0; level < kLevels; ++level) {
+    const int shift = kWheelShift + 8 * level;
+    if ((at >> shift) - (cur >> shift) < kBucketsPerLevel) {
+      wheel_[static_cast<std::size_t>(level)][(at >> shift) & kBucketMask]
+          .push_back(e);
+      return;
+    }
+  }
+  overflow_.push_back(e);
+}
+
+void EventQueue::replace_after_cascade(Entry e) {
+  if (entry_dead(e)) {
+    --dead_total_;
+    --wheel_size_;
+    return;
+  }
+  if (idx0_of(e.at) <
+      static_cast<std::int64_t>(cursor_idx0_) + kNearBuckets) {
+    --wheel_size_;
+    heap_push(e);
+  } else {
+    wheel_place(e);  // stays in the wheel, one level down
+  }
+}
+
+void EventQueue::step_cursor() {
+  const std::uint64_t next = cursor_idx0_ + 1;
+  cursor_idx0_ = next;
+  if ((next & kBucketMask) == 0) {
+    // The cursor enters a new level-1 bucket window: cascade it down.
+    // Entering a new level-2 window (and a new overflow lap) cascades the
+    // higher structures first; re-filed entries can never land in a
+    // bucket that is itself about to cascade, because wheel_place always
+    // prefers the shallowest level that fits.
+    if ((next & 0xFFFF) == 0) {
+      if ((next & 0xFFFFFF) == 0 && !overflow_.empty()) {
+        std::vector<Entry> pending;
+        pending.swap(overflow_);
+        for (Entry& e : pending) replace_after_cascade(e);
+      }
+      Bucket& b2 = wheel_[2][(next >> 16) & kBucketMask];
+      if (!b2.empty()) {
+        Bucket pending;
+        pending.swap(b2);
+        for (Entry& e : pending) replace_after_cascade(e);
+        b2 = std::move(pending);  // reuse capacity
+        b2.clear();
+      }
+    }
+    Bucket& b1 = wheel_[1][(next >> 8) & kBucketMask];
+    if (!b1.empty()) {
+      Bucket pending;
+      pending.swap(b1);
+      for (Entry& e : pending) replace_after_cascade(e);
+      b1 = std::move(pending);
+      b1.clear();
+    }
+  }
+  Bucket& due = wheel_[0][next & kBucketMask];
+  wheel_size_ -= due.size();
+  for (Entry& e : due) {
+    if (entry_dead(e)) {
+      --dead_total_;  // a cancelled wheel entry dies here, in place
+      continue;
+    }
+    heap_push(e);
+  }
+  due.clear();
+}
+
+void EventQueue::drain_wheel_to(SimTime t) {
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(idx0_of(t));
+  if (target <= cursor_idx0_) return;
+  if (wheel_size_ == 0) {  // nothing to flush: jump
+    cursor_idx0_ = target;
+    return;
+  }
+  while (cursor_idx0_ < target) step_cursor();
+}
+
+void EventQueue::advance_until_heap_nonempty() {
+  while (heap_.empty()) {
+    assert(wheel_size_ > 0 &&
+           "advance_until_heap_nonempty without wheel entries");
+    step_cursor();
+    skim();  // a flushed bucket may contain only entries cancelled later
+  }
 }
 
 void EventQueue::retire_slot(std::uint32_t slot) {
@@ -48,7 +167,10 @@ bool EventQueue::cancel(EventId id) {
   }
   retire_slot(slot);
   ++cancelled_;
-  ++dead_in_heap_;  // the heap entry stays until skimmed or compacted
+  // The orphaned entry dies in place wherever it lives — skimmed off the
+  // heap top, dropped at bucket flush/cascade, or removed by the joint
+  // compaction below. Cancel itself never has to know which.
+  ++dead_total_;
   maybe_compact();
   return true;
 }
@@ -57,39 +179,65 @@ void EventQueue::skim() {
   while (!heap_.empty() && entry_dead(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), later);
     heap_.pop_back();
-    --dead_in_heap_;
+    --dead_total_;
   }
 }
 
 void EventQueue::maybe_compact() {
-  // Rebuild once dead entries dominate: keeps the heap within 2x the live
-  // event count (plus slack) no matter how hard timers churn.
-  if (dead_in_heap_ < 64 || dead_in_heap_ <= heap_.size() - dead_in_heap_) {
+  // Sweep once cancelled entries dominate the live population: total
+  // storage (heap + wheel + overflow) stays within 2x live events plus
+  // slack no matter how hard timers churn. With an empty wheel every dead
+  // entry is in the heap, so a tight slack keeps heap sifts shallow;
+  // otherwise the slack is sized for the wheel — a sweep must at least
+  // look at every bucket (768 of them), so sweeping every few dozen
+  // cancels when few timers are live would dominate the O(1) cancel path
+  // it exists to protect.
+  const bool heap_only = wheel_size_ == 0;
+  if (dead_total_ < (heap_only ? 64 : kCompactSlack) ||
+      dead_total_ <= live_) {
     return;
   }
-  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                             [this](const HeapEntry& e) {
-                               return entry_dead(e);
-                             }),
+  const auto is_dead = [this](const Entry& e) { return entry_dead(e); };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), is_dead),
               heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), later);
-  dead_in_heap_ = 0;
+  if (heap_only) {
+    dead_total_ = 0;
+    return;
+  }
+  for (auto& level : wheel_) {
+    for (Bucket& bucket : level) {
+      if (bucket.empty()) continue;
+      const std::size_t before = bucket.size();
+      bucket.erase(std::remove_if(bucket.begin(), bucket.end(), is_dead),
+                   bucket.end());
+      wheel_size_ -= before - bucket.size();
+    }
+  }
+  const std::size_t overflow_before = overflow_.size();
+  overflow_.erase(
+      std::remove_if(overflow_.begin(), overflow_.end(), is_dead),
+      overflow_.end());
+  wheel_size_ -= overflow_before - overflow_.size();
+  dead_total_ = 0;
 }
 
-bool EventQueue::empty() const {
-  const_cast<EventQueue*>(this)->skim();
-  return heap_.empty();
-}
-
-SimTime EventQueue::next_time() const {
-  const_cast<EventQueue*>(this)->skim();
-  return heap_.empty() ? SimTime::infinity() : heap_.front().at;
+SimTime EventQueue::next_time() {
+  if (live_ == 0) return SimTime::infinity();
+  skim();
+  if (heap_.empty()) advance_until_heap_nonempty();
+  // A wheel entry could still precede the current heap top; draining up to
+  // it flushes any such entry into the heap, making the top exact.
+  drain_wheel_to(heap_.front().at);
+  return heap_.front().at;
 }
 
 SimTime EventQueue::pop_and_run() {
+  assert(live_ > 0 && "pop_and_run on empty queue");
   skim();
-  assert(!heap_.empty() && "pop_and_run on empty queue");
-  const HeapEntry entry = heap_.front();
+  if (heap_.empty()) advance_until_heap_nonempty();
+  drain_wheel_to(heap_.front().at);
+  const Entry entry = heap_.front();
   std::pop_heap(heap_.begin(), heap_.end(), later);
   heap_.pop_back();
   // Move the callback out and retire the slot *before* running: the
@@ -101,7 +249,5 @@ SimTime EventQueue::pop_and_run() {
   cb();
   return entry.at;
 }
-
-std::size_t EventQueue::pending_count() const { return live_; }
 
 }  // namespace dyncdn::sim

@@ -1,20 +1,40 @@
-// Priority-queue based event scheduler for the discrete-event kernel.
+// Hybrid timing-wheel / priority-queue event scheduler for the
+// discrete-event kernel.
 //
 // Events are (time, sequence, callback) triples. The sequence number breaks
 // ties deterministically: two events scheduled for the same instant fire in
 // scheduling order, which makes whole-simulation runs bit-for-bit
-// reproducible regardless of heap internals.
+// reproducible regardless of container internals.
 //
 // Hot-path design: callbacks live in a slot table indexed by small integers;
-// the heap holds only POD (time, seq, slot, generation) entries. An EventId
-// encodes (slot, generation), so cancel is an O(1) generation bump — no
-// hash-set insert/erase — and a stale heap entry is recognized on pop by
-// its generation mismatching the slot's. Cancelled entries are skimmed as
-// they surface and the heap is compacted whenever dead entries outnumber
-// live ones, so churny cancel/re-arm workloads (TCP re-arms its RTO on
-// every ACK) cannot grow the queue without bound.
+// the ordering containers hold only POD (time, seq, slot, generation)
+// entries. An EventId encodes (slot, generation), so cancel is an O(1)
+// generation bump — no hash-set insert/erase — and a stale entry is
+// recognized by its generation mismatching the slot's.
+//
+// Near-term events (within ~134 ms of the drain cursor) go straight into a
+// binary min-heap, which pops them in exact (time, seq) order. Far-future
+// events — RTO timers, idle timeouts, the cancel-churn-heavy population —
+// go into a 3-level hierarchical timing wheel (256 buckets per level,
+// 2^21 ns ≈ 2.1 ms level-0 granularity): schedule is an O(1) bucket
+// append, and a cancelled wheel entry dies in place when its bucket is
+// flushed instead of churning the heap. As simulated time advances, the
+// wheel cursor sweeps bucket by bucket: level-0 buckets flush into the
+// heap (which restores exact global order — wheel entries keep their
+// original seq), and higher-level buckets cascade down one level at a
+// time, so every entry is touched O(levels) times total. Events beyond
+// the level-2 span (~9.5 h) sit in an overflow list.
+//
+// Both structures bound garbage from cancel/re-arm churn (TCP re-arms its
+// RTO on every ACK): dead heap entries are skimmed at the top, dead wheel
+// entries die in place when their bucket flushes, and a joint compaction
+// pass sweeps both structures once cancelled entries outnumber live ones.
+// Total storage stays O(live events) no matter how hard timers churn, and
+// cancel itself never inspects where the entry lives — it is a generation
+// bump plus one counter increment.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -36,10 +56,24 @@ class EventId {
   std::uint64_t value_ = 0;  // 0 = invalid / never scheduled
 };
 
-/// Min-heap of timed callbacks with O(1) generation-counter cancellation.
+/// Timing-wheel + min-heap hybrid with O(1) generation-counter cancellation.
 class EventQueue {
  public:
   using Callback = sim::Callback;
+
+  /// Heap/wheel boundary: events within this many level-0 buckets of the
+  /// drain cursor skip the wheel (typical network events — transmissions,
+  /// propagation delays — stay pure-heap; RTO-scale timers go to the wheel).
+  static constexpr std::int64_t kNearBuckets = 64;
+  /// log2 of the level-0 bucket width in ns: 2^21 ns ≈ 2.097 ms.
+  static constexpr int kWheelShift = 21;
+  static constexpr int kLevels = 3;
+  static constexpr std::uint64_t kBucketsPerLevel = 256;
+  /// Cancelled entries tolerated before a compaction pass considers
+  /// running: a sweep must visit every wheel bucket, so sweeping too
+  /// eagerly when few timers are live would dominate the O(1) cancel
+  /// path it exists to protect.
+  static constexpr std::size_t kCompactSlack = 1024;
 
   /// Schedule `cb` to fire at absolute time `at`. `at` must not precede the
   /// last popped event time (no scheduling into the past).
@@ -49,32 +83,36 @@ class EventQueue {
   /// or already-cancelled id (no-op). Returns true if the event was pending.
   bool cancel(EventId id);
 
-  bool empty() const;
+  bool empty() const { return live_ == 0; }
 
   /// Time of the earliest pending event; SimTime::infinity() when empty.
-  SimTime next_time() const;
+  /// May advance the wheel cursor (flushing due buckets into the heap).
+  SimTime next_time();
 
   /// Pop and run the earliest event; returns its scheduled time.
   /// Precondition: !empty().
   SimTime pop_and_run();
 
-  std::size_t pending_count() const;
+  std::size_t pending_count() const { return live_; }
 
-  /// Introspection for stress tests: total heap entries including
-  /// cancelled-but-not-yet-skimmed ones, and the slot-table size. Both are
-  /// bounded by O(live events) regardless of cancel churn.
+  /// Introspection for stress tests: entries currently in the heap /
+  /// wheel+overflow, including cancelled-but-not-yet-collected ones, and
+  /// the slot-table size. All are bounded by O(live events) regardless of
+  /// cancel churn.
   std::size_t heaped_entries() const { return heap_.size(); }
+  std::size_t wheel_entries() const { return wheel_size_; }
   std::size_t slot_count() const { return slots_.size(); }
 
   /// Lifetime counters for the metrics layer (maintained unconditionally:
   /// one increment / one comparison per schedule or cancel, noise next to
-  /// the heap push itself).
+  /// the container push itself).
   std::uint64_t scheduled_count() const { return next_seq_ - 1; }
   std::uint64_t cancelled_count() const { return cancelled_; }
   std::size_t max_heaped() const { return max_heaped_; }
+  std::size_t max_wheeled() const { return max_wheeled_; }
 
  private:
-  struct HeapEntry {
+  struct Entry {
     SimTime at;
     std::uint64_t seq;     // global schedule order, breaks time ties
     std::uint32_t slot;
@@ -82,33 +120,58 @@ class EventQueue {
   };
   struct Slot {
     Callback cb;
-    std::uint32_t gen = 1;  // bumped when the slot's event fires/cancels
+    std::uint32_t gen = 1;   // bumped when the slot's event fires/cancels
   };
+  using Bucket = std::vector<Entry>;
 
-  static bool later(const HeapEntry& a, const HeapEntry& b) {
+  static bool later(const Entry& a, const Entry& b) {
     if (a.at != b.at) return a.at > b.at;
     return a.seq > b.seq;
   }
 
-  bool entry_dead(const HeapEntry& e) const {
+  bool entry_dead(const Entry& e) const {
     return slots_[e.slot].gen != e.gen;
   }
 
+  /// Push an entry onto the min-heap.
+  void heap_push(Entry e);
   /// Drop cancelled entries from the top of the heap.
   void skim();
-  /// Remove all dead entries when they dominate the heap.
+  /// Sweep dead entries out of heap, wheel, and overflow once they
+  /// dominate the live population.
   void maybe_compact();
   /// Retire a slot whose event fired or was cancelled.
   void retire_slot(std::uint32_t slot);
 
-  std::vector<HeapEntry> heap_;       // binary min-heap via std::*_heap
+  /// File an entry (known to be >= kNearBuckets ahead of the cursor) into
+  /// the shallowest wheel level that can hold it, or the overflow list.
+  void wheel_place(Entry e);
+  /// Re-file an entry pulled out of a cascading bucket: near entries go to
+  /// the heap, the rest one wheel level down.
+  void replace_after_cascade(Entry e);
+  /// Advance the cursor one level-0 bucket: cascade any higher-level
+  /// buckets whose window begins here, then flush the due level-0 bucket
+  /// into the heap (dead entries die in place).
+  void step_cursor();
+  /// Advance the cursor so every wheel entry with time <= `t` is heaped.
+  void drain_wheel_to(SimTime t);
+  /// Advance the cursor until the heap is non-empty (requires live wheel
+  /// entries) so the true next event is visible at the heap top.
+  void advance_until_heap_nonempty();
+
+  std::vector<Entry> heap_;           // binary min-heap via std::*_heap
+  std::array<std::array<Bucket, kBucketsPerLevel>, kLevels> wheel_;
+  std::vector<Entry> overflow_;       // beyond the level-2 span (~9.5 h)
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+  std::uint64_t cursor_idx0_ = 0;     // level-0 bucket index of the cursor
   std::size_t live_ = 0;              // scheduled and not fired/cancelled
-  std::size_t dead_in_heap_ = 0;      // cancelled entries still heaped
+  std::size_t dead_total_ = 0;        // cancelled entries not yet collected
+  std::size_t wheel_size_ = 0;        // entries (live or dead) in wheel+overflow
   std::uint64_t next_seq_ = 1;
   std::uint64_t cancelled_ = 0;
   std::size_t max_heaped_ = 0;
+  std::size_t max_wheeled_ = 0;
   SimTime last_popped_ = SimTime::zero();
 };
 

@@ -1,6 +1,21 @@
 #include "sim/simulator.hpp"
 
+#include <stdexcept>
+
 namespace dyncdn::sim {
+
+void Simulator::advance_to(SimTime t) {
+  if (t < now_) {
+    throw std::logic_error("Simulator::advance_to: moving the clock back (" +
+                           t.to_string() + " < " + now_.to_string() + ")");
+  }
+  if (queue_.next_time() < t) {
+    throw std::logic_error(
+        "Simulator::advance_to: overtaking a pending event (" +
+        queue_.next_time().to_string() + " < " + t.to_string() + ")");
+  }
+  now_ = t;
+}
 
 SimTime Simulator::run() {
   while (!queue_.empty()) {

@@ -41,6 +41,17 @@ class Simulator {
 
   bool cancel(EventId id) { return queue_.cancel(id); }
 
+  /// Time of the earliest pending event; SimTime::infinity() when idle.
+  /// (May advance the timing wheel's cursor internally.)
+  SimTime next_event_time() { return queue_.next_time(); }
+
+  /// Advance the clock to `t` without running an event. `t` must not
+  /// precede now() nor overtake the earliest pending event. Link delivery
+  /// coalescing uses this to stamp each packet of a drained train with its
+  /// true arrival time, so handlers observe exactly the clock they would
+  /// have seen with one delivery event per packet.
+  void advance_to(SimTime t);
+
   /// Run until the event queue drains. Returns the final simulated time.
   SimTime run();
 

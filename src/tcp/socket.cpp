@@ -256,11 +256,13 @@ void TcpSocket::process_ack(const net::PacketPtr& p) {
     // bytes; a FIN consumes sequence space past the buffered range.
     std::uint64_t data_acked_upto = ack;
     if (fin_sent_ && ack > fin_seq_) data_acked_upto = fin_seq_;
+    std::size_t popped = 0;
     while (!send_buf_.empty() &&
            buf_seq_base_ + send_buf_.front().length <= data_acked_upto) {
       buf_bytes_ -= send_buf_.front().length;
       buf_seq_base_ += send_buf_.front().length;
       send_buf_.pop_front();
+      ++popped;
     }
     if (!send_buf_.empty() && data_acked_upto > buf_seq_base_) {
       const std::size_t cut =
@@ -269,6 +271,15 @@ void TcpSocket::process_ack(const net::PacketPtr& p) {
       front = front.slice(cut, front.length - cut);
       buf_bytes_ -= cut;
       buf_seq_base_ += cut;
+    }
+    // Shift the gather hint past the trimmed entries; if the hinted entry
+    // itself was trimmed (or its front byte moved), re-anchor at the new
+    // buffer front.
+    if (gather_hint_index_ <= popped) {
+      gather_hint_index_ = 0;
+      gather_hint_base_ = buf_seq_base_;
+    } else {
+      gather_hint_index_ -= popped;
     }
 
     if (in_fast_recovery_) {
@@ -415,30 +426,58 @@ void TcpSocket::retransmit_one(std::uint64_t seq) {
 
 net::PayloadRef TcpSocket::gather_payload(std::uint64_t seq,
                                           std::size_t len) const {
-  // Locate the application write containing `seq`.
+  // Locate the application write containing `seq`. Segmentation walks the
+  // stream front to back, so resume from the entry the previous gather
+  // ended in (the hint) instead of rescanning from the front — with an
+  // application that wrote thousands of small chunks the full scan per
+  // segment is quadratic. The hint is invalid after a retransmission
+  // rewinds seq or an ACK trims past it; fall back to a front scan then.
   std::uint64_t base = buf_seq_base_;
-  auto it = send_buf_.begin();
-  for (; it != send_buf_.end(); ++it) {
-    if (seq < base + it->length) break;
-    base += it->length;
+  std::size_t idx = 0;
+  if (gather_hint_index_ <= send_buf_.size() &&
+      gather_hint_base_ >= buf_seq_base_ && gather_hint_base_ <= seq) {
+    base = gather_hint_base_;
+    idx = gather_hint_index_;
   }
-  if (it == send_buf_.end()) return {};
+  while (idx < send_buf_.size() && seq >= base + send_buf_[idx].length) {
+    base += send_buf_[idx].length;
+    ++idx;
+  }
+  if (idx == send_buf_.size()) return {};
+  gather_hint_index_ = idx;
+  gather_hint_base_ = base;
   const std::size_t off = static_cast<std::size_t>(seq - base);
+  const net::PayloadRef& entry = send_buf_[idx];
 
-  if (it->length - off >= len) {
-    return it->slice(off, len);  // common case: zero-copy
+  if (!entry.chained() && entry.length - off >= len) {
+    return entry.slice(off, len);  // common case: one zero-copy slice
   }
 
-  // The segment spans application writes: gather into a fresh buffer.
+#if DYNCDN_TCP_GATHER_COPY
+  // Legacy comparison path: gather the spanning segment into a fresh
+  // buffer (one allocation + copy per cross-chunk segment).
   std::vector<std::uint8_t> bytes;
   bytes.reserve(len);
-  std::size_t pos = off;
-  for (; it != send_buf_.end() && bytes.size() < len; ++it, pos = 0) {
-    const auto span = it->slice(pos, len - bytes.size()).bytes();
-    bytes.insert(bytes.end(), span.begin(), span.end());
+  for (std::size_t j = idx; j < send_buf_.size() && bytes.size() < len;
+       ++j) {
+    const std::size_t start = (j == idx) ? off : 0;
+    send_buf_[j]
+        .slice(start, len - bytes.size())
+        .for_each_slice([&bytes](std::span<const std::uint8_t> span) {
+          bytes.insert(bytes.end(), span.begin(), span.end());
+        });
   }
   const std::size_t n = bytes.size();
   return net::PayloadRef{net::make_buffer(std::move(bytes)), 0, n};
+#else
+  // The segment spans application writes: chain slices, zero-copy.
+  net::PayloadRef out = entry.slice(off, len);
+  for (std::size_t j = idx + 1;
+       j < send_buf_.size() && out.length < len; ++j) {
+    out.append(send_buf_[j].slice(0, len - out.length));
+  }
+  return out;
+#endif
 }
 
 // ---------------------------------------------------------------------------

@@ -175,6 +175,11 @@ class TcpSocket {
   // Send buffer: contiguous queue of app payload starting at buf_seq_base_.
   std::deque<net::PayloadRef> send_buf_;
   std::uint64_t buf_seq_base_ = 0;  // sequence number of send_buf_ front byte
+  // gather_payload scan hint: index of the entry the last gather ended in
+  // and the stream seq of that entry's first byte (invalidated by ACK
+  // trimming past it; see gather_payload).
+  mutable std::size_t gather_hint_index_ = 0;
+  mutable std::uint64_t gather_hint_base_ = 0;
   std::uint64_t buf_bytes_ = 0;
   bool fin_queued_ = false;
   bool fin_sent_ = false;

@@ -48,11 +48,10 @@ std::size_t discover_boundary(Scenario& scenario, std::size_t client_index,
 
   // Reassemble each connection's response stream.
   std::vector<std::string> responses;
-  const capture::PacketTrace service =
-      client.recorder->trace().filter_remote_port(kServicePort);
-  for (const net::FlowId& flow : service.flows()) {
+  for (const auto& [flow, conn] :
+       client.recorder->trace().split_by_flow(kServicePort)) {
     analysis::ReassembledStream stream =
-        analysis::reassemble(service, flow, capture::Direction::kReceived);
+        analysis::reassemble(conn, flow, capture::Direction::kReceived);
     if (!stream.empty()) responses.push_back(stream.bytes());
   }
   client.recorder->clear();

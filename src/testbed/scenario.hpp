@@ -60,6 +60,12 @@ struct ScenarioOptions {
   /// of this many bytes (obs::RingBuffer).
   std::size_t trace_ring_bytes = 0;
 
+  /// Batch contiguous link deliveries behind single kernel events
+  /// (net::LinkConfig::coalesce_deliveries) on every link. Results are
+  /// byte-identical either way — the switch exists so the coalescing
+  /// equivalence test can compare both paths on a full scenario.
+  bool link_coalescing = true;
+
   /// FrontEnd config overrides applied to every FE (ablations).
   std::optional<cdn::FrontEndServer::RelayMode> relay_mode;
   std::optional<bool> warm_backend_connection;

@@ -265,6 +265,22 @@ TEST(Frontend, CacheDisabledAlwaysFetches) {
   EXPECT_EQ(f.backend->queries_served(), 2u);
 }
 
+// Regression: fe_cache_hits read 0 in every default experiment because only
+// the off-by-default result cache was counted. The static-portion cache —
+// the paper's core FE mechanism — serves every query; a repeated query from
+// the same vantage point must record a hit even with result caching off.
+TEST(Frontend, StaticCacheHitsOnRepeatedQuery) {
+  CdnFixture f;
+  const QueryResult first = f.query(kKeyword);
+  EXPECT_FALSE(first.failed);
+  EXPECT_EQ(f.frontend->static_cache_hits(), 0u);  // first serve primes
+  const QueryResult second = f.query(kKeyword);
+  EXPECT_FALSE(second.failed);
+  EXPECT_EQ(f.frontend->static_cache_hits(), 1u);
+  EXPECT_EQ(f.frontend->cache_hits(), 0u);  // result cache untouched
+  EXPECT_EQ(f.backend->queries_served(), 2u);  // both queries still fetched
+}
+
 TEST(Frontend, WarmConnectionSpeedsFirstQuery) {
   auto first_query_fetch = [](bool warm) {
     CdnFixture::Options opt;

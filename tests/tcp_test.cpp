@@ -2,8 +2,10 @@
 // control dynamics, loss recovery, flow control and teardown.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "harness.hpp"
 #include "net/packet.hpp"
@@ -113,6 +115,82 @@ TEST(TcpTransfer, LargeTransferIntactAndSegmented) {
             payload.size() / h.client->default_config().mss);
   EXPECT_EQ(s.stats().retransmits_rto, 0u);
   EXPECT_EQ(s.stats().retransmits_fast, 0u);
+}
+
+/// Run one client->server transfer of `payload`, applying send() in
+/// `chunks`-sized pieces (cycled; empty = one large send). Records the
+/// receiver's per-segment delivery chunks and the sender's wire counters.
+struct TransferLog {
+  std::vector<std::size_t> delivery_sizes;
+  std::string received;
+  std::uint64_t segments_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+TransferLog run_chunked_transfer(const std::string& payload,
+                                 const std::vector<std::size_t>& chunks,
+                                 const TwoNodeOptions& opt = {}) {
+  TwoNodeHarness h(opt);
+  TransferLog log;
+  h.server->listen(kPort, [&log](TcpSocket& s) {
+    TcpSocket::Callbacks cb;
+    cb.on_data = [&log](net::PayloadRef d) {
+      log.delivery_sizes.push_back(d.length);
+      log.received += d.to_text();
+    };
+    s.set_callbacks(std::move(cb));
+  });
+  TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+  if (chunks.empty()) {
+    s.send_text(payload);
+  } else {
+    std::size_t off = 0;
+    for (std::size_t i = 0; off < payload.size(); ++i) {
+      const std::size_t n =
+          std::min(chunks[i % chunks.size()], payload.size() - off);
+      s.send_text(std::string_view(payload).substr(off, n));
+      off += n;
+    }
+  }
+  h.simulator.run();
+  log.segments_sent = s.stats().segments_sent;
+  log.bytes_sent = s.stats().bytes_sent;
+  return log;
+}
+
+// Scattered send buffers: queueing the stream as many small writes (each
+// its own buffer, most far below MSS) must put exactly the same segments
+// on the wire as one large write — gather_payload fills segments to MSS
+// across write boundaries, chaining slices (or byte-copying under
+// DYNCDN_TCP_GATHER_COPY; this test passes under both).
+TEST(TcpTransfer, ScatteredSendsMatchOneLargeSend) {
+  const std::string payload = pattern_text(120 * 1000);
+  const TransferLog whole = run_chunked_transfer(payload, {});
+  const TransferLog scattered =
+      run_chunked_transfer(payload, {1, 7, 64, 333, 1448, 2000, 5, 900});
+
+  EXPECT_EQ(scattered.received, payload);
+  EXPECT_EQ(scattered.received, whole.received);
+  EXPECT_EQ(scattered.bytes_sent, whole.bytes_sent);
+  EXPECT_EQ(scattered.segments_sent, whole.segments_sent);
+  // Same wire segmentation => same per-segment delivery chunk sizes.
+  EXPECT_EQ(scattered.delivery_sizes, whole.delivery_sizes);
+}
+
+// Same equivalence under loss: a deterministic data-segment drop forces a
+// retransmission, which rewinds gather_payload behind its scan hint and
+// re-gathers a segment whose bytes straddle several small writes.
+TEST(TcpTransfer, ScatteredSendsSurviveRetransmission) {
+  const std::string payload = pattern_text(80 * 1000);
+  TwoNodeOptions opt;
+  opt.drop_indices_c2s = {9, 25};
+  const TransferLog whole = run_chunked_transfer(payload, {}, opt);
+  const TransferLog scattered =
+      run_chunked_transfer(payload, {3, 1448, 11, 700, 2900, 1}, opt);
+
+  EXPECT_EQ(whole.received, payload);
+  EXPECT_EQ(scattered.received, payload);
+  EXPECT_EQ(scattered.bytes_sent, whole.bytes_sent);
 }
 
 TEST(TcpTransfer, MultipleWritesArriveInOrder) {

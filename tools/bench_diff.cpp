@@ -1,0 +1,141 @@
+// Perf-regression gate over BENCH.json files.
+//
+//   bench_diff <baseline.json> <candidate.json> [--tolerance=0.10]
+//
+// Walks both documents, collects every gated throughput metric — scalars
+// named `events_per_sec`, `queries_per_sec_serial`, `packets_per_sec` or
+// `bytes_per_sec`, addressed by dotted path — and fails (exit 1) when the
+// candidate is more than `tolerance` below the baseline on any of them.
+// Metrics present on only one side are reported but not fatal, so the
+// bench can grow sections without breaking older baselines. Exit 2 on
+// usage/parse errors.
+//
+// Wired into ctest as `bench_diff` (label: bench), comparing the run's
+// fresh BENCH.json against the committed bench/BASELINE_quick.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using dyncdn::obs::json::Value;
+
+bool is_gated_metric(const std::string& key) {
+  return key == "events_per_sec" || key == "queries_per_sec_serial" ||
+         key == "packets_per_sec" || key == "bytes_per_sec";
+}
+
+struct Metric {
+  std::string path;
+  double value = 0.0;
+};
+
+void collect(const Value& v, const std::string& prefix,
+             std::vector<Metric>& out) {
+  if (!v.is_object()) return;
+  for (const auto& [key, child] : v.object) {
+    const std::string path = prefix.empty() ? key : prefix + "." + key;
+    if (child.type == Value::Type::kNumber && is_gated_metric(key)) {
+      out.push_back(Metric{path, child.as_double()});
+    } else {
+      collect(child, path, out);
+    }
+  }
+}
+
+std::vector<Metric> load_metrics(const char* file) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", file);
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto doc = dyncdn::obs::json::parse(ss.str());
+  if (!doc) {
+    std::fprintf(stderr, "bench_diff: %s is not valid JSON\n", file);
+    std::exit(2);
+  }
+  std::vector<Metric> out;
+  collect(*doc, "", out);
+  return out;
+}
+
+const Metric* find(const std::vector<Metric>& metrics,
+                   const std::string& path) {
+  for (const Metric& m : metrics) {
+    if (m.path == path) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.10;
+  const char* base_path = nullptr;
+  const char* cand_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+      tolerance = std::atof(argv[i] + 12);
+    } else if (base_path == nullptr) {
+      base_path = argv[i];
+    } else if (cand_path == nullptr) {
+      cand_path = argv[i];
+    } else {
+      base_path = nullptr;
+      break;
+    }
+  }
+  if (base_path == nullptr || cand_path == nullptr || tolerance < 0.0) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <candidate.json> "
+                 "[--tolerance=0.10]\n");
+    return 2;
+  }
+
+  const std::vector<Metric> base = load_metrics(base_path);
+  const std::vector<Metric> cand = load_metrics(cand_path);
+  if (base.empty()) {
+    std::fprintf(stderr, "bench_diff: no gated metrics in %s\n", base_path);
+    return 2;
+  }
+
+  int regressions = 0;
+  for (const Metric& b : base) {
+    const Metric* c = find(cand, b.path);
+    if (c == nullptr) {
+      std::printf("MISSING  %-45s baseline=%.0f (not in candidate)\n",
+                  b.path.c_str(), b.value);
+      continue;
+    }
+    const double ratio = b.value > 0.0 ? c->value / b.value : 1.0;
+    const bool regressed = ratio < 1.0 - tolerance;
+    std::printf("%s %-45s %12.0f -> %12.0f  (%+.1f%%)\n",
+                regressed ? "REGRESS " : "ok      ", b.path.c_str(), b.value,
+                c->value, (ratio - 1.0) * 100.0);
+    if (regressed) ++regressions;
+  }
+  for (const Metric& c : cand) {
+    if (find(base, c.path) == nullptr) {
+      std::printf("NEW      %-45s candidate=%.0f (not in baseline)\n",
+                  c.path.c_str(), c.value);
+    }
+  }
+
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_diff: %d metric(s) regressed more than %.0f%%\n",
+                 regressions, tolerance * 100.0);
+    return 1;
+  }
+  std::printf("bench_diff: all gated metrics within %.0f%% of baseline\n",
+              tolerance * 100.0);
+  return 0;
+}
