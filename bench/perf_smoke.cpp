@@ -16,8 +16,11 @@
 // JSON schema: {"mode", "threads_available", "event_kernel": {...
 // events_per_sec}, "cancel_churn": {...}, "timer_churn": {...},
 // "link_batch": {...}, "tcp_bulk": {...}, "gather_fastpath": {...},
-// "obs_overhead": {...}, "experiment": {"queries", "serial_wall_ms",
-// "thread_scaling": [{threads, wall_ms, speedup_vs_1}], "metrics": {...}}.
+// "obs_overhead": {...}, "memory": {"peak_rss_bytes", "capture": {...},
+// "stream": {...}, "stream_reduction_pct"}, "experiment": {"queries",
+// "serial_wall_ms", "queries_per_sec_best", "thread_scaling": [{threads,
+// threads_available, oversubscribed, wall_ms, queries_per_sec,
+// speedup_vs_1}], "metrics": {...}}.
 // A copy also lands at <repo-root>/BENCH_latest.json (gitignored) so the
 // latest numbers are always one `cat` away. See docs/PERF.md; the
 // bench_diff ctest target gates these numbers against
@@ -34,6 +37,7 @@
 #include "net/network.hpp"
 #include "obs/export_chrome.hpp"
 #include "obs/export_prometheus.hpp"
+#include "obs/memory.hpp"
 #include "obs/obs.hpp"
 #include "parallel/replica.hpp"
 #include "search/keywords.hpp"
@@ -255,7 +259,56 @@ Rate bench_tcp_bulk(std::size_t bytes, bool attach_disabled_trace = false,
 struct ScalePoint {
   std::size_t threads = 0;
   double wall_ms = 0;
+  double queries_per_sec = 0;
+  bool oversubscribed = false;  // threads > cores: wall time is noise
 };
+
+/// One serial quick campaign in the given analysis mode, with the
+/// allocation tracker's high-water mark rebased first so the phase's peak
+/// is isolated (process RSS is monotonic and useless for an in-process
+/// A/B). Returns tracked + deterministic byte accounting.
+struct MemoryPhase {
+  std::uint64_t peak_live_delta_bytes = 0;  // tracker, whole phase
+  std::uint64_t allocations = 0;            // tracker, whole phase
+  std::int64_t retained_bytes_peak = 0;     // deterministic capture gauge
+  std::int64_t analyzer_bytes_peak = 0;     // deterministic streaming gauge
+  std::uint64_t timelines_online = 0;
+  std::uint64_t late_packets = 0;
+};
+
+MemoryPhase bench_campaign_memory(const testbed::ScenarioOptions& base,
+                                  const testbed::ExperimentOptions& eo,
+                                  bool streaming) {
+  testbed::ScenarioOptions so = base;
+  so.stream_analysis = streaming;
+  so.enable_tracing = false;
+
+  obs::reset_peak_live_bytes();
+  const obs::MemorySnapshot before = obs::memory_snapshot();
+  obs::MetricsRegistry mem;
+  {
+    testbed::Scenario scenario(so);
+    scenario.warm_up();
+    testbed::run_fixed_fe_experiment(scenario, 0, eo);
+    scenario.collect_memory_metrics(mem);
+  }
+  const obs::MemorySnapshot after = obs::memory_snapshot();
+
+  MemoryPhase phase;
+  if (obs::memory_tracking_enabled()) {
+    phase.peak_live_delta_bytes = after.peak_live_bytes - before.live_bytes;
+    phase.allocations = after.allocations - before.allocations;
+  }
+  for (const auto& [name, value] : mem.gauges()) {
+    if (name == "capture_retained_bytes_peak") phase.retained_bytes_peak = value;
+    if (name == "analyzer_live_bytes_peak") phase.analyzer_bytes_peak = value;
+  }
+  for (const auto& [name, value] : mem.counters()) {
+    if (name == "stream_timelines_online") phase.timelines_online = value;
+    if (name == "stream_late_packets") phase.late_packets = value;
+  }
+  return phase;
+}
 
 }  // namespace
 
@@ -294,24 +347,40 @@ int main(int argc, char** argv) {
                 std::string("mode: ") + (full ? "full" : "quick") +
                     ", output: " + out_path);
 
-  const Rate kernel = bench_event_kernel(kernel_events);
+  // Every gated section reports best-of-3 in quick mode: single-pass
+  // numbers on a shared CI box swing ±15% with whatever ran a moment ago,
+  // which is wider than the 10% gate. Best-of converges on the machine's
+  // actual capability, so baseline and candidate meet on stable ground.
+  // Full-mode sections run long enough to be stable single-pass.
+  const int section_passes = full ? 1 : 3;
+  const auto best_of = [section_passes](auto&& fn) {
+    Rate best = fn();
+    for (int i = 1; i < section_passes; ++i) {
+      const Rate r = fn();
+      if (r.wall_ms < best.wall_ms) best = r;
+    }
+    return best;
+  };
+
+  const Rate kernel = best_of([&] { return bench_event_kernel(kernel_events); });
   std::printf("event kernel:   %10.0f events/sec (%.1f ms)\n", kernel.per_sec,
               kernel.wall_ms);
-  const Rate churn = bench_cancel_churn(churn_rearms);
+  const Rate churn = best_of([&] { return bench_cancel_churn(churn_rearms); });
   std::printf("cancel churn:   %10.0f re-arms/sec (%.1f ms)\n", churn.per_sec,
               churn.wall_ms);
-  const Rate timer_churn =
-      bench_timer_churn(churn_timers, timer_churn_rearms);
+  const Rate timer_churn = best_of(
+      [&] { return bench_timer_churn(churn_timers, timer_churn_rearms); });
   std::printf("timer churn:    %10.0f events/sec (%.1f ms, %zu live timers)\n",
               timer_churn.per_sec, timer_churn.wall_ms, churn_timers);
-  const Rate link_batch = bench_link_batch(batch_packets);
+  const Rate link_batch = best_of([&] { return bench_link_batch(batch_packets); });
   std::printf("link batch:     %10.0f packets/sec (%.1f ms)\n",
               link_batch.per_sec, link_batch.wall_ms);
-  const Rate tcp = bench_tcp_bulk(tcp_bytes);
+  const Rate tcp = best_of([&] { return bench_tcp_bulk(tcp_bytes); });
   std::printf("tcp bulk:       %10.0f bytes/sec (%.1f ms, %llu events)\n",
               static_cast<double>(tcp_bytes) / (tcp.wall_ms / 1000.0),
               tcp.wall_ms, static_cast<unsigned long long>(tcp.items));
-  const Rate gather = bench_tcp_bulk(gather_bytes, false, gather_chunk);
+  const Rate gather =
+      best_of([&] { return bench_tcp_bulk(gather_bytes, false, gather_chunk); });
   const double gather_bytes_per_sec =
       static_cast<double>(gather_bytes) / (gather.wall_ms / 1000.0);
   std::printf("gather fast:    %10.0f bytes/sec (%.1f ms, %zuB chunks)\n",
@@ -354,11 +423,14 @@ int main(int argc, char** argv) {
   }
 
   // Experiment engine: a fixed-FE campaign sharded one-replica-per-vantage-
-  // point; wall time per thread count gives the scaling curve.
+  // point over the work-stealing executor; wall time per thread count gives
+  // the scaling curve. Runs the streaming (online-analysis) pipeline — the
+  // product default; results are byte-identical to capture mode.
   testbed::ScenarioOptions scenario;
   scenario.profile = cdn::google_like_profile();
   scenario.client_count = clients;
   scenario.seed = 4242;
+  scenario.stream_analysis = true;
   scenario.enable_tracing = !trace_out.empty();
   testbed::ExperimentOptions eo;
   eo.reps_per_node = reps;
@@ -366,32 +438,48 @@ int main(int argc, char** argv) {
   search::KeywordCatalog catalog(5);
   eo.keywords = {catalog.figure3_keywords().front()};
 
-  const std::size_t hw = parallel::resolve_threads({});
+  const std::size_t hw = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
   // Quick mode always records {1, 2, 4} so BENCH.json captures the
   // parallel-engine trend across PRs even on small CI boxes (replicas are
   // independent; oversubscribing cores is harmless and still
-  // deterministic). Full mode additionally climbs to 8 when cores allow.
+  // deterministic). Oversubscribed rows (threads > cores) are flagged and
+  // excluded from the gated queries_per_sec_best — on a 1-core runner the
+  // 2- and 4-thread rows measure context-switch overhead, not the
+  // scheduler, and once read as 0.85x "regressions". Full mode
+  // additionally climbs to 8 when cores allow.
   std::vector<std::size_t> thread_counts{1, 2, 4};
   if (full && hw >= 8) thread_counts.push_back(8);
 
   std::vector<ScalePoint> scaling;
   std::size_t queries = 0;
   obs::MetricsRegistry campaign_metrics;
+  // Quick campaigns finish in tens of milliseconds, so a single pass is
+  // at the mercy of whatever the machine was doing a moment ago (the gate
+  // once tripped at -17% right after a 500-test ctest sweep). Best-of-3
+  // like obs_overhead: the run is deterministic, only the clock varies.
+  const int passes = full ? 1 : 3;
   for (const std::size_t threads : thread_counts) {
     testbed::ReplicaPlan plan;  // default: one shard per vantage point
     plan.executor.threads = threads;
-    const auto start = std::chrono::steady_clock::now();
-    const auto result =
-        testbed::run_fixed_fe_experiment(scenario, 0, eo, plan);
     ScalePoint p;
     p.threads = threads;
-    p.wall_ms = wall_ms_since(start);
-    scaling.push_back(p);
+    p.wall_ms = 0;
+    testbed::ExperimentResult result;
+    for (int pass = 0; pass < passes; ++pass) {
+      const auto start = std::chrono::steady_clock::now();
+      result = testbed::run_fixed_fe_experiment(scenario, 0, eo, plan);
+      const double ms = wall_ms_since(start);
+      if (pass == 0 || ms < p.wall_ms) p.wall_ms = ms;
+    }
+    p.oversubscribed = threads > hw;
     queries = result.all().size();
+    p.queries_per_sec = static_cast<double>(queries) / (p.wall_ms / 1000.0);
+    scaling.push_back(p);
     std::printf("experiment:     %zu threads -> %8.1f ms (%zu queries, "
-                "%.0f queries/sec)\n",
-                threads, p.wall_ms, queries,
-                static_cast<double>(queries) / (p.wall_ms / 1000.0));
+                "%.0f queries/sec)%s\n",
+                threads, p.wall_ms, queries, p.queries_per_sec,
+                p.oversubscribed ? " [oversubscribed]" : "");
     if (threads == thread_counts.front()) {
       // Snapshot from the serial run; merged registries are bit-identical
       // at every thread count anyway (tests/parallel_test.cpp proves it).
@@ -405,6 +493,53 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     obs::write_prometheus(campaign_metrics, metrics_out);
     std::printf("[metrics written: %s]\n", metrics_out.c_str());
+  }
+
+  // queries_per_sec at the best *measured* (non-oversubscribed) thread
+  // count — the scalar bench_diff gates. Oversubscribed rows stay in the
+  // JSON for the trend but never gate.
+  double qps_best = 0;
+  std::size_t qps_best_threads = 1;
+  for (const ScalePoint& p : scaling) {
+    if (!p.oversubscribed && p.queries_per_sec > qps_best) {
+      qps_best = p.queries_per_sec;
+      qps_best_threads = p.threads;
+    }
+  }
+
+  // Memory A/B: the same serial quick campaign with streaming analysis
+  // versus full capture retention. Streaming runs first so the capture
+  // run's larger footprint cannot pre-warm the allocator in its favor.
+  const MemoryPhase mem_stream = bench_campaign_memory(scenario, eo, true);
+  const MemoryPhase mem_capture = bench_campaign_memory(scenario, eo, false);
+  // Gated reduction: deterministic byte accounting of what each pipeline
+  // holds at its peak (capture: retained PacketRecords + payloads;
+  // streaming: per-flow analyzer state). Allocator/thread-count
+  // independent, so it gates cleanly; the tracked allocator delta is
+  // reported alongside as the whole-process view.
+  const double stream_reduction_pct =
+      mem_capture.retained_bytes_peak > 0
+          ? (1.0 - static_cast<double>(mem_stream.analyzer_bytes_peak) /
+                       static_cast<double>(mem_capture.retained_bytes_peak)) *
+                100.0
+          : 0.0;
+  const double tracked_reduction_pct =
+      mem_capture.peak_live_delta_bytes > 0
+          ? (1.0 - static_cast<double>(mem_stream.peak_live_delta_bytes) /
+                       static_cast<double>(mem_capture.peak_live_delta_bytes)) *
+                100.0
+          : 0.0;
+  std::printf("memory:         capture %.1f KB peak vs stream %.1f KB peak "
+              "(%.1f%% lower; tracked delta %.1f%%)\n",
+              static_cast<double>(mem_capture.retained_bytes_peak) / 1024.0,
+              static_cast<double>(mem_stream.analyzer_bytes_peak) / 1024.0,
+              stream_reduction_pct, tracked_reduction_pct);
+  if (mem_stream.late_packets != 0) {
+    std::fprintf(stderr,
+                 "perf_smoke: streaming analyzer saw %llu late packets "
+                 "(stream/capture results may diverge)\n",
+                 static_cast<unsigned long long>(mem_stream.late_packets));
+    return 1;
   }
 
   std::string json;
@@ -449,17 +584,42 @@ int main(int argc, char** argv) {
        "\"disabled_trace_ms\": %.3f, \"overhead_pct\": %.3f, "
        "\"target_pct\": 1.0, \"hard_limit_pct\": 10.0},\n",
        obs_bytes, plain_ms, traced_ms, overhead_pct);
+  emit("  \"memory\": {\n");
+  emit("    \"tracking\": %s,\n",
+       obs::memory_tracking_enabled() ? "true" : "false");
+  emit("    \"peak_rss_bytes\": %llu,\n",
+       static_cast<unsigned long long>(obs::peak_rss_bytes()));
+  emit("    \"capture\": {\"retained_bytes_peak\": %lld, "
+       "\"peak_live_delta_bytes\": %llu, \"allocations\": %llu},\n",
+       static_cast<long long>(mem_capture.retained_bytes_peak),
+       static_cast<unsigned long long>(mem_capture.peak_live_delta_bytes),
+       static_cast<unsigned long long>(mem_capture.allocations));
+  emit("    \"stream\": {\"analyzer_bytes_peak\": %lld, "
+       "\"peak_live_delta_bytes\": %llu, \"allocations\": %llu, "
+       "\"timelines_online\": %llu, \"late_packets\": %llu},\n",
+       static_cast<long long>(mem_stream.analyzer_bytes_peak),
+       static_cast<unsigned long long>(mem_stream.peak_live_delta_bytes),
+       static_cast<unsigned long long>(mem_stream.allocations),
+       static_cast<unsigned long long>(mem_stream.timelines_online),
+       static_cast<unsigned long long>(mem_stream.late_packets));
+  emit("    \"stream_reduction_pct\": %.2f,\n", stream_reduction_pct);
+  emit("    \"tracked_reduction_pct\": %.2f\n", tracked_reduction_pct);
+  emit("  },\n");
   emit("  \"experiment\": {\n");
   emit("    \"vantage_points\": %zu,\n", clients);
   emit("    \"queries\": %zu,\n", queries);
   emit("    \"serial_wall_ms\": %.3f,\n", scaling.front().wall_ms);
   emit("    \"queries_per_sec_serial\": %.1f,\n",
        static_cast<double>(queries) / (scaling.front().wall_ms / 1000.0));
+  emit("    \"queries_per_sec_best\": %.1f,\n", qps_best);
+  emit("    \"best_threads\": %zu,\n", qps_best_threads);
   emit("    \"thread_scaling\": [\n");
   for (std::size_t i = 0; i < scaling.size(); ++i) {
-    emit("      {\"threads\": %zu, \"wall_ms\": %.3f, "
-         "\"speedup_vs_1\": %.3f}%s\n",
-         scaling[i].threads, scaling[i].wall_ms,
+    emit("      {\"threads\": %zu, \"threads_available\": %zu, "
+         "\"oversubscribed\": %s, \"wall_ms\": %.3f, "
+         "\"queries_per_sec\": %.1f, \"speedup_vs_1\": %.3f}%s\n",
+         scaling[i].threads, hw, scaling[i].oversubscribed ? "true" : "false",
+         scaling[i].wall_ms, scaling[i].queries_per_sec,
          scaling.front().wall_ms / scaling[i].wall_ms,
          i + 1 < scaling.size() ? "," : "");
   }

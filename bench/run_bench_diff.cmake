@@ -1,0 +1,29 @@
+# ctest wrapper for the bench_diff regression gate.
+#
+# Wall-clock throughput on a shared (often 1-core) runner occasionally dips
+# 15%+ below the committed envelope when bench_smoke lands right after the
+# full functional sweep — a scheduler/cache transient, not a code change.
+# A genuine regression reproduces on a fresh measurement; a transient does
+# not.  So: compare, and on failure re-measure once (perf_smoke rewrites
+# BENCH.json) before declaring a regression.
+#
+# Inputs: -DBENCH_DIFF= -DPERF_SMOKE= -DBASELINE= -DBENCH_JSON=
+
+execute_process(COMMAND "${BENCH_DIFF}" "${BASELINE}" "${BENCH_JSON}"
+                RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  return()
+endif()
+
+message(STATUS "bench_diff failed on the in-suite measurement; "
+               "re-running perf_smoke to rule out a scheduler transient")
+execute_process(COMMAND "${PERF_SMOKE}" "${BENCH_JSON}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "perf_smoke re-measurement failed (exit ${rc})")
+endif()
+
+execute_process(COMMAND "${BENCH_DIFF}" "${BASELINE}" "${BENCH_JSON}"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_diff regression confirmed on re-measurement")
+endif()

@@ -1,0 +1,149 @@
+// Online (streaming) timeline extraction.
+//
+// The post-hoc pipeline retains every PacketRecord of a campaign and
+// reduces traces to Fig.-2 timelines afterwards, so memory grows with
+// total packets. The streaming pipeline reduces each flow *as packets are
+// captured*: a StreamingTimeline keeps only the control-event state machine
+// plus the received-side segment list (seq, length, timestamp — never
+// payload bytes), and once the static/dynamic boundary is known a finished
+// flow is collapsed to its QueryTimeline the moment its teardown is
+// observed. Campaign memory becomes O(in-flight flows), not O(packets).
+//
+// Equivalence contract: for any capture, drain() must produce timelines
+// byte-identical to extract_all_timelines() over the retained trace —
+// including invalid_reason strings and the order of validity checks. The
+// implementation guarantees this by construction: the per-packet control
+// scan mirrors timeline_from_conn's else-if chain exactly, segment
+// normalization mirrors reassemble() (base = last received SYN seq + 1,
+// else min data seq; seq < base skipped), and the response-data events are
+// computed by the very same finish_timeline_from_stream() the post-hoc
+// path uses. Tests in tests/streaming_test.cpp enforce tolerance-0
+// equality on out-of-order, retransmitted and interleaved inputs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/timeline.hpp"
+#include "capture/recorder.hpp"
+#include "capture/trace.hpp"
+#include "net/address.hpp"
+
+namespace dyncdn::analysis {
+
+/// Incremental Fig.-2 timeline builder for one TCP flow.
+///
+/// Feed it every packet of the flow in capture order via observe(); call
+/// finalize() once (teardown seen, or at drain time) to obtain the same
+/// QueryTimeline the post-hoc extract_timeline() would produce.
+class StreamingTimeline {
+ public:
+  explicit StreamingTimeline(const net::FlowId& flow);
+
+  void observe(const capture::PacketRecord& record);
+
+  /// Both FINs (or a RST) observed: no future packet can change the
+  /// timeline except trailing pure ACKs, which never affect analysis.
+  bool complete() const { return rst_ || (fin_sent_ && fin_rcvd_); }
+
+  /// Reduce accumulated state to the flow's timeline. Pure: does not
+  /// consume state, so calling at teardown or at drain gives equal results.
+  QueryTimeline finalize(std::size_t boundary) const;
+
+  /// Deterministic footprint of this builder (state machine + segment
+  /// list). Used for the analyzer's live/peak accounting.
+  std::size_t retained_bytes() const {
+    return sizeof(StreamingTimeline) + data_.size() * sizeof(RawSegment);
+  }
+
+ private:
+  /// A received data segment exactly as captured, pre-normalization (the
+  /// stream base is only known once all SYNs have been seen).
+  struct RawSegment {
+    std::uint64_t seq;
+    std::size_t length;
+    sim::SimTime at;
+  };
+
+  QueryTimeline tl_;  // flow + control events filled in as observed
+  bool saw_syn_ = false, saw_synack_ = false, saw_t1_ = false,
+       saw_t2_ = false;
+  bool fin_sent_ = false, fin_rcvd_ = false, rst_ = false;
+  std::optional<std::uint64_t> client_iss_;
+  std::optional<std::uint64_t> rcv_iss_;       // last received SYN seq
+  std::optional<std::uint64_t> min_data_seq_;  // earliest received data seq
+  std::vector<RawSegment> data_;               // received payload segments
+};
+
+/// Multi-flow streaming analyzer: a capture::PacketSink that groups packets
+/// by connection (first-appearance order, matching split_by_flow) and
+/// emits QueryTimelines online.
+///
+/// Boundary lifecycle: until set_boundary() is called, completed flows stay
+/// buffered (their timeline depends on the static/dynamic split). After
+/// the boundary is known — immediately after discovery in an experiment —
+/// every flow collapses to its timeline at teardown. drain() returns all
+/// timelines in first-appearance flow order and resets the flow table; the
+/// boundary persists across drains (multi-phase experiments reuse it) and
+/// is only cleared by on_clear(), which mirrors TraceRecorder::clear().
+class StreamingAnalyzer final : public capture::PacketSink {
+ public:
+  explicit StreamingAnalyzer(net::Port server_port);
+
+  // capture::PacketSink
+  void on_packet(const capture::PacketRecord& record) override;
+  void on_clear() override;
+
+  /// Fix the static/dynamic boundary, enabling online emission. Completed
+  /// flows buffered so far collapse immediately. Throws std::logic_error
+  /// if a different boundary is already set.
+  void set_boundary(std::size_t boundary);
+  bool has_boundary() const { return boundary_.has_value(); }
+
+  /// Finalize every remaining flow and return all timelines in
+  /// first-appearance order (identical to extract_all_timelines over the
+  /// equivalent retained trace). Resets the flow table; keeps the boundary.
+  std::vector<QueryTimeline> drain(std::size_t boundary);
+
+  /// Deterministic live footprint (builders + buffered timelines).
+  std::size_t live_bytes() const { return live_bytes_; }
+  /// High-water mark of live_bytes() since construction (survives drain
+  /// and on_clear, so it reports the whole campaign's worst moment).
+  std::size_t peak_live_bytes() const { return peak_live_bytes_; }
+
+  /// Flows collapsed online (at teardown, before drain).
+  std::uint64_t timelines_emitted_online() const { return emitted_online_; }
+
+  /// Non-trivial packets (anything but a pure ACK) that arrived for a flow
+  /// already collapsed online. Always 0 in correct operation; a nonzero
+  /// value means the streaming result may diverge from post-hoc analysis.
+  std::uint64_t late_packets() const { return late_packets_; }
+
+  net::Port server_port() const { return server_port_; }
+
+ private:
+  struct Slot {
+    net::FlowId flow;
+    std::unique_ptr<StreamingTimeline> live;  // null once collapsed
+    std::optional<QueryTimeline> done;
+  };
+
+  void bump_peak() {
+    if (live_bytes_ > peak_live_bytes_) peak_live_bytes_ = live_bytes_;
+  }
+  void collapse(Slot& slot);
+
+  net::Port server_port_;
+  std::optional<std::size_t> boundary_;
+  std::vector<Slot> slots_;  // first-appearance order
+  std::unordered_map<net::FlowId, std::size_t> index_;
+  std::size_t live_bytes_ = 0;
+  std::size_t peak_live_bytes_ = 0;
+  std::uint64_t emitted_online_ = 0;
+  std::uint64_t late_packets_ = 0;
+};
+
+}  // namespace dyncdn::analysis

@@ -23,7 +23,12 @@ void TraceRecorder::record(Direction direction, const net::PacketPtr& packet) {
   r.tcp = packet->tcp;
   r.payload_size = packet->payload.length;
   if (options_.capture_payloads) r.payload = packet->payload;
-  trace_.add(std::move(r));
+  if (sink_ != nullptr) sink_->on_packet(r);
+  if (options_.retain_packets) {
+    trace_.add(std::move(r));
+    peak_retained_bytes_ =
+        std::max(peak_retained_bytes_, trace_.retained_bytes());
+  }
 }
 
 }  // namespace dyncdn::capture

@@ -1,16 +1,40 @@
 // TraceRecorder: attaches tcpdump-style taps to a node.
 #pragma once
 
+#include <algorithm>
+
 #include "capture/trace.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
 
 namespace dyncdn::capture {
 
+/// Observer of packets as a recorder sees them. The streaming analysis
+/// pipeline implements this to reduce traffic to timelines online without
+/// the capture layer depending on analysis.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+
+  /// Called once per captured packet, in capture order. The record (and any
+  /// retained payload reference) is only guaranteed valid for the duration
+  /// of the call; sinks must copy what they keep.
+  virtual void on_packet(const PacketRecord& record) = 0;
+
+  /// Called when the recorder's buffer is discarded (warm-up, phase
+  /// boundaries). Sinks should drop in-flight per-flow state so the next
+  /// phase starts clean, mirroring what a post-hoc analyzer of the cleared
+  /// trace would see.
+  virtual void on_clear() = 0;
+};
+
 struct RecorderOptions {
   /// Retain full payload bytes (needed for content analysis). Headers-only
   /// captures are cheaper for long load experiments.
   bool capture_payloads = true;
+  /// Keep every PacketRecord in the trace buffer. Streaming campaigns turn
+  /// this off: packets still flow to the sink, but nothing accumulates.
+  bool retain_packets = true;
 };
 
 /// Records every packet sent or received by one node.
@@ -39,8 +63,25 @@ class TraceRecorder {
   void set_capture_payloads(bool v) { options_.capture_payloads = v; }
   bool capture_payloads() const { return options_.capture_payloads; }
 
+  /// Toggle trace-buffer retention. The sink keeps observing either way.
+  void set_retain_packets(bool v) { options_.retain_packets = v; }
+  bool retain_packets() const { return options_.retain_packets; }
+
+  /// Attach/detach a streaming observer (not owned; must outlive traffic).
+  void set_sink(PacketSink* sink) { sink_ = sink; }
+  PacketSink* sink() const { return sink_; }
+
   /// Discard everything captured so far (e.g. between repetitions).
-  void clear() { trace_.clear(); }
+  /// Notifies the sink so online per-flow state resets in lockstep.
+  void clear() {
+    trace_.clear();
+    if (sink_ != nullptr) sink_->on_clear();
+  }
+
+  /// High-water mark of trace_.retained_bytes() across the recorder's
+  /// lifetime (clear() does not rewind it) — the deterministic measure of
+  /// what full-capture retention would cost this node.
+  std::size_t peak_retained_bytes() const { return peak_retained_bytes_; }
 
  private:
   void record(Direction direction, const net::PacketPtr& packet);
@@ -48,6 +89,8 @@ class TraceRecorder {
   sim::Simulator& simulator_;
   RecorderOptions options_;
   PacketTrace trace_;
+  PacketSink* sink_ = nullptr;
+  std::size_t peak_retained_bytes_ = 0;
   bool recording_ = true;
 };
 

@@ -50,13 +50,29 @@ class PacketTrace {
  public:
   explicit PacketTrace(net::NodeId node = {}) : node_(node) {}
 
-  void add(PacketRecord record) { records_.push_back(std::move(record)); }
+  void add(PacketRecord record) {
+    retained_bytes_ += record_bytes(record);
+    records_.push_back(std::move(record));
+  }
 
   net::NodeId node() const { return node_; }
   const std::vector<PacketRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
-  void clear() { records_.clear(); }
+  void clear() {
+    records_.clear();
+    retained_bytes_ = 0;
+  }
+
+  /// Deterministic accounting of what this trace holds: per-record
+  /// bookkeeping plus retained payload bytes. Independent of allocator or
+  /// thread count, unlike the obs/memory.hpp tracker, so it is safe to
+  /// surface through merged experiment metrics.
+  std::size_t retained_bytes() const { return retained_bytes_; }
+
+  static std::size_t record_bytes(const PacketRecord& r) {
+    return sizeof(PacketRecord) + r.payload.length;
+  }
 
   /// Records matching a predicate, preserving order.
   PacketTrace filter(
@@ -87,6 +103,7 @@ class PacketTrace {
  private:
   net::NodeId node_;
   std::vector<PacketRecord> records_;
+  std::size_t retained_bytes_ = 0;
 };
 
 }  // namespace dyncdn::capture

@@ -1,0 +1,197 @@
+#include "obs/memory.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#if defined(__linux__)
+#include <malloc.h>
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+#ifndef DYNCDN_MEM_TRACK
+#define DYNCDN_MEM_TRACK 1
+#endif
+
+namespace dyncdn::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_live{0};
+std::atomic<std::uint64_t> g_peak{0};
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+#if DYNCDN_MEM_TRACK
+
+inline std::size_t usable_size(void* p) {
+#if defined(__linux__)
+  return malloc_usable_size(p);
+#else
+  (void)p;
+  return 0;
+#endif
+}
+
+inline void note_alloc(std::size_t bytes) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t live =
+      g_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+inline void note_free(std::size_t bytes) {
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  g_live.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void* tracked_alloc(std::size_t size) {
+  void* p = std::malloc(size);
+  if (p != nullptr) note_alloc(usable_size(p));
+  return p;
+}
+
+void* tracked_aligned_alloc(std::size_t size, std::size_t alignment) {
+  void* p = nullptr;
+#if defined(__linux__)
+  if (posix_memalign(&p, alignment, size) != 0) p = nullptr;
+#else
+  p = std::aligned_alloc(alignment, size);
+#endif
+  if (p != nullptr) note_alloc(usable_size(p));
+  return p;
+}
+
+void tracked_free(void* p) {
+  if (p == nullptr) return;
+  note_free(usable_size(p));
+  std::free(p);
+}
+
+#endif  // DYNCDN_MEM_TRACK
+
+}  // namespace
+
+MemorySnapshot memory_snapshot() {
+  MemorySnapshot s;
+  s.live_bytes = g_live.load(std::memory_order_relaxed);
+  s.peak_live_bytes = g_peak.load(std::memory_order_relaxed);
+  s.allocations = g_allocs.load(std::memory_order_relaxed);
+  s.frees = g_frees.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_peak_live_bytes() {
+  g_peak.store(g_live.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+bool memory_tracking_enabled() {
+#if DYNCDN_MEM_TRACK
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024u;
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0, resident = 0;
+  const int n = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<std::uint64_t>(resident) *
+         static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+}  // namespace dyncdn::obs
+
+#if DYNCDN_MEM_TRACK
+
+// Global allocation hooks. Each form funnels into the tracker above; sizes
+// are measured via malloc_usable_size at both ends, so new/delete pairs
+// balance exactly even when the sized-delete hint differs from the usable
+// size.
+void* operator new(std::size_t size) {
+  void* p = dyncdn::obs::tracked_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = dyncdn::obs::tracked_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return dyncdn::obs::tracked_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return dyncdn::obs::tracked_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = dyncdn::obs::tracked_aligned_alloc(
+      size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* p = dyncdn::obs::tracked_aligned_alloc(
+      size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { dyncdn::obs::tracked_free(p); }
+void operator delete[](void* p) noexcept { dyncdn::obs::tracked_free(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  dyncdn::obs::tracked_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  dyncdn::obs::tracked_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  dyncdn::obs::tracked_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  dyncdn::obs::tracked_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  dyncdn::obs::tracked_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  dyncdn::obs::tracked_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  dyncdn::obs::tracked_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  dyncdn::obs::tracked_free(p);
+}
+
+#endif  // DYNCDN_MEM_TRACK

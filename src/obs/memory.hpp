@@ -1,0 +1,54 @@
+// Process-wide memory accounting for the campaign pipeline.
+//
+// Two complementary views:
+//
+//   * Allocation tracker — global operator new/delete replacements
+//     (compiled when DYNCDN_MEM_TRACK=1, the default) maintain atomic
+//     live-bytes / peak-live-bytes / allocation counters. Byte sizes come
+//     from malloc_usable_size, so the numbers reflect what the allocator
+//     actually holds, not what was requested. reset_peak_live_bytes()
+//     rebases the high-water mark to the current live size, which lets a
+//     bench isolate the peak of one phase (e.g. one campaign) inside a
+//     long-lived process where RSS is monotonic.
+//
+//   * OS view — peak/current RSS from getrusage / /proc, for whole-process
+//     reporting in BENCH.json.
+//
+// The tracker is process-global and thread-safe (relaxed atomics); its
+// numbers are NOT deterministic across thread counts (allocation
+// interleaving moves the peak), so they belong in bench reports and CLI
+// summaries — never in the merged experiment registries whose exports are
+// compared byte-identical across thread counts. For deterministic
+// accounting of the dominant campaign consumers, see
+// capture::PacketTrace::retained_bytes() and
+// analysis::StreamingAnalyzer::peak_live_bytes(), surfaced through
+// testbed::Scenario::collect_memory_metrics().
+#pragma once
+
+#include <cstdint>
+
+namespace dyncdn::obs {
+
+struct MemorySnapshot {
+  std::uint64_t live_bytes = 0;       // currently allocated via new
+  std::uint64_t peak_live_bytes = 0;  // high-water mark since last reset
+  std::uint64_t allocations = 0;      // cumulative operator-new calls
+  std::uint64_t frees = 0;            // cumulative operator-delete calls
+};
+
+/// Current tracker counters. All zeros when tracking is compiled out.
+MemorySnapshot memory_snapshot();
+
+/// Rebase the live-bytes high-water mark to the current live size.
+void reset_peak_live_bytes();
+
+/// True when the allocation tracker was compiled in (DYNCDN_MEM_TRACK=1).
+bool memory_tracking_enabled();
+
+/// Process peak resident set size (VmHWM), bytes. 0 if unavailable.
+std::uint64_t peak_rss_bytes();
+
+/// Process current resident set size, bytes. 0 if unavailable.
+std::uint64_t current_rss_bytes();
+
+}  // namespace dyncdn::obs

@@ -2,25 +2,36 @@
 //
 // The paper's campaigns are embarrassingly parallel: hundreds of vantage
 // points, sweep points and bench repetitions, each an independent
-// simulation. The ReplicaExecutor shards such replicas across a fixed set
-// of worker threads with *static round-robin assignment* — no work
-// stealing, no shared mutable simulation state — so the set of replicas a
-// worker runs is a pure function of (replica_count, thread_count), and the
-// result vector is a pure function of the replica bodies alone. Replica i's
-// result lands at index i regardless of completion order, which makes the
-// merged output bit-identical at any thread count.
+// simulation. The ReplicaExecutor runs such replicas on a fixed set of
+// worker threads using work stealing: each worker starts with a contiguous
+// block of the replica index space in a Chase-Lev deque (worksteal.hpp)
+// and, when its block is exhausted, steals chunks from the busiest end of
+// other workers' deques. Unlike the previous static round-robin shard,
+// uneven replica costs (loss sweeps, cold vs warm caches) no longer leave
+// workers idle while one worker drains a long tail.
+//
+// Determinism is preserved because scheduling only decides *where* a
+// replica runs, never *what it computes*: replica i's body sees only its
+// own index and seed, and its result lands at slot i regardless of which
+// worker ran it or in what order. The merged output stays bit-identical at
+// any thread count — the equivalence tests in tests/parallel_test.cpp and
+// tests/streaming_test.cpp hold at 1, 2 and 4 threads.
 //
 // Seeding: replica_seed(base, i) gives every replica its own independent,
 // stable RNG universe. It is a SplitMix64-style hash, so neighbouring
 // indices produce statistically unrelated streams.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "parallel/worksteal.hpp"
 
 namespace dyncdn::parallel {
 
@@ -33,18 +44,36 @@ struct ExecutorConfig {
   /// Worker count. 0 = use DYNCDN_THREADS if set, else
   /// std::thread::hardware_concurrency().
   std::size_t threads = 0;
+  /// Replicas per stealable chunk. Larger grains amortize deque traffic
+  /// for very cheap replicas at the cost of coarser balancing. 0 = use
+  /// DYNCDN_GRAIN if set, else 1 (steal individual replicas — campaign
+  /// replicas are whole simulations, far heavier than a steal).
+  std::size_t grain = 0;
 };
 
 /// Thread count an ExecutorConfig resolves to (env var / hardware probe
 /// applied, floor of 1).
 std::size_t resolve_threads(const ExecutorConfig& config);
 
+/// Chunk granularity an ExecutorConfig resolves to (floor of 1).
+std::size_t resolve_grain(const ExecutorConfig& config);
+
+/// Scheduling counters from the most recent run() (not part of the result
+/// contract — purely observability).
+struct ExecutorStats {
+  std::uint64_t tasks = 0;    // chunks executed in total
+  std::uint64_t steals = 0;   // chunks executed by a non-owner worker
+  std::size_t workers = 0;    // threads actually spawned (1 = inline)
+};
+
 class ReplicaExecutor {
  public:
   explicit ReplicaExecutor(ExecutorConfig config = {})
-      : threads_(resolve_threads(config)) {}
+      : threads_(resolve_threads(config)), grain_(resolve_grain(config)) {}
 
   std::size_t threads() const { return threads_; }
+  std::size_t grain() const { return grain_; }
+  const ExecutorStats& last_stats() const { return stats_; }
 
   /// Run fn(0) .. fn(count-1), returning results in index order. With one
   /// thread (or one replica) everything runs inline on the caller — the
@@ -58,26 +87,78 @@ class ReplicaExecutor {
                   "ReplicaExecutor::run requires a result per replica");
 
     std::vector<std::optional<R>> slots(count);
-    const std::size_t workers = std::min(threads_, count);
+    const std::size_t chunks = (count + grain_ - 1) / grain_;
+    const std::size_t workers = std::min(threads_, chunks);
+    stats_ = ExecutorStats{chunks, 0, workers > 0 ? workers : 1};
+
     if (workers <= 1) {
       for (std::size_t i = 0; i < count; ++i) slots[i].emplace(fn(i));
     } else {
       std::vector<std::exception_ptr> errors(count);
+      std::atomic<std::uint64_t> steals{0};
+
+      // Each worker's deque starts with a contiguous block of chunk ids,
+      // pushed highest-first so the owner pops ascending while thieves
+      // take from the far end.
+      std::vector<std::unique_ptr<StealDeque>> deques;
+      deques.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t lo = w * chunks / workers;
+        const std::size_t hi = (w + 1) * chunks / workers;
+        deques.push_back(std::make_unique<StealDeque>(hi - lo));
+        for (std::size_t c = hi; c > lo; --c) deques[w]->prefill(c - 1);
+      }
+
+      const auto run_chunk = [&](std::size_t c) {
+        const std::size_t lo = c * grain_;
+        const std::size_t hi = std::min(count, lo + grain_);
+        for (std::size_t i = lo; i < hi; ++i) {
+          try {
+            slots[i].emplace(fn(i));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      };
+
       std::vector<std::thread> pool;
       pool.reserve(workers);
       for (std::size_t w = 0; w < workers; ++w) {
         pool.emplace_back([&, w]() {
-          // Static round-robin shard: worker w owns replicas w, w+W, ...
-          for (std::size_t i = w; i < count; i += workers) {
-            try {
-              slots[i].emplace(fn(i));
-            } catch (...) {
-              errors[i] = std::current_exception();
+          std::size_t c = 0;
+          while (true) {
+            if (deques[w]->pop(c)) {
+              run_chunk(c);
+              continue;
             }
+            // Own deque drained: sweep the others. A kLost result means a
+            // task may still be in flight behind a CAS we lost, so only an
+            // all-kEmpty sweep terminates the worker.
+            bool lost_race = false;
+            bool stole = false;
+            for (std::size_t k = 1; k < workers && !stole; ++k) {
+              switch (deques[(w + k) % workers]->steal(c)) {
+                case StealDeque::Steal::kItem:
+                  stole = true;
+                  break;
+                case StealDeque::Steal::kLost:
+                  lost_race = true;
+                  break;
+                case StealDeque::Steal::kEmpty:
+                  break;
+              }
+            }
+            if (stole) {
+              steals.fetch_add(1, std::memory_order_relaxed);
+              run_chunk(c);
+              continue;
+            }
+            if (!lost_race) break;
           }
         });
       }
       for (std::thread& t : pool) t.join();
+      stats_.steals = steals.load(std::memory_order_relaxed);
       for (const std::exception_ptr& e : errors) {
         if (e) std::rethrow_exception(e);
       }
@@ -91,6 +172,8 @@ class ReplicaExecutor {
 
  private:
   std::size_t threads_;
+  std::size_t grain_;
+  ExecutorStats stats_;
 };
 
 }  // namespace dyncdn::parallel

@@ -17,6 +17,14 @@ std::vector<core::QueryTimings> analyze_client_trace(Scenario::Client& client,
   if (!client.recorder) {
     throw std::logic_error("experiment requires capture_clients=true");
   }
+  if (client.analyzer) {
+    // Streaming path: flows were reduced online; drain returns the same
+    // timelines extract_all_timelines would produce, in the same order.
+    // No recorder->clear() here — the trace buffer is empty (retention is
+    // off) and clearing would also reset the analyzer's boundary, which
+    // multi-phase experiments reuse.
+    return core::timings_from_timelines(client.analyzer->drain(boundary));
+  }
   const auto timelines = analysis::extract_all_timelines(
       client.recorder->trace(), kServicePort, boundary);
   client.recorder->clear();
@@ -32,8 +40,13 @@ std::size_t discover_boundary(Scenario& scenario, std::size_t client_index,
   }
   scenario.connect_client_to_fe(client_index, fe_index);
 
+  // Discovery needs a retained, payload-bearing trace even in streaming
+  // mode: the common-prefix scan reads response *content*, which the
+  // online analyzer never keeps. Both toggles are restored afterwards.
   const bool prior_payloads = client.recorder->capture_payloads();
+  const bool prior_retain = client.recorder->retain_packets();
   client.recorder->set_capture_payloads(true);
+  client.recorder->set_retain_packets(true);
   client.recorder->clear();
 
   // Distinct keywords: the paper's content analysis relies on responses to
@@ -56,6 +69,7 @@ std::size_t discover_boundary(Scenario& scenario, std::size_t client_index,
   }
   client.recorder->clear();
   client.recorder->set_capture_payloads(prior_payloads);
+  client.recorder->set_retain_packets(prior_retain);
 
   if (responses.size() < 2) {
     throw std::runtime_error("discover_boundary: not enough responses");
@@ -81,6 +95,9 @@ ExperimentResult run_experiment_subset(
       discover_boundary(scenario, 0, fe_for_client(0));
   const std::size_t discovery_fetches =
       scenario.fes()[fe_for_client(0)].server->fetch_log().size();
+  // Streaming mode: once the boundary is known, flows collapse to
+  // timelines the moment their teardown is captured.
+  scenario.set_stream_boundary(boundary);
 
   // Launch the query schedule for the selected vantage points.
   sim::Simulator& simulator = scenario.simulator();
@@ -185,6 +202,7 @@ CachingExperimentResult run_caching_experiment(Scenario& scenario,
   CachingExperimentResult result;
   const std::size_t boundary =
       discover_boundary(scenario, client_index, fe_index);
+  scenario.set_stream_boundary(boundary);
 
   Scenario::Client& client = scenario.clients().at(client_index);
   const net::Endpoint fe = scenario.fe_endpoint(fe_index);
@@ -237,6 +255,7 @@ FetchFactoringResult run_fetch_factoring_experiment(
         "(one probe client per FE)");
   }
   const std::size_t boundary = discover_boundary(scenario, 0, 0);
+  scenario.set_stream_boundary(boundary);
 
   sim::Simulator& simulator = scenario.simulator();
   for (std::size_t i = 0; i < clients.size(); ++i) {

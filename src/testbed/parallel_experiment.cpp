@@ -126,6 +126,7 @@ FetchFactoringResult run_fetch_factoring_experiment(
     auto& clients = scenario.clients();
     auto& fes = scenario.fes();
     const std::size_t boundary = discover_boundary(scenario, 0, 0);
+    scenario.set_stream_boundary(boundary);
 
     sim::Simulator& simulator = scenario.simulator();
     for (const std::size_t i : groups[s]) {

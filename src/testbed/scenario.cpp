@@ -170,8 +170,14 @@ void Scenario::build_clients() {
     if (options_.capture_clients) {
       capture::RecorderOptions ro;
       ro.capture_payloads = options_.capture_payloads;
+      ro.retain_packets = !options_.stream_analysis;
       c.recorder = std::make_unique<capture::TraceRecorder>(*c.node,
                                                             *simulator_, ro);
+      if (options_.stream_analysis) {
+        c.analyzer = std::make_unique<analysis::StreamingAnalyzer>(
+            fes_.front().server->client_endpoint().port);
+        c.recorder->set_sink(c.analyzer.get());
+      }
     }
     c.query_client = std::make_unique<cdn::QueryClient>(*c.node, client_tcp);
     clients_.push_back(std::move(c));
@@ -322,6 +328,36 @@ void Scenario::collect_metrics(obs::MetricsRegistry& out) {
   out.add("be_queries_served", backend_->queries_served());
   out.gauge_max("be_queue_depth_peak",
                 static_cast<std::int64_t>(backend_->active_queries_peak()));
+}
+
+void Scenario::set_stream_boundary(std::size_t boundary) {
+  if (!options_.stream_analysis) return;
+  for (Client& c : clients_) {
+    if (c.analyzer) c.analyzer->set_boundary(boundary);
+  }
+}
+
+void Scenario::collect_memory_metrics(obs::MetricsRegistry& out) {
+  // Deterministic byte accounting, independent of allocator and thread
+  // count. Gauges are per-scenario peaks (merge rule: max across
+  // replicas); counters are replica-additive.
+  std::int64_t retained_peak = 0, analyzer_peak = 0;
+  std::uint64_t emitted = 0, late = 0;
+  for (Client& c : clients_) {
+    if (c.recorder) {
+      retained_peak += static_cast<std::int64_t>(
+          c.recorder->peak_retained_bytes());
+    }
+    if (c.analyzer) {
+      analyzer_peak += static_cast<std::int64_t>(c.analyzer->peak_live_bytes());
+      emitted += c.analyzer->timelines_emitted_online();
+      late += c.analyzer->late_packets();
+    }
+  }
+  out.gauge_max("capture_retained_bytes_peak", retained_peak);
+  out.gauge_max("analyzer_live_bytes_peak", analyzer_peak);
+  out.add("stream_timelines_online", emitted);
+  out.add("stream_late_packets", late);
 }
 
 }  // namespace dyncdn::testbed

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/streaming.hpp"
 #include "capture/recorder.hpp"
 #include "cdn/backend.hpp"
 #include "cdn/client.hpp"
@@ -33,6 +34,14 @@ struct ScenarioOptions {
   /// content-boundary discovery; large sweeps keep it off to bound memory.
   bool capture_clients = true;
   bool capture_payloads = false;
+
+  /// Streaming analysis: attach a StreamingAnalyzer to every client
+  /// recorder and stop retaining PacketRecords — flows are reduced to
+  /// QueryTimelines online, so campaign memory is O(in-flight flows)
+  /// instead of O(total packets). Experiment results (TSVs, metrics,
+  /// timelines) are byte-identical to the retained-capture path; boundary
+  /// discovery transparently re-enables retention for its probe phase.
+  bool stream_analysis = false;
 
   /// Instead of metro-based FE placement, place FE sites at these exact
   /// distances (miles) from the BE, each with one co-located client
@@ -86,6 +95,9 @@ class Scenario {
     net::Node* node = nullptr;
     std::unique_ptr<cdn::QueryClient> query_client;
     std::unique_ptr<capture::TraceRecorder> recorder;
+    /// Online timeline reduction (ScenarioOptions::stream_analysis); wired
+    /// as the recorder's PacketSink.
+    std::unique_ptr<analysis::StreamingAnalyzer> analyzer;
     std::size_t default_fe = 0;  // index into fes()
   };
 
@@ -134,6 +146,21 @@ class Scenario {
   /// network, TCP stacks, FE/BE servers). Purely additive: callers can
   /// merge registries across replicas.
   void collect_metrics(obs::MetricsRegistry& out);
+
+  /// True when clients reduce flows online (ScenarioOptions::stream_analysis).
+  bool streaming() const { return options_.stream_analysis; }
+
+  /// Propagate a discovered static/dynamic boundary to every client
+  /// analyzer, enabling online timeline emission (flows collapse at
+  /// teardown instead of buffering until drain). No-op when the scenario
+  /// is not streaming.
+  void set_stream_boundary(std::size_t boundary);
+
+  /// Deterministic memory accounting (capture retention and analyzer
+  /// live-state peaks, online-emission counters). Kept separate from
+  /// collect_metrics so experiment exports stay byte-identical between
+  /// streaming and capture modes — these gauges intentionally differ.
+  void collect_memory_metrics(obs::MetricsRegistry& out);
 
  private:
   void build_backend();

@@ -7,10 +7,12 @@
 #include <atomic>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/export_chrome.hpp"
 #include "obs/export_prometheus.hpp"
 #include "parallel/replica.hpp"
+#include "parallel/worksteal.hpp"
 #include "search/keywords.hpp"
 #include "testbed/experiment.hpp"
 #include "testbed/parallel_experiment.hpp"
@@ -39,6 +41,124 @@ TEST(ReplicaExecutor, ResultsLandInIndexOrder) {
     ASSERT_EQ(out.size(), 17u);
     for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
   }
+}
+
+TEST(StealDeque, OwnerPopsAscendingUnderHighestFirstPrefill) {
+  parallel::StealDeque d(5);
+  for (std::size_t c = 5; c > 0; --c) d.prefill(c - 1);
+  std::size_t out = 0;
+  for (std::size_t expect = 0; expect < 5; ++expect) {
+    ASSERT_TRUE(d.pop(out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_FALSE(d.pop(out));
+}
+
+TEST(StealDeque, ThievesTakeTheOppositeEnd) {
+  parallel::StealDeque d(4);
+  for (std::size_t c = 4; c > 0; --c) d.prefill(c - 1);
+  std::size_t out = 0;
+  ASSERT_EQ(d.steal(out), parallel::StealDeque::Steal::kItem);
+  EXPECT_EQ(out, 3u);  // the far (highest) end
+  ASSERT_TRUE(d.pop(out));
+  EXPECT_EQ(out, 0u);  // owner still sees the low end
+  ASSERT_EQ(d.steal(out), parallel::StealDeque::Steal::kItem);
+  EXPECT_EQ(out, 2u);
+  ASSERT_TRUE(d.pop(out));
+  EXPECT_EQ(out, 1u);
+  EXPECT_EQ(d.steal(out), parallel::StealDeque::Steal::kEmpty);
+}
+
+TEST(StealDeque, ConcurrentOwnerAndThievesConsumeEachTaskOnce) {
+  constexpr std::size_t kTasks = 2000;
+  parallel::StealDeque d(kTasks);
+  for (std::size_t c = kTasks; c > 0; --c) d.prefill(c - 1);
+
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::atomic<std::size_t> consumed{0};
+  const auto thief = [&] {
+    std::size_t t = 0;
+    while (consumed.load() < kTasks) {
+      switch (d.steal(t)) {
+        case parallel::StealDeque::Steal::kItem:
+          hits[t].fetch_add(1);
+          consumed.fetch_add(1);
+          break;
+        case parallel::StealDeque::Steal::kLost:
+          break;  // retry
+        case parallel::StealDeque::Steal::kEmpty:
+          std::this_thread::yield();  // owner may still be mid-pop
+          break;
+      }
+    }
+  };
+  std::thread t1(thief), t2(thief);
+  std::size_t t = 0;
+  while (d.pop(t)) {
+    hits[t].fetch_add(1);
+    consumed.fetch_add(1);
+  }
+  t1.join();
+  t2.join();
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ReplicaExecutor, StealsFromBlockedWorkersDeque) {
+  // Worker 3 owns the block {6, 7}: it pops 6 first and blocks inside it
+  // until 7 has run — which can only happen via a steal, since 7 sits in
+  // the blocked worker's own deque. Guarantees steals > 0 without timing
+  // assumptions on a loaded (or single-core) runner.
+  parallel::ExecutorConfig cfg;
+  cfg.threads = 4;
+  cfg.grain = 1;
+  parallel::ReplicaExecutor exec(cfg);
+  std::atomic<bool> seven_ran{false};
+  const auto out = exec.run(8, [&](std::size_t i) {
+    if (i == 7) seven_ran.store(true);
+    if (i == 6) {
+      while (!seven_ran.load()) std::this_thread::yield();
+    }
+    return i * 10;
+  });
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 10);
+  EXPECT_EQ(exec.last_stats().workers, 4u);
+  EXPECT_EQ(exec.last_stats().tasks, 8u);
+  EXPECT_GT(exec.last_stats().steals, 0u);
+}
+
+TEST(ReplicaExecutor, GrainBatchesChunksWithoutChangingResults) {
+  parallel::ExecutorConfig cfg;
+  cfg.threads = 3;
+  cfg.grain = 4;
+  parallel::ReplicaExecutor exec(cfg);
+  EXPECT_EQ(exec.grain(), 4u);
+  const auto out = exec.run(10, [](std::size_t i) { return i + 1; });
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i + 1);
+  EXPECT_EQ(exec.last_stats().tasks, 3u);  // ceil(10 / 4)
+}
+
+TEST(ReplicaExecutor, SkewedWorkloadMatchesSerialResults) {
+  // Heavily skewed costs: the last block takes far longer than the rest.
+  // Whatever the steal pattern, results must equal the serial run.
+  parallel::ExecutorConfig cfg;
+  cfg.threads = 4;
+  cfg.grain = 1;
+  parallel::ReplicaExecutor exec(cfg);
+  const auto body = [](std::size_t i) {
+    std::uint64_t acc = i;
+    const std::size_t spins = (i >= 24) ? 200000 : 100;
+    for (std::size_t k = 0; k < spins; ++k) acc = acc * 2862933555777941757ull + 3037000493ull;
+    return acc;
+  };
+  const auto parallel_out = exec.run(32, body);
+  parallel::ReplicaExecutor serial({1});
+  const auto serial_out = serial.run(32, body);
+  EXPECT_EQ(parallel_out, serial_out);
+  EXPECT_EQ(exec.last_stats().tasks, 32u);
 }
 
 TEST(ReplicaExecutor, MoreThreadsThanReplicasIsFine) {

@@ -1,0 +1,538 @@
+// Streaming-analysis equivalence tests: the online pipeline
+// (StreamingAnalyzer fed packet-by-packet through the capture sink) must
+// produce timelines, experiment TSVs and metrics byte-identical to the
+// post-hoc path (retained PacketTrace -> split_by_flow -> extract_timeline)
+// at tolerance 0 — including invalid_reason strings — on clean, reordered,
+// retransmitted and interleaved inputs, and at 1, 2 and 4 worker threads.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/streaming.hpp"
+#include "analysis/timeline.hpp"
+#include "capture/recorder.hpp"
+#include "harness.hpp"
+#include "obs/export_prometheus.hpp"
+#include "tcp/stack.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/parallel_experiment.hpp"
+#include "testbed/scenario.hpp"
+
+namespace dyncdn::analysis {
+namespace {
+
+using dyncdn::testing::pattern_text;
+using dyncdn::testing::TwoNodeHarness;
+using dyncdn::testing::TwoNodeOptions;
+using sim::SimTime;
+using namespace dyncdn::sim::literals;
+
+constexpr net::Port kPort = 80;
+
+/// Tolerance-0 comparison of every field the analysis pipeline consumes.
+void expect_timeline_eq(const QueryTimeline& a, const QueryTimeline& b,
+                        const char* what) {
+  EXPECT_EQ(a.flow, b.flow) << what;
+  EXPECT_EQ(a.valid, b.valid) << what;
+  EXPECT_EQ(a.invalid_reason, b.invalid_reason) << what;
+  EXPECT_EQ(a.tb, b.tb) << what;
+  EXPECT_EQ(a.t_synack, b.t_synack) << what;
+  EXPECT_EQ(a.t1, b.t1) << what;
+  EXPECT_EQ(a.t2, b.t2) << what;
+  EXPECT_EQ(a.t3, b.t3) << what;
+  EXPECT_EQ(a.t4, b.t4) << what;
+  EXPECT_EQ(a.t5, b.t5) << what;
+  EXPECT_EQ(a.te, b.te) << what;
+  EXPECT_EQ(a.response_bytes, b.response_bytes) << what;
+  EXPECT_EQ(a.boundary, b.boundary) << what;
+}
+
+void expect_timelines_eq(const std::vector<QueryTimeline>& streaming,
+                         const std::vector<QueryTimeline>& post_hoc) {
+  ASSERT_EQ(streaming.size(), post_hoc.size());
+  for (std::size_t i = 0; i < streaming.size(); ++i) {
+    expect_timeline_eq(streaming[i], post_hoc[i],
+                       ("flow " + std::to_string(i)).c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Harness-level equivalence: the recorder both retains the trace AND feeds
+// the analyzer, so post-hoc and streaming analysis see the exact same
+// capture of a real TCP exchange.
+// ---------------------------------------------------------------------------
+
+/// Serves a static burst immediately and a dynamic burst after a delay
+/// (same mini front-end the analysis tests use).
+struct MiniFrontEnd {
+  std::string static_part;
+  std::string dynamic_part;
+  SimTime fetch_delay = 120_ms;
+  sim::Simulator* simulator = nullptr;
+
+  void install(tcp::TcpStack& stack) {
+    simulator = &stack.simulator();
+    stack.listen(kPort, [this](tcp::TcpSocket& s) {
+      tcp::TcpSocket::Callbacks cb;
+      cb.on_data = [this, &s](net::PayloadRef) {
+        s.send_text(static_part);
+        simulator->schedule_in(fetch_delay, [this, &s]() {
+          s.send_text(dynamic_part);
+          s.close();
+        });
+      };
+      s.set_callbacks(std::move(cb));
+    });
+  }
+};
+
+struct StreamingFixture {
+  explicit StreamingFixture(TwoNodeOptions opt = {}) : h(opt) {
+    capture::RecorderOptions ro;  // headers-only, like campaign captures
+    recorder = std::make_unique<capture::TraceRecorder>(*h.client_node,
+                                                        h.simulator, ro);
+    analyzer = std::make_unique<StreamingAnalyzer>(kPort);
+    recorder->set_sink(analyzer.get());
+  }
+
+  void run_queries(MiniFrontEnd& fe, std::size_t concurrent) {
+    fe.install(*h.server);
+    for (std::size_t i = 0; i < concurrent; ++i) {
+      tcp::TcpSocket& s = h.client->connect({h.server_node->id(), kPort}, {});
+      s.send_text("GET /q HTTP/1.1\r\n\r\n");
+    }
+    h.simulator.run();
+  }
+
+  /// Both pipelines over the identical capture, compared at tolerance 0.
+  void expect_equivalent(std::size_t boundary) {
+    const auto post_hoc =
+        extract_all_timelines(recorder->trace(), kPort, boundary);
+    const auto streaming = analyzer->drain(boundary);
+    expect_timelines_eq(streaming, post_hoc);
+    EXPECT_EQ(analyzer->late_packets(), 0u);
+  }
+
+  TwoNodeHarness h;
+  std::unique_ptr<capture::TraceRecorder> recorder;
+  std::unique_ptr<StreamingAnalyzer> analyzer;
+};
+
+TEST(StreamingEquivalence, CleanFlow) {
+  StreamingFixture f;
+  MiniFrontEnd fe;
+  fe.static_part = pattern_text(4000);
+  fe.dynamic_part = pattern_text(6000);
+  f.run_queries(fe, 1);
+  f.expect_equivalent(4000);
+}
+
+TEST(StreamingEquivalence, RetransmissionAfterDrop) {
+  TwoNodeOptions opt;
+  opt.drop_indices_s2c = {3};  // drop one data packet -> retransmission
+  StreamingFixture f(opt);
+  MiniFrontEnd fe;
+  fe.static_part = pattern_text(8 * 1448);
+  fe.dynamic_part = pattern_text(2000);
+  f.run_queries(fe, 1);
+  f.expect_equivalent(8 * 1448);
+}
+
+TEST(StreamingEquivalence, HeadDropMakesDataArriveOutOfOrder) {
+  TwoNodeOptions opt;
+  opt.drop_indices_s2c = {2};  // first data packet retransmits after later ones
+  StreamingFixture f(opt);
+  MiniFrontEnd fe;
+  fe.static_part = pattern_text(6 * 1448);
+  fe.dynamic_part = pattern_text(1500);
+  f.run_queries(fe, 1);
+  f.expect_equivalent(6 * 1448);
+}
+
+TEST(StreamingEquivalence, RandomLossAndReordering) {
+  TwoNodeOptions opt;
+  opt.loss = 0.03;
+  opt.reordering = 0.2;
+  opt.seed = 77;
+  StreamingFixture f(opt);
+  MiniFrontEnd fe;
+  fe.static_part = pattern_text(12 * 1448);
+  fe.dynamic_part = pattern_text(5000);
+  f.run_queries(fe, 1);
+  f.expect_equivalent(12 * 1448);
+}
+
+TEST(StreamingEquivalence, InterleavedConcurrentFlows) {
+  StreamingFixture f;
+  MiniFrontEnd fe;
+  fe.static_part = pattern_text(3000);
+  fe.dynamic_part = pattern_text(3000);
+  f.run_queries(fe, 4);  // four connections share the link concurrently
+  // Order must match split_by_flow's first-appearance order.
+  f.expect_equivalent(3000);
+}
+
+TEST(StreamingEquivalence, WrongBoundaryStillMatchesIncludingReason) {
+  StreamingFixture f;
+  MiniFrontEnd fe;
+  fe.static_part = pattern_text(2000);
+  fe.dynamic_part = pattern_text(2000);
+  f.run_queries(fe, 1);
+  // Boundary 0 and boundary beyond the stream both yield invalid
+  // timelines; the invalid_reason strings must match the post-hoc path.
+  const auto post_hoc = extract_all_timelines(f.recorder->trace(), kPort, 0);
+  const auto streaming = f.analyzer->drain(0);
+  expect_timelines_eq(streaming, post_hoc);
+  ASSERT_FALSE(streaming.empty());
+  EXPECT_FALSE(streaming.front().valid);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic captures: hand-built packet sequences exercise corners a real
+// TCP exchange rarely produces (missing SYN, duplicate SYN, overlapping
+// retransmission). Both pipelines consume the identical record list.
+// ---------------------------------------------------------------------------
+
+struct SyntheticCapture {
+  net::NodeId client{10};
+  net::NodeId server{20};
+  net::Port client_port = 40001;
+
+  capture::PacketTrace trace{net::NodeId{10}};
+  StreamingAnalyzer analyzer{kPort};
+
+  capture::PacketRecord make(bool sent, std::int64_t at_us, std::uint64_t seq,
+                             std::uint64_t ack, std::size_t payload,
+                             net::TcpFlags flags) {
+    capture::PacketRecord r;
+    r.timestamp = SimTime::microseconds(at_us);
+    r.direction =
+        sent ? capture::Direction::kSent : capture::Direction::kReceived;
+    r.src = sent ? client : server;
+    r.dst = sent ? server : client;
+    r.tcp.src_port = sent ? client_port : kPort;
+    r.tcp.dst_port = sent ? kPort : client_port;
+    r.tcp.seq = seq;
+    r.tcp.ack = ack;
+    r.tcp.flags = flags;
+    r.payload_size = payload;
+    return r;
+  }
+
+  void feed(const capture::PacketRecord& r) {
+    analyzer.on_packet(r);
+    trace.add(r);
+  }
+
+  void handshake_and_get() {
+    feed(make(true, 1000, 100, 0, 0, {.syn = true}));                // SYN
+    feed(make(false, 1100, 500, 101, 0, {.syn = true, .ack = true}));  // SYNACK
+    feed(make(true, 1200, 101, 501, 0, {.ack = true}));              // ACK
+    feed(make(true, 1300, 101, 501, 20, {.ack = true}));             // GET
+    feed(make(false, 1400, 501, 121, 0, {.ack = true}));             // ACK GET
+  }
+
+  void teardown(std::int64_t at_us, std::uint64_t srv_seq,
+                std::uint64_t cli_seq) {
+    feed(make(false, at_us, srv_seq, cli_seq, 0, {.ack = true, .fin = true}));
+    feed(make(true, at_us + 50, cli_seq, srv_seq + 1, 0,
+              {.ack = true, .fin = true}));
+    feed(make(false, at_us + 100, srv_seq + 1, cli_seq + 1, 0, {.ack = true}));
+  }
+
+  void expect_equivalent(std::size_t boundary) {
+    const auto post_hoc = extract_all_timelines(trace, kPort, boundary);
+    const auto streaming = analyzer.drain(boundary);
+    expect_timelines_eq(streaming, post_hoc);
+  }
+};
+
+TEST(StreamingSynthetic, OverlappingRetransmission) {
+  SyntheticCapture c;
+  c.handshake_and_get();
+  // 0..999 arrives, then 500..1499 (overlaps 500 bytes), then 1500..1999.
+  c.feed(c.make(false, 2000, 501, 121, 1000, {.ack = true}));
+  c.feed(c.make(false, 2500, 1001, 121, 1000, {.ack = true}));
+  c.feed(c.make(false, 3000, 2001, 121, 500, {.ack = true}));
+  c.teardown(4000, 2501, 121);
+  c.expect_equivalent(1200);
+}
+
+TEST(StreamingSynthetic, OutOfOrderSegments) {
+  SyntheticCapture c;
+  c.handshake_and_get();
+  // Segments arrive 2nd, 1st, 3rd.
+  c.feed(c.make(false, 2100, 1501, 121, 1000, {.ack = true}));
+  c.feed(c.make(false, 2200, 501, 121, 1000, {.ack = true}));
+  c.feed(c.make(false, 2300, 2501, 121, 700, {.ack = true}));
+  c.teardown(3000, 3201, 121);
+  c.expect_equivalent(1000);
+}
+
+TEST(StreamingSynthetic, MissingSynFallsBackToMinSeq) {
+  SyntheticCapture c;
+  // Capture started late: no SYN/SYNACK, data only. Both paths must agree
+  // on the (invalid) timeline and its reason.
+  c.feed(c.make(true, 1300, 101, 501, 20, {.ack = true}));
+  c.feed(c.make(false, 2000, 501, 121, 1000, {.ack = true}));
+  c.feed(c.make(false, 2100, 1501, 121, 500, {.ack = true}));
+  c.teardown(3000, 2001, 121);
+  c.expect_equivalent(800);
+}
+
+TEST(StreamingSynthetic, DuplicateSynUsesLastReceivedIss) {
+  SyntheticCapture c;
+  c.feed(c.make(true, 1000, 100, 0, 0, {.syn = true}));
+  c.feed(c.make(false, 1100, 500, 101, 0, {.syn = true, .ack = true}));
+  // Retransmitted SYN-ACK (same iss — the common duplicate).
+  c.feed(c.make(false, 1150, 500, 101, 0, {.syn = true, .ack = true}));
+  c.feed(c.make(true, 1200, 101, 501, 0, {.ack = true}));
+  c.feed(c.make(true, 1300, 101, 501, 20, {.ack = true}));
+  c.feed(c.make(false, 1400, 501, 121, 0, {.ack = true}));
+  c.feed(c.make(false, 2000, 501, 121, 1000, {.ack = true}));
+  c.teardown(3000, 1501, 121);
+  c.expect_equivalent(400);
+}
+
+TEST(StreamingSynthetic, RstTerminatedFlow) {
+  SyntheticCapture c;
+  c.handshake_and_get();
+  c.feed(c.make(false, 2000, 501, 121, 1000, {.ack = true}));
+  c.feed(c.make(false, 2500, 1501, 121, 0, {.ack = true, .rst = true}));
+  c.expect_equivalent(600);
+}
+
+TEST(StreamingSynthetic, OtherPortsAreIgnoredByBothPaths) {
+  SyntheticCapture c;
+  c.handshake_and_get();
+  // A DNS-ish packet on another port must not create a flow.
+  auto stray = c.make(true, 1500, 0, 0, 30, {});
+  stray.tcp.dst_port = 53;
+  c.feed(stray);
+  c.feed(c.make(false, 2000, 501, 121, 800, {.ack = true}));
+  c.teardown(3000, 1301, 121);
+  c.expect_equivalent(500);
+  EXPECT_EQ(c.analyzer.late_packets(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Online-emission lifecycle: once the boundary is known, completed flows
+// collapse to timelines at teardown and their builder state is freed.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingOnline, BoundaryEnablesCollapseAtTeardown) {
+  SyntheticCapture c;
+  c.analyzer.set_boundary(600);
+  c.handshake_and_get();
+  c.feed(c.make(false, 2000, 501, 121, 1000, {.ack = true}));
+  EXPECT_EQ(c.analyzer.timelines_emitted_online(), 0u);
+  const std::size_t live_before = c.analyzer.live_bytes();
+  c.teardown(3000, 1501, 121);
+  EXPECT_EQ(c.analyzer.timelines_emitted_online(), 1u);
+  // Collapsing frees the builder: live footprint drops to one timeline.
+  EXPECT_LT(c.analyzer.live_bytes(), live_before);
+  EXPECT_EQ(c.analyzer.live_bytes(), sizeof(QueryTimeline));
+  c.expect_equivalent(600);
+  EXPECT_EQ(c.analyzer.late_packets(), 0u);
+}
+
+TEST(StreamingOnline, LateBoundaryCollapsesBufferedFlows) {
+  SyntheticCapture c;
+  c.handshake_and_get();
+  c.feed(c.make(false, 2000, 501, 121, 1000, {.ack = true}));
+  c.teardown(3000, 1501, 121);
+  EXPECT_EQ(c.analyzer.timelines_emitted_online(), 0u);  // no boundary yet
+  c.analyzer.set_boundary(600);
+  EXPECT_EQ(c.analyzer.timelines_emitted_online(), 1u);
+  c.expect_equivalent(600);
+}
+
+TEST(StreamingOnline, TrailingPureAckIsInertLateDataCounts) {
+  SyntheticCapture c;
+  c.analyzer.set_boundary(600);
+  c.handshake_and_get();
+  c.feed(c.make(false, 2000, 501, 121, 1000, {.ack = true}));
+  c.teardown(3000, 1501, 121);
+  ASSERT_EQ(c.analyzer.timelines_emitted_online(), 1u);
+  // The teardown's trailing ACK (already fed) plus one more pure ACK: inert.
+  c.analyzer.on_packet(c.make(false, 3300, 1502, 122, 0, {.ack = true}));
+  EXPECT_EQ(c.analyzer.late_packets(), 0u);
+  // A data-bearing packet after collapse is a divergence signal.
+  c.analyzer.on_packet(c.make(false, 3400, 1502, 122, 100, {.ack = true}));
+  EXPECT_EQ(c.analyzer.late_packets(), 1u);
+}
+
+TEST(StreamingOnline, ConflictingBoundaryThrows) {
+  StreamingAnalyzer a(kPort);
+  a.set_boundary(100);
+  a.set_boundary(100);  // same value is fine
+  EXPECT_THROW(a.set_boundary(200), std::logic_error);
+  EXPECT_THROW(a.drain(300), std::logic_error);
+  EXPECT_NO_THROW(a.drain(100));
+}
+
+TEST(StreamingOnline, RecorderClearResetsAnalyzer) {
+  SyntheticCapture c;
+  c.analyzer.set_boundary(600);
+  c.handshake_and_get();
+  ASSERT_GT(c.analyzer.live_bytes(), 0u);
+  const std::size_t peak = c.analyzer.peak_live_bytes();
+  c.analyzer.on_clear();  // what TraceRecorder::clear() forwards
+  EXPECT_EQ(c.analyzer.live_bytes(), 0u);
+  EXPECT_FALSE(c.analyzer.has_boundary());
+  // Peak is a campaign-wide high-water mark; it survives clears.
+  EXPECT_EQ(c.analyzer.peak_live_bytes(), peak);
+}
+
+TEST(StreamingOnline, DrainKeepsBoundaryForNextPhase) {
+  SyntheticCapture c;
+  c.handshake_and_get();
+  c.teardown(3000, 501, 121);
+  c.analyzer.drain(700);
+  EXPECT_TRUE(c.analyzer.has_boundary());  // multi-phase experiments reuse it
+  EXPECT_NO_THROW(c.analyzer.drain(700));
+}
+
+// ---------------------------------------------------------------------------
+// Experiment-level equivalence: the acceptance contract. Streaming mode
+// must reproduce the retained-capture experiment byte-for-byte — timings,
+// node aggregates, rendered TSV rows and the Prometheus metrics dump — at
+// 1, 2 and 4 threads.
+// ---------------------------------------------------------------------------
+
+testbed::ScenarioOptions small_scenario(bool stream) {
+  testbed::ScenarioOptions opt;
+  opt.profile = cdn::google_like_profile();
+  opt.client_count = 6;
+  opt.seed = 4242;
+  opt.stream_analysis = stream;
+  return opt;
+}
+
+testbed::ExperimentOptions small_experiment() {
+  testbed::ExperimentOptions eo;
+  eo.reps_per_node = 3;
+  eo.interval = 900_ms;
+  search::KeywordCatalog catalog(5);
+  eo.keywords = {catalog.figure3_keywords().front()};
+  return eo;
+}
+
+/// The exact TSV block `dyncdn_experiment` prints for a result.
+std::string render_tsv(const testbed::ExperimentResult& r) {
+  std::string out =
+      "node\trtt_ms\tt_static_ms\tt_dynamic_ms\tt_delta_ms\toverall_ms\t"
+      "samples\n";
+  char row[256];
+  for (const auto& n : r.per_node) {
+    std::snprintf(row, sizeof(row), "%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%zu\n",
+                  n.node_name.c_str(), n.rtt_ms, n.med_static_ms,
+                  n.med_dynamic_ms, n.med_delta_ms, n.med_overall_ms,
+                  n.samples);
+    out += row;
+  }
+  return out;
+}
+
+void expect_results_identical(const testbed::ExperimentResult& a,
+                              const testbed::ExperimentResult& b) {
+  ASSERT_EQ(a.boundary, b.boundary);
+  ASSERT_EQ(a.per_node_timings.size(), b.per_node_timings.size());
+  for (std::size_t n = 0; n < a.per_node_timings.size(); ++n) {
+    const auto& qa = a.per_node_timings[n];
+    const auto& qb = b.per_node_timings[n];
+    ASSERT_EQ(qa.size(), qb.size()) << "node " << n;
+    for (std::size_t q = 0; q < qa.size(); ++q) {
+      EXPECT_EQ(std::memcmp(&qa[q], &qb[q], sizeof(qa[q])), 0)
+          << "node " << n << " query " << q;
+    }
+  }
+  EXPECT_EQ(render_tsv(a), render_tsv(b));
+  EXPECT_EQ(obs::export_prometheus(a.metrics),
+            obs::export_prometheus(b.metrics));
+}
+
+TEST(StreamingExperiment, ByteIdenticalToCaptureAt1_2_4Threads) {
+  const auto options = small_experiment();
+
+  testbed::ReplicaPlan plan;
+  plan.executor.threads = 1;
+  const auto capture_run = testbed::run_fixed_fe_experiment(
+      small_scenario(false), 0, options, plan);
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    plan.executor.threads = threads;
+    const auto streaming_run = testbed::run_fixed_fe_experiment(
+        small_scenario(true), 0, options, plan);
+    expect_results_identical(capture_run, streaming_run);
+  }
+}
+
+TEST(StreamingExperiment, ByteIdenticalUnderClientLinkLoss) {
+  auto capture_opt = small_scenario(false);
+  auto stream_opt = small_scenario(true);
+  capture_opt.client_link_loss = stream_opt.client_link_loss = 0.02;
+  const auto options = small_experiment();
+
+  testbed::Scenario cap(capture_opt);
+  cap.warm_up();
+  const auto a = testbed::run_fixed_fe_experiment(cap, 0, options);
+  testbed::Scenario str(stream_opt);
+  str.warm_up();
+  const auto b = testbed::run_fixed_fe_experiment(str, 0, options);
+  expect_results_identical(a, b);
+}
+
+TEST(StreamingExperiment, CachingExperimentMatchesCapturePath) {
+  testbed::Scenario cap(small_scenario(false));
+  cap.warm_up();
+  const auto a = testbed::run_caching_experiment(cap, 0, 0, 5);
+  testbed::Scenario str(small_scenario(true));
+  str.warm_up();
+  const auto b = testbed::run_caching_experiment(str, 0, 0, 5);
+
+  EXPECT_EQ(a.t_dynamic_same_ms, b.t_dynamic_same_ms);
+  EXPECT_EQ(a.t_dynamic_distinct_ms, b.t_dynamic_distinct_ms);
+  EXPECT_EQ(a.detection.caching_detected, b.detection.caching_detected);
+  EXPECT_EQ(a.fe_cache_hits, b.fe_cache_hits);
+}
+
+TEST(StreamingExperiment, StreamingModeEmitsOnlineAndBoundsMemory) {
+  testbed::Scenario scenario(small_scenario(true));
+  scenario.warm_up();
+  const auto r =
+      testbed::run_fixed_fe_experiment(scenario, 0, small_experiment());
+  ASSERT_GT(r.all().size(), 0u);
+
+  obs::MetricsRegistry mem;
+  scenario.collect_memory_metrics(mem);
+  // Flows were reduced online (the boundary arrives right after discovery,
+  // so measured-phase flows collapse at teardown)...
+  EXPECT_GT(mem.counter("stream_timelines_online"), 0u);
+  EXPECT_EQ(mem.counter("stream_late_packets"), 0u);
+  // ...and no packets were retained outside the discovery probe phase,
+  // whose handful of payload-bearing records dominates the retained peak.
+  const double analyzer_peak = mem.gauge("analyzer_live_bytes_peak");
+  EXPECT_GT(analyzer_peak, 0.0);
+
+  // The capture-mode scenario retains the whole campaign: its peak must
+  // dwarf the streaming analyzer's in-flight state.
+  testbed::Scenario cap_scenario(small_scenario(false));
+  cap_scenario.warm_up();
+  testbed::run_fixed_fe_experiment(cap_scenario, 0, small_experiment());
+  obs::MetricsRegistry cap_mem;
+  cap_scenario.collect_memory_metrics(cap_mem);
+  const double capture_peak = cap_mem.gauge("capture_retained_bytes_peak");
+  ASSERT_GT(capture_peak, 0.0);
+  // Acceptance floor is 40% lower; construction guarantees far more.
+  EXPECT_LT(analyzer_peak, 0.6 * capture_peak);
+}
+
+}  // namespace
+}  // namespace dyncdn::analysis

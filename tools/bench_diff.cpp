@@ -1,14 +1,24 @@
 // Perf-regression gate over BENCH.json files.
 //
 //   bench_diff <baseline.json> <candidate.json> [--tolerance=0.10]
+//              [--mem-tolerance=0.25]
 //
-// Walks both documents, collects every gated throughput metric — scalars
-// named `events_per_sec`, `queries_per_sec_serial`, `packets_per_sec` or
-// `bytes_per_sec`, addressed by dotted path — and fails (exit 1) when the
-// candidate is more than `tolerance` below the baseline on any of them.
-// Metrics present on only one side are reported but not fatal, so the
-// bench can grow sections without breaking older baselines. Exit 2 on
-// usage/parse errors.
+// Walks both documents and collects every gated metric by key name:
+//
+//   higher-is-better (throughput): `events_per_sec`,
+//     `queries_per_sec_serial`, `queries_per_sec_best`, `packets_per_sec`,
+//     `bytes_per_sec`, `stream_reduction_pct`. Fails when the candidate is
+//     more than `tolerance` below the baseline.
+//
+//   lower-is-better (memory): `peak_rss_bytes`, `peak_live_delta_bytes`,
+//     `allocations`, `retained_bytes_peak`, `analyzer_bytes_peak`. Fails
+//     when the candidate is more than `mem-tolerance` ABOVE the baseline
+//     (memory is less noisy than wall clock but RSS quantizes in pages, so
+//     it gets its own, looser knob).
+//
+// Metrics are addressed by dotted path; metrics present on only one side
+// are reported but not fatal, so the bench can grow sections without
+// breaking older baselines. Exit 1 on regression, 2 on usage/parse errors.
 //
 // Wired into ctest as `bench_diff` (label: bench), comparing the run's
 // fresh BENCH.json against the committed bench/BASELINE_quick.json.
@@ -26,14 +36,24 @@ namespace {
 
 using dyncdn::obs::json::Value;
 
-bool is_gated_metric(const std::string& key) {
+enum class Direction { kHigherIsBetter, kLowerIsBetter };
+
+bool is_throughput_metric(const std::string& key) {
   return key == "events_per_sec" || key == "queries_per_sec_serial" ||
-         key == "packets_per_sec" || key == "bytes_per_sec";
+         key == "queries_per_sec_best" || key == "packets_per_sec" ||
+         key == "bytes_per_sec" || key == "stream_reduction_pct";
+}
+
+bool is_memory_metric(const std::string& key) {
+  return key == "peak_rss_bytes" || key == "peak_live_delta_bytes" ||
+         key == "allocations" || key == "retained_bytes_peak" ||
+         key == "analyzer_bytes_peak";
 }
 
 struct Metric {
   std::string path;
   double value = 0.0;
+  Direction direction = Direction::kHigherIsBetter;
 };
 
 void collect(const Value& v, const std::string& prefix,
@@ -41,8 +61,12 @@ void collect(const Value& v, const std::string& prefix,
   if (!v.is_object()) return;
   for (const auto& [key, child] : v.object) {
     const std::string path = prefix.empty() ? key : prefix + "." + key;
-    if (child.type == Value::Type::kNumber && is_gated_metric(key)) {
-      out.push_back(Metric{path, child.as_double()});
+    if (child.type == Value::Type::kNumber && is_throughput_metric(key)) {
+      out.push_back(Metric{path, child.as_double(),
+                           Direction::kHigherIsBetter});
+    } else if (child.type == Value::Type::kNumber && is_memory_metric(key)) {
+      out.push_back(Metric{path, child.as_double(),
+                           Direction::kLowerIsBetter});
     } else {
       collect(child, path, out);
     }
@@ -79,11 +103,14 @@ const Metric* find(const std::vector<Metric>& metrics,
 
 int main(int argc, char** argv) {
   double tolerance = 0.10;
+  double mem_tolerance = 0.25;
   const char* base_path = nullptr;
   const char* cand_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
       tolerance = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--mem-tolerance=", 16) == 0) {
+      mem_tolerance = std::atof(argv[i] + 16);
     } else if (base_path == nullptr) {
       base_path = argv[i];
     } else if (cand_path == nullptr) {
@@ -93,10 +120,11 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  if (base_path == nullptr || cand_path == nullptr || tolerance < 0.0) {
+  if (base_path == nullptr || cand_path == nullptr || tolerance < 0.0 ||
+      mem_tolerance < 0.0) {
     std::fprintf(stderr,
                  "usage: bench_diff <baseline.json> <candidate.json> "
-                 "[--tolerance=0.10]\n");
+                 "[--tolerance=0.10] [--mem-tolerance=0.25]\n");
     return 2;
   }
 
@@ -116,10 +144,15 @@ int main(int argc, char** argv) {
       continue;
     }
     const double ratio = b.value > 0.0 ? c->value / b.value : 1.0;
-    const bool regressed = ratio < 1.0 - tolerance;
-    std::printf("%s %-45s %12.0f -> %12.0f  (%+.1f%%)\n",
+    const bool regressed =
+        b.direction == Direction::kHigherIsBetter
+            ? ratio < 1.0 - tolerance
+            : ratio > 1.0 + mem_tolerance;
+    std::printf("%s %-45s %12.0f -> %12.0f  (%+.1f%%%s)\n",
                 regressed ? "REGRESS " : "ok      ", b.path.c_str(), b.value,
-                c->value, (ratio - 1.0) * 100.0);
+                c->value, (ratio - 1.0) * 100.0,
+                b.direction == Direction::kLowerIsBetter ? ", lower=better"
+                                                         : "");
     if (regressed) ++regressions;
   }
   for (const Metric& c : cand) {
@@ -131,11 +164,13 @@ int main(int argc, char** argv) {
 
   if (regressions > 0) {
     std::fprintf(stderr,
-                 "bench_diff: %d metric(s) regressed more than %.0f%%\n",
-                 regressions, tolerance * 100.0);
+                 "bench_diff: %d metric(s) regressed beyond tolerance "
+                 "(throughput %.0f%%, memory %.0f%%)\n",
+                 regressions, tolerance * 100.0, mem_tolerance * 100.0);
     return 1;
   }
-  std::printf("bench_diff: all gated metrics within %.0f%% of baseline\n",
-              tolerance * 100.0);
+  std::printf("bench_diff: all gated metrics within tolerance "
+              "(throughput %.0f%%, memory %.0f%%)\n",
+              tolerance * 100.0, mem_tolerance * 100.0);
   return 0;
 }

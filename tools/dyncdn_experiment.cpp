@@ -22,6 +22,7 @@
 #include "core/inference.hpp"
 #include "obs/export_chrome.hpp"
 #include "obs/export_prometheus.hpp"
+#include "obs/memory.hpp"
 #include "search/keywords.hpp"
 #include "testbed/parallel_experiment.hpp"
 #include "testbed/scenario.hpp"
@@ -42,6 +43,7 @@ struct CliOptions {
   std::size_t shards = 0;   // 0 = one replica per vantage point
   std::string trace_out;    // Chrome trace_event JSON; empty = off
   std::string metrics_out;  // Prometheus text dump; empty = off
+  bool stream = true;       // online timeline analysis (--capture = off)
 };
 
 void usage() {
@@ -53,10 +55,15 @@ void usage() {
       "                         [--reps=N] [--seed=S] [--save-traces=DIR]\n"
       "                         [--threads=N] [--shards=N]\n"
       "                         [--trace-out=FILE] [--metrics-out=FILE]\n"
+      "                         [--stream | --capture]\n"
       "  --threads  worker threads for sharded experiments "
       "(0 = DYNCDN_THREADS or all cores)\n"
       "  --shards   replica count (0 = one per vantage point; "
       "1 = legacy serial semantics)\n"
+      "  --stream   reduce flows to timelines online (default): campaign "
+      "memory is O(in-flight flows)\n"
+      "  --capture  retain full packet traces and analyze post-hoc "
+      "(results are byte-identical; --save-traces implies this)\n"
       "  --trace-out    write per-query span timelines as Chrome "
       "trace_event JSON (chrome://tracing, Perfetto)\n"
       "  --metrics-out  write the run's metrics registry in Prometheus "
@@ -98,6 +105,10 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opt.trace_out = *v;
     } else if (auto v = value("--metrics-out=")) {
       opt.metrics_out = *v;
+    } else if (arg == "--stream") {
+      opt.stream = true;
+    } else if (arg == "--capture") {
+      opt.stream = false;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return std::nullopt;
@@ -132,6 +143,19 @@ void save_all_traces(testbed::Scenario& scenario, const std::string& dir) {
   std::fprintf(stderr, "traces saved under %s\n", dir.c_str());
 }
 
+void print_memory_summary(bool streaming) {
+  const obs::MemorySnapshot snap = obs::memory_snapshot();
+  std::fprintf(stderr, "# mode=%s peak_rss=%.1fMB",
+               streaming ? "stream" : "capture",
+               static_cast<double>(obs::peak_rss_bytes()) / (1024.0 * 1024.0));
+  if (obs::memory_tracking_enabled()) {
+    std::fprintf(stderr, " peak_live=%.1fMB allocations=%llu",
+                 static_cast<double>(snap.peak_live_bytes) / (1024.0 * 1024.0),
+                 static_cast<unsigned long long>(snap.allocations));
+  }
+  std::fprintf(stderr, "\n");
+}
+
 void write_obs_outputs(const CliOptions& cli, const obs::TraceSession* trace,
                        const obs::MetricsRegistry& metrics) {
   if (!cli.trace_out.empty()) {
@@ -156,6 +180,9 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
   so.client_count = cli.clients;
   so.seed = cli.seed;
   so.enable_tracing = !cli.trace_out.empty();
+  // --save-traces needs the raw PacketRecords on disk, so it implies the
+  // retained-capture path regardless of --stream.
+  so.stream_analysis = cli.stream && cli.save_traces.empty();
 
   testbed::ExperimentOptions eo;
   eo.reps_per_node = cli.reps;
@@ -218,6 +245,7 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
   const auto threshold = core::estimate_delta_threshold(result.per_node);
   std::printf("# %s\n", threshold.to_string().c_str());
   write_obs_outputs(cli, result.trace.get(), result.metrics);
+  print_memory_summary(so.stream_analysis);
   return 0;
 }
 
@@ -228,6 +256,7 @@ int run_caching(const CliOptions& cli) {
   so.client_count = std::max<std::size_t>(cli.clients, 4);
   so.seed = cli.seed;
   so.enable_tracing = !cli.trace_out.empty();
+  so.stream_analysis = cli.stream;
   testbed::Scenario scenario(so);
   scenario.warm_up();
 
@@ -253,6 +282,7 @@ int run_caching(const CliOptions& cli) {
   obs::MetricsRegistry metrics;
   scenario.collect_metrics(metrics);
   write_obs_outputs(cli, scenario.trace(), metrics);
+  print_memory_summary(so.stream_analysis);
   return 0;
 }
 
@@ -261,6 +291,7 @@ int run_factoring(const CliOptions& cli) {
   so.profile = cli.service == "google" ? cdn::google_like_profile()
                                        : cdn::bing_like_profile();
   so.seed = cli.seed;
+  so.stream_analysis = cli.stream;
   std::vector<double> distances;
   for (std::size_t i = 0; i < std::max<std::size_t>(cli.clients / 5, 6);
        ++i) {
@@ -289,6 +320,7 @@ int run_factoring(const CliOptions& cli) {
   // Factoring merges only series + metrics across shards; span traces are
   // a measurement-experiment feature.
   write_obs_outputs(cli, nullptr, r.metrics);
+  print_memory_summary(so.stream_analysis);
   return 0;
 }
 
