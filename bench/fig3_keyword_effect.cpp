@@ -50,7 +50,7 @@ int main() {
   for (const auto& kw : keywords) {
     client.query_client->submit_repeated(fe, kw, samples, 700_ms,
                                          [](const cdn::QueryResult&) {});
-    scenario.simulator().run();
+    scenario.run();
 
     const auto timelines = analysis::extract_all_timelines(
         client.recorder->trace(), 80, boundary);

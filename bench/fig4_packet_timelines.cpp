@@ -59,7 +59,7 @@ int main() {
 
     client.query_client->submit(scenario.fe_endpoint(0), keyword,
                                 [](const cdn::QueryResult&) {});
-    scenario.simulator().run();
+    scenario.run();
 
     const auto& trace = client.recorder->trace();
     const auto flows = trace.filter_remote_port(80).flows();

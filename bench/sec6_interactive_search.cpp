@@ -54,7 +54,7 @@ int main() {
   cdn::TypingSessionResult session;
   typer.type(scenario.fe_endpoint(0), full,
              [&](const cdn::TypingSessionResult& s) { session = s; });
-  scenario.simulator().run();
+  scenario.run();
 
   // Per-keystroke analysis from the packet capture.
   const auto timelines = analysis::extract_all_timelines(

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   typer.type(scenario.fe_endpoint(0),
              search::Keyword{text, search::KeywordClass::kGranular, 1200},
              [&](const cdn::TypingSessionResult& s) { session = s; });
-  scenario.simulator().run();
+  scenario.run();
 
   const auto& be_log = scenario.backend().query_log();
   std::printf("%-32s %10s %10s %12s\n", "prefix", "response", "T_proc",

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     for (const auto& kw : catalog.distinct_corpus(5)) {
       client.query_client->submit(scenario.default_fe_endpoint(0), kw,
                                   [](const cdn::QueryResult&) {});
-      scenario.simulator().run();
+      scenario.run();
     }
     capture::save_trace(client.recorder->trace(), path);
     std::printf("stage 1: captured %zu packets -> %s\n",

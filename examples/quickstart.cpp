@@ -50,7 +50,7 @@ int main() {
                               [&](const cdn::QueryResult& r) {
                                 app_result = r;
                               });
-  scenario.simulator().run();
+  scenario.run();
 
   // 4. Print the packet-level timeline (Fig. 4 style).
   const auto& trace = client.recorder->trace();

@@ -24,7 +24,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/timeline.hpp"
@@ -114,6 +117,26 @@ class StreamingAnalyzer final : public capture::PacketSink {
   /// and on_clear, so it reports the whole campaign's worst moment).
   std::size_t peak_live_bytes() const { return peak_live_bytes_; }
 
+  /// --- Streaming boundary discovery -------------------------------------
+  /// Probe mode reassembles a *clipped prefix* of every received-direction
+  /// response stream instead of building timelines, so the paper's
+  /// common-prefix boundary can be discovered without retaining a payload
+  /// trace. Memory is O(boundary): the moment two responses diverge at
+  /// byte p, every probe buffer is clipped to p + 1 and stays there.
+  ///
+  /// While a probe is active, packets do NOT feed the timeline flow table —
+  /// probe traffic must never surface in drain(). finish_boundary_probe()
+  /// returns the longest common prefix across all non-empty response
+  /// streams, byte-identical to common_prefix_boundary() over the fully
+  /// reassembled responses (including '\0' gap filler), or 0 when fewer
+  /// than two streams carried data. Requires payload capture upstream.
+  void begin_boundary_probe();
+  std::size_t finish_boundary_probe();
+  bool probing() const { return probing_; }
+  /// Response streams with data seen by the active probe (the equivalent of
+  /// the post-hoc path's non-empty reassembled-responses count).
+  std::size_t probe_flows() const;
+
   /// Flows collapsed online (at teardown, before drain).
   std::uint64_t timelines_emitted_online() const { return emitted_online_; }
 
@@ -131,15 +154,54 @@ class StreamingAnalyzer final : public capture::PacketSink {
     std::optional<QueryTimeline> done;
   };
 
+  /// One response stream under boundary probing: a clipped mirror of what
+  /// reassemble() would build, plus the bookkeeping needed to compare it
+  /// incrementally against the reference flow.
+  struct ProbeFlow {
+    net::FlowId flow;
+    std::optional<std::uint64_t> iss;  // last received SYN seq
+    struct PendingSegment {
+      // Data captured before any SYN: the stream base is unknown until a
+      // SYN arrives (or, like reassemble()'s fallback, until the probe
+      // finishes and the minimum data seq becomes the base).
+      std::uint64_t seq;
+      std::size_t length;
+      std::vector<std::uint8_t> bytes;
+    };
+    std::vector<PendingSegment> pending;
+    std::string bytes;  // clipped mirror of ReassembledStream::bytes()
+    std::vector<std::pair<std::size_t, std::size_t>> covered;  // merged
+    std::size_t contig = 0;       // covered prefix is [0, contig)
+    std::size_t full_length = 0;  // unclipped stream length
+    std::size_t cmp = 0;          // bytes matched against flow 0 so far
+    std::optional<std::size_t> mismatch;  // first divergence vs flow 0
+  };
+
   void bump_peak() {
     if (live_bytes_ > peak_live_bytes_) peak_live_bytes_ = live_bytes_;
   }
   void collapse(Slot& slot);
+  /// Deterministic footprint of one probe flow (buffer + interval list +
+  /// any pre-SYN pending segments). Feeds live/peak accounting.
+  static std::size_t probe_retained(const ProbeFlow& flow);
+  void observe_probe(const capture::PacketRecord& record);
+  void apply_probe_segment(ProbeFlow& flow, std::uint64_t base,
+                           std::uint64_t seq, std::size_t payload_size,
+                           std::span<const std::uint8_t> payload);
+  void advance_probe_compare();
+  void tighten_probe_cap(std::size_t cap);
+  void reset_probe();
 
   net::Port server_port_;
   std::optional<std::size_t> boundary_;
   std::vector<Slot> slots_;  // first-appearance order
   std::unordered_map<net::FlowId, std::size_t> index_;
+  bool probing_ = false;
+  std::vector<ProbeFlow> probe_flows_;  // first-appearance order
+  std::unordered_map<net::FlowId, std::size_t> probe_index_;
+  /// Upper bound on probe buffer length: tightened to (divergence + 1) the
+  /// moment any flow mismatches the reference, clipping all buffers.
+  std::size_t probe_cap_ = static_cast<std::size_t>(-1);
   std::size_t live_bytes_ = 0;
   std::size_t peak_live_bytes_ = 0;
   std::uint64_t emitted_online_ = 0;

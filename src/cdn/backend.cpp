@@ -54,9 +54,9 @@ BackendDataCenter::BackendDataCenter(net::Node& node,
       content_(content),
       config_(std::move(config)),
       stack_(node, config_.tcp),
-      proc_rng_(node.network().simulator().rng().stream(
+      proc_rng_(node.simulator().rng().stream(
           "be/" + config_.name + "/proc")),
-      content_rng_(node.network().simulator().rng().stream(
+      content_rng_(node.simulator().rng().stream(
           "be/" + config_.name + "/content")) {
   stack_.listen(config_.fetch_port,
                 [this](tcp::TcpSocket& s) { serve_fetch(s); });
@@ -92,7 +92,7 @@ void BackendDataCenter::process_query(
     const search::Keyword& keyword, std::uint64_t query_id,
     [[maybe_unused]] std::uint64_t trace_parent,
     std::function<void(std::string)> done) {
-  sim::Simulator& simulator = node_.network().simulator();
+  sim::Simulator& simulator = node_.simulator();
   const sim::SimTime now = simulator.now();
 
   double base_ms = config_.processing.base_for(keyword);
@@ -129,15 +129,15 @@ void BackendDataCenter::process_query(
         rec.query_id = query_id;
         rec.keyword = keyword.text;
         rec.request_received = now;
-        rec.processing_done = node_.network().simulator().now();
+        rec.processing_done = node_.simulator().now();
         rec.t_proc = t_proc;
         rec.dynamic_bytes = body.size();
         rec.correlated = correlated;
         query_log_.push_back(std::move(rec));
 #if DYNCDN_OBS
         if (obs::TraceSession* trace =
-                obs::active_trace(node_.network().simulator())) {
-          trace->end_span(span, node_.network().simulator().now());
+                obs::active_trace(node_.simulator())) {
+          trace->end_span(span, node_.simulator().now());
         }
 #endif
         done(std::move(body));

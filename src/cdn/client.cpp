@@ -22,7 +22,7 @@ std::string QueryClient::target_for(const search::Keyword& keyword) {
 
 void QueryClient::submit(net::Endpoint server, const search::Keyword& keyword,
                          Handler handler) {
-  sim::Simulator& simulator = node_.network().simulator();
+  sim::Simulator& simulator = node_.simulator();
 
   // All per-query state lives in one shared context captured by the
   // socket/parser callbacks; it dies with the last callback reference.
@@ -148,7 +148,7 @@ void QueryClient::submit(net::Endpoint server, const search::Keyword& keyword,
   req.set_header("Connection", "close");
 #if DYNCDN_OBS
   if (trace != nullptr) {
-    req.set_header("X-Trace-Span", std::to_string(ctx->span));
+    req.set_header("X-Trace-Span", obs::span_id_header(ctx->span));
   }
 #endif
   socket.send_text(req.serialize());
@@ -160,7 +160,7 @@ void QueryClient::submit_repeated(net::Endpoint server,
                                   const search::Keyword& keyword,
                                   std::size_t count, sim::SimTime interval,
                                   Handler handler) {
-  sim::Simulator& simulator = node_.network().simulator();
+  sim::Simulator& simulator = node_.simulator();
   for (std::size_t i = 0; i < count; ++i) {
     simulator.schedule_in(interval * static_cast<std::int64_t>(i),
                           [this, server, keyword, handler]() {

@@ -30,7 +30,7 @@ FrontEndServer::FrontEndServer(net::Node& node,
       content_(content),
       config_(std::move(config)),
       stack_(node, config_.client_tcp),
-      service_rng_(node.network().simulator().rng().stream(
+      service_rng_(node.simulator().rng().stream(
           "fe/" + config_.name + "/service")) {
   stack_.listen(config_.client_port,
                 [this](tcp::TcpSocket& s) { accept_client(s); });
@@ -76,12 +76,12 @@ FrontEndServer::BackendConn& FrontEndServer::open_backend_conn(bool warm) {
     auto it = pending_.find(conn_ptr->response_id);
     if (it != pending_.end()) {
       fetch_log_[it->second.log_index].first_byte =
-          node_.network().simulator().now();
+          node_.simulator().now();
 #if DYNCDN_OBS
       if (obs::TraceSession* trace =
-              obs::active_trace(node_.network().simulator())) {
+              obs::active_trace(node_.simulator())) {
         trace->add_event(it->second.fetch_span, "first_byte",
-                         node_.network().simulator().now());
+                         node_.simulator().now());
       }
 #endif
     }
@@ -115,7 +115,7 @@ FrontEndServer::BackendConn& FrontEndServer::open_backend_conn(bool warm) {
         pending_.erase(it);
 
         fetch_log_[pending.log_index].last_byte =
-            node_.network().simulator().now();
+            node_.simulator().now();
         ClientCtx& ctx = *pending.ctx;
 
         if (config_.cache_results) {
@@ -130,8 +130,8 @@ FrontEndServer::BackendConn& FrontEndServer::open_backend_conn(bool warm) {
         }
 #if DYNCDN_OBS
         if (obs::TraceSession* trace =
-                obs::active_trace(node_.network().simulator())) {
-          const sim::SimTime now = node_.network().simulator().now();
+                obs::active_trace(node_.simulator())) {
+          const sim::SimTime now = node_.simulator().now();
           trace->end_span(pending.fetch_span, now);
           // The FE's part in the query ends once the relay is queued.
           trace->end_span(ctx.span, now);
@@ -195,8 +195,8 @@ void FrontEndServer::backend_conn_lost(BackendConn& conn) {
       if (it->second.ctx->alive) it->second.ctx->socket->abort();
 #if DYNCDN_OBS
       if (obs::TraceSession* trace =
-              obs::active_trace(node_.network().simulator())) {
-        const sim::SimTime now = node_.network().simulator().now();
+              obs::active_trace(node_.simulator())) {
+        const sim::SimTime now = node_.simulator().now();
         trace->add_arg(it->second.fetch_span, "failed",
                        obs::ArgValue::of(std::int64_t{1}));
         trace->end_span(it->second.fetch_span, now);
@@ -259,12 +259,12 @@ void FrontEndServer::send_head_and_static(ClientCtx& ctx) {
   }
 #if DYNCDN_OBS
   if (obs::TraceSession* trace =
-          obs::active_trace(node_.network().simulator())) {
+          obs::active_trace(node_.simulator())) {
     // Role 1 of the paper: the static flush leaves the FE here; the
     // client-side t3/t4 stamps are its arrival as seen by the tcp.flow
     // span's rx events.
     trace->add_event(ctx.span, "static_flush",
-                     node_.network().simulator().now());
+                     node_.simulator().now());
   }
 #endif
   http::HttpResponse head;
@@ -283,7 +283,7 @@ void FrontEndServer::send_head_and_static(ClientCtx& ctx) {
 void FrontEndServer::handle_request(std::shared_ptr<ClientCtx> ctx,
                                     http::HttpRequest req) {
   ++queries_handled_;
-  sim::Simulator& simulator = node_.network().simulator();
+  sim::Simulator& simulator = node_.simulator();
   const sim::SimTime service_delay = config_.service.draw(
       service_rng_, simulator.now(), active_requests_);
   ++active_requests_;
@@ -313,8 +313,8 @@ void FrontEndServer::handle_request(std::shared_ptr<ClientCtx> ctx,
         --active_requests_;
 #if DYNCDN_OBS
         if (obs::TraceSession* trace =
-                obs::active_trace(node_.network().simulator())) {
-          trace->end_span(service_span, node_.network().simulator().now());
+                obs::active_trace(node_.simulator())) {
+          trace->end_span(service_span, node_.simulator().now());
         }
 #endif
         if (!ctx->alive) return;
@@ -331,12 +331,12 @@ void FrontEndServer::handle_request(std::shared_ptr<ClientCtx> ctx,
             rec.query_id = 0;
             rec.target = target;
             rec.served_from_fe_cache = true;
-            const sim::SimTime now = node_.network().simulator().now();
+            const sim::SimTime now = node_.simulator().now();
             rec.fetch_start = rec.first_byte = rec.last_byte = now;
             fetch_log_.push_back(std::move(rec));
 #if DYNCDN_OBS
             if (obs::TraceSession* trace =
-                    obs::active_trace(node_.network().simulator())) {
+                    obs::active_trace(node_.simulator())) {
               trace->add_arg(ctx->span, "cache_hit",
                              obs::ArgValue::of(std::int64_t{1}));
               trace->end_span(ctx->span, now);
@@ -361,7 +361,7 @@ void FrontEndServer::begin_fetch(std::shared_ptr<ClientCtx> ctx,
   FetchRecord rec;
   rec.query_id = id;
   rec.target = target;
-  rec.fetch_start = node_.network().simulator().now();
+  rec.fetch_start = node_.simulator().now();
   fetch_log_.push_back(rec);
 
   Pending pending;
@@ -371,9 +371,9 @@ void FrontEndServer::begin_fetch(std::shared_ptr<ClientCtx> ctx,
   pending.target = target;
 #if DYNCDN_OBS
   if (obs::TraceSession* trace =
-          obs::active_trace(node_.network().simulator())) {
+          obs::active_trace(node_.simulator())) {
     pending.fetch_span =
-        trace->begin_span(node_.network().simulator().now(), "fe.fetch",
+        trace->begin_span(node_.simulator().now(), "fe.fetch",
                           "fe", pending.ctx->span);
     trace->add_arg(pending.fetch_span, "query_id",
                    obs::ArgValue::of(static_cast<std::int64_t>(id)));
@@ -409,7 +409,7 @@ void FrontEndServer::dispatch_fetch(std::uint64_t query_id) {
   fetch.set_header("X-Query-Id", std::to_string(query_id));
 #if DYNCDN_OBS
   if (it->second.fetch_span != 0) {
-    fetch.set_header("X-Trace-Span", std::to_string(it->second.fetch_span));
+    fetch.set_header("X-Trace-Span", obs::span_id_header(it->second.fetch_span));
   }
 #endif
   conn->socket->send_text(fetch.serialize());

@@ -21,7 +21,7 @@ void InteractiveTyper::type(net::Endpoint server,
 }
 
 void InteractiveTyper::issue_next() {
-  sim::Simulator& simulator = client_.node().network().simulator();
+  sim::Simulator& simulator = client_.node().simulator();
 
   // Type characters (without issuing) until the minimum prefix is reached.
   while (next_char_ < keyword_.text.size() &&

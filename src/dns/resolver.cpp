@@ -15,7 +15,7 @@ DnsServer::DnsServer(net::Node& node, cdn::LoadModel service)
     : node_(node),
       stack_(node),
       service_(service),
-      service_rng_(node.network().simulator().rng().stream(
+      service_rng_(node.simulator().rng().stream(
           "dns/" + node.name() + "/service")) {
   // policy_ stays null by default: the serve path round-robins.
   stack_.listen(kDnsPort, [this](tcp::TcpSocket& s) { serve(s); });
@@ -58,7 +58,7 @@ void DnsServer::serve(tcp::TcpSocket& socket) {
     ++queries_served_;
 
     // Resolver lookup latency, then answer and close.
-    sim::Simulator& simulator = node_.network().simulator();
+    sim::Simulator& simulator = node_.simulator();
     const sim::SimTime delay =
         service_.draw(service_rng_, simulator.now(), 0);
     simulator.schedule_in(delay, [sock, alive, reply]() {

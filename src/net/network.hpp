@@ -22,8 +22,25 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// Bind shard kernels for conservative parallel simulation. `sims[0]`
+  /// must be the base simulator the Network was constructed with, and the
+  /// call must precede any add_node(). Every simulator must share the base
+  /// seed so named RNG streams are identical in every shard (each stream
+  /// is consumed by exactly one component, which lives in exactly one
+  /// shard). Serial topologies never call this.
+  void set_shards(std::vector<sim::Simulator*> sims);
+  std::size_t shard_count() const {
+    return shard_sims_.empty() ? 1 : shard_sims_.size();
+  }
+  sim::Simulator& shard_simulator(std::size_t shard) {
+    return shard_sims_.empty() ? simulator_ : *shard_sims_.at(shard);
+  }
+
   /// Create a node. Names must be unique; they name RNG streams and traces.
-  Node& add_node(const std::string& name, GeoPoint location = {});
+  /// `shard` selects the kernel the node's components schedule on (always
+  /// 0 — the base simulator — unless set_shards() was called first).
+  Node& add_node(const std::string& name, GeoPoint location = {},
+                 std::uint32_t shard = 0);
 
   /// Connect two nodes with a bidirectional link (two unidirectional links
   /// sharing `config` but with independent loss-model instances).
@@ -48,12 +65,37 @@ class Network {
   sim::Simulator& simulator() { return simulator_; }
 
   std::size_t node_count() const { return nodes_.size(); }
-  std::uint64_t no_route_drops() const { return no_route_drops_; }
+  std::uint64_t no_route_drops() const;
 
   /// Packets that entered the network (route() calls, local delivery
   /// included) and distinct packet ids issued, for the metrics layer.
-  std::uint64_t packets_routed() const { return packets_routed_; }
-  std::uint64_t packets_created() const { return next_packet_id_ - 1; }
+  /// Both counters are kept per shard / per node so parallel shards never
+  /// contend on a shared word; the totals are shard-layout invariant.
+  std::uint64_t packets_routed() const;
+  std::uint64_t packets_created() const;
+
+  /// Minimum propagation delay over links whose endpoints live in
+  /// different shards — the conservative lookahead. SimTime::infinity()
+  /// when no such link exists (shards are fully independent); zero means
+  /// windows degenerate and the runner must fall back to serial order.
+  sim::SimTime cross_shard_lookahead() const { return min_cross_delay_; }
+
+  /// Refresh routing tables if the topology changed. The shard runner
+  /// calls this before spawning workers: route() must never recompute
+  /// lazily while shards execute in parallel.
+  void prepare_run() {
+    if (routes_dirty_) compute_routes();
+  }
+
+  /// Window-barrier drain: schedule every staged cross-shard packet on its
+  /// destination shard at its recorded arrival time. Packets drain sorted
+  /// by (arrival, source post time) — the order the serial kernel would
+  /// have inserted the delivery events — with (link creation order, FIFO)
+  /// as the stable tie-break, so same-timestamp arrivals from different
+  /// shards are processed exactly as in a serial run. Runs on the
+  /// coordinating thread only. Returns the number of packets flushed.
+  std::size_t flush_mailboxes();
+  bool mailboxes_empty() const;
 
   /// Element-wise sum of every directed link's counters.
   LinkStats aggregate_link_stats() const;
@@ -71,17 +113,34 @@ class Network {
     std::unique_ptr<Link> link;
   };
 
+  /// Staged cross-shard packets for one directed link, in transmit order.
+  struct Mailbox {
+    struct Staged {
+      sim::SimTime arrival;  // delivery time on the destination clock
+      sim::SimTime posted;   // source-shard clock when the link posted it
+      PacketPtr packet;
+    };
+    Node* dst = nullptr;
+    sim::Simulator* dst_sim = nullptr;
+    std::vector<Staged> staged;
+  };
+
   sim::Simulator& simulator_;
+  std::vector<sim::Simulator*> shard_sims_;  // empty = serial (base only)
   std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
   std::unordered_map<std::string, NodeId> by_name_;
   std::unordered_map<std::uint32_t, std::vector<Edge>> adjacency_;
   /// next_hop_[src][dst] -> link to use.
   std::unordered_map<std::uint32_t, std::unordered_map<std::uint32_t, Link*>>
       next_hop_;
+  /// One mailbox per cross-shard directed link, in creation order.
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  sim::SimTime min_cross_delay_ = sim::SimTime::infinity();
   bool routes_dirty_ = true;
-  std::uint64_t no_route_drops_ = 0;
-  std::uint64_t packets_routed_ = 0;
-  std::uint64_t next_packet_id_ = 1;
+  /// Indexed by the source node's shard: parallel route() calls from
+  /// different shards each mutate their own slot, never a shared word.
+  std::vector<std::uint64_t> no_route_by_shard_ = {0};
+  std::vector<std::uint64_t> routed_by_shard_ = {0};
 
   friend class Node;
 };

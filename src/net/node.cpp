@@ -6,11 +6,14 @@
 
 namespace dyncdn::net {
 
-Node::Node(Network& network, NodeId id, std::string name, GeoPoint location)
+Node::Node(Network& network, NodeId id, std::string name, GeoPoint location,
+           sim::Simulator& simulator, std::uint32_t shard)
     : network_(network),
       id_(id),
       name_(std::move(name)),
-      location_(location) {}
+      location_(location),
+      simulator_(simulator),
+      shard_(shard) {}
 
 void Node::send(PacketPtr packet) {
   packet->src = id_;

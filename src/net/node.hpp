@@ -10,6 +10,10 @@
 #include "net/geo.hpp"
 #include "net/packet.hpp"
 
+namespace dyncdn::sim {
+class Simulator;
+}  // namespace dyncdn::sim
+
 namespace dyncdn::net {
 
 class Network;
@@ -21,12 +25,31 @@ class Node {
   /// Capture hook; sees every packet sent from / delivered to this node.
   using TapFn = std::function<void(const PacketPtr&)>;
 
-  Node(Network& network, NodeId id, std::string name, GeoPoint location);
+  Node(Network& network, NodeId id, std::string name, GeoPoint location,
+       sim::Simulator& simulator, std::uint32_t shard);
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
   const GeoPoint& location() const { return location_; }
   Network& network() { return network_; }
+
+  /// The event kernel this node's components schedule on. In a serial
+  /// topology this is the Network's base simulator; in a sharded topology
+  /// it is the node's shard kernel. Everything host-local (TCP stacks,
+  /// servers, clients, capture) must reach the clock through here so a
+  /// shard's state never touches another shard's queue.
+  sim::Simulator& simulator() const { return simulator_; }
+  std::uint32_t shard() const { return shard_; }
+
+  /// Next packet id in this node's id space: the node index in the high
+  /// bits, a per-node sequence below. Ids are unique network-wide and —
+  /// unlike a global counter — independent of cross-shard interleaving,
+  /// which keeps captures byte-identical between serial and sharded runs.
+  std::uint64_t next_packet_id() {
+    return (static_cast<std::uint64_t>(id_.value()) << 40) |
+           ++packets_created_;
+  }
+  std::uint64_t packets_created() const { return packets_created_; }
 
   /// Install the transport layer. Exactly one handler per node; a second
   /// registration replaces the first (used by tests).
@@ -51,6 +74,9 @@ class Node {
   NodeId id_;
   std::string name_;
   GeoPoint location_;
+  sim::Simulator& simulator_;
+  std::uint32_t shard_ = 0;
+  std::uint64_t packets_created_ = 0;
   ReceiveHandler receive_handler_;
   std::vector<TapFn> send_taps_;
   std::vector<TapFn> receive_taps_;

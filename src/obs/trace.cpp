@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <cstdio>
 #include <unordered_map>
 #include <utility>
 
@@ -53,13 +54,14 @@ void TraceSession::add_event(SpanId id, std::string_view name,
 }
 
 const SpanRecord* TraceSession::find(SpanId id) const {
-  // Ids are handed out sequentially from 1 and spans are never removed
-  // before a merge, so direct indexing covers the pre-merge case; after a
-  // merge (remapped ids) fall back to a scan. Lookups are rare — the
-  // instrumentation hot path only appends.
+  // Ids are handed out sequentially from id_base_ + 1 and spans are never
+  // removed before a merge, so direct indexing covers the pre-merge case;
+  // after a merge (remapped or absorbed ids) fall back to a scan. Lookups
+  // are rare — the instrumentation hot path only appends.
   if (id == kNoSpan || spans_.empty()) return nullptr;
-  if (id <= spans_.size() && spans_[id - 1].id == id) {
-    return &spans_[id - 1];
+  if (id > id_base_ && id - id_base_ <= spans_.size() &&
+      spans_[id - id_base_ - 1].id == id) {
+    return &spans_[id - id_base_ - 1];
   }
   for (const auto& span : spans_) {
     if (span.id == id) return &span;
@@ -102,6 +104,19 @@ void TraceSession::merge_from(TraceSession&& other,
     span.parent = it == remap.end() ? kNoSpan : it->second;
   }
   other.spans_.clear();
+}
+
+void TraceSession::absorb_shard(TraceSession& other) {
+  spans_.reserve(spans_.size() + other.spans_.size());
+  for (auto& span : other.spans_) spans_.push_back(std::move(span));
+  other.spans_.clear();
+}
+
+std::string span_id_header(SpanId id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(id));
+  return std::string(buf);
 }
 
 }  // namespace dyncdn::obs

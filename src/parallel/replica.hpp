@@ -46,8 +46,11 @@ struct ExecutorConfig {
   std::size_t threads = 0;
   /// Replicas per stealable chunk. Larger grains amortize deque traffic
   /// for very cheap replicas at the cost of coarser balancing. 0 = use
-  /// DYNCDN_GRAIN if set, else 1 (steal individual replicas — campaign
-  /// replicas are whole simulations, far heavier than a steal).
+  /// DYNCDN_GRAIN if set, else auto-tune: start each run at
+  /// count / (workers * 8) chunks-per-worker granularity and halve it for
+  /// subsequent runs whenever the previous run's ExecutorStats show heavy
+  /// stealing (a steal-heavy round means chunks were too coarse to balance
+  /// the load). Grain only affects scheduling, never results.
   std::size_t grain = 0;
 };
 
@@ -57,6 +60,10 @@ std::size_t resolve_threads(const ExecutorConfig& config);
 
 /// Chunk granularity an ExecutorConfig resolves to (floor of 1).
 std::size_t resolve_grain(const ExecutorConfig& config);
+
+/// True when neither ExecutorConfig.grain nor DYNCDN_GRAIN pins the grain,
+/// so the executor may auto-tune it between runs.
+bool grain_is_auto(const ExecutorConfig& config);
 
 /// Scheduling counters from the most recent run() (not part of the result
 /// contract — purely observability).
@@ -69,10 +76,16 @@ struct ExecutorStats {
 class ReplicaExecutor {
  public:
   explicit ReplicaExecutor(ExecutorConfig config = {})
-      : threads_(resolve_threads(config)), grain_(resolve_grain(config)) {}
+      : threads_(resolve_threads(config)),
+        grain_(resolve_grain(config)),
+        auto_grain_(grain_is_auto(config)) {}
 
   std::size_t threads() const { return threads_; }
-  std::size_t grain() const { return grain_; }
+  /// Effective grain of the next run. In auto mode this starts at 0
+  /// ("derive from the run's replica count") and is pinned after the first
+  /// parallel run based on its steal counters.
+  std::size_t grain() const { return auto_grain_ ? tuned_grain_ : grain_; }
+  bool auto_grain() const { return auto_grain_; }
   const ExecutorStats& last_stats() const { return stats_; }
 
   /// Run fn(0) .. fn(count-1), returning results in index order. With one
@@ -87,7 +100,16 @@ class ReplicaExecutor {
                   "ReplicaExecutor::run requires a result per replica");
 
     std::vector<std::optional<R>> slots(count);
-    const std::size_t chunks = (count + grain_ - 1) / grain_;
+    // Effective grain for this run: the pinned value, or — in auto mode —
+    // a previous round's tuned pick, falling back to ~8 chunks per worker
+    // for the very first (warm-up) round.
+    std::size_t grain = grain_;
+    if (auto_grain_) {
+      grain = tuned_grain_ > 0
+                  ? tuned_grain_
+                  : std::max<std::size_t>(1, count / (threads_ * 8));
+    }
+    const std::size_t chunks = (count + grain - 1) / grain;
     const std::size_t workers = std::min(threads_, chunks);
     stats_ = ExecutorStats{chunks, 0, workers > 0 ? workers : 1};
 
@@ -110,8 +132,8 @@ class ReplicaExecutor {
       }
 
       const auto run_chunk = [&](std::size_t c) {
-        const std::size_t lo = c * grain_;
-        const std::size_t hi = std::min(count, lo + grain_);
+        const std::size_t lo = c * grain;
+        const std::size_t hi = std::min(count, lo + grain);
         for (std::size_t i = lo; i < hi; ++i) {
           try {
             slots[i].emplace(fn(i));
@@ -159,6 +181,14 @@ class ReplicaExecutor {
       }
       for (std::thread& t : pool) t.join();
       stats_.steals = steals.load(std::memory_order_relaxed);
+      if (auto_grain_) {
+        // A steal-heavy round means the static blocks were too coarse for
+        // the cost skew: halve the grain for subsequent runs. Otherwise
+        // pin what we used — it balanced fine.
+        const bool steal_heavy = stats_.steals * 4 >= stats_.tasks;
+        tuned_grain_ =
+            steal_heavy ? std::max<std::size_t>(1, grain / 2) : grain;
+      }
       for (const std::exception_ptr& e : errors) {
         if (e) std::rethrow_exception(e);
       }
@@ -173,6 +203,10 @@ class ReplicaExecutor {
  private:
   std::size_t threads_;
   std::size_t grain_;
+  bool auto_grain_;
+  /// Auto mode only: grain picked from the last parallel run's steal
+  /// counters (0 = no parallel run yet — derive from the replica count).
+  std::size_t tuned_grain_ = 0;
   ExecutorStats stats_;
 };
 

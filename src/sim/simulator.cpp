@@ -43,6 +43,18 @@ SimTime Simulator::run_until(SimTime deadline) {
   return now_;
 }
 
+std::uint64_t Simulator::run_window(SimTime end) {
+  const std::uint64_t before = events_executed_;
+  horizon_ = end;
+  while (!queue_.empty() && queue_.next_time() < end) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++events_executed_;
+  }
+  horizon_ = SimTime::infinity();
+  return events_executed_ - before;
+}
+
 std::size_t Simulator::run_steps(std::size_t n) {
   std::size_t done = 0;
   while (done < n && !queue_.empty()) {

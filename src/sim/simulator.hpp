@@ -59,6 +59,25 @@ class Simulator {
   /// Events scheduled after the deadline remain pending.
   SimTime run_until(SimTime deadline);
 
+  /// Conservative-window execution (parallel sharding): run every pending
+  /// event with time strictly below `end`, leaving the clock at the last
+  /// executed event (never force-advanced — the shard runner aligns all
+  /// shard clocks after the barrier). While the window is open, horizon()
+  /// returns `end` so time-advancing components (link delivery trains)
+  /// know not to deliver work at or beyond the barrier. Returns the number
+  /// of events executed in the window.
+  std::uint64_t run_window(SimTime end);
+
+  /// Upper bound (exclusive) on event times the current run_window() may
+  /// execute; SimTime::infinity() outside a window (serial execution).
+  SimTime horizon() const { return horizon_; }
+
+  /// Force the clock to `t` (>= now) after a parallel run has drained this
+  /// shard's queue: all shard clocks must agree with the serial kernel's
+  /// final time before the next host-side schedule_in(). Same overtaking
+  /// rules as advance_to.
+  void align_clock(SimTime t) { advance_to(t); }
+
   /// Execute at most `n` events (testing hook).
   std::size_t run_steps(std::size_t n);
 
@@ -88,6 +107,7 @@ class Simulator {
   EventQueue queue_;
   RngFactory rng_factory_;
   SimTime now_ = SimTime::zero();
+  SimTime horizon_ = SimTime::infinity();
   std::uint64_t events_executed_ = 0;
   obs::TraceSession* trace_ = nullptr;
 };

@@ -36,7 +36,7 @@ class TcpStack {
                      const TcpConfig& config);
 
   net::Node& node() { return node_; }
-  sim::Simulator& simulator() { return node_.network().simulator(); }
+  sim::Simulator& simulator() { return node_.simulator(); }
   const TcpConfig& default_config() const { return default_config_; }
 
   std::size_t socket_count() const { return sockets_.size(); }

@@ -40,14 +40,18 @@ std::size_t discover_boundary(Scenario& scenario, std::size_t client_index,
   }
   scenario.connect_client_to_fe(client_index, fe_index);
 
-  // Discovery needs a retained, payload-bearing trace even in streaming
-  // mode: the common-prefix scan reads response *content*, which the
-  // online analyzer never keeps. Both toggles are restored afterwards.
+  // Discovery reads response *content*, so payload capture must be on in
+  // either mode. In streaming mode the analyzer's boundary probe
+  // reassembles only a clipped prefix of each response (O(boundary)
+  // memory) and retention stays off; the post-hoc path retains the full
+  // payload trace. All toggles are restored afterwards.
+  const bool streaming = client.analyzer != nullptr;
   const bool prior_payloads = client.recorder->capture_payloads();
   const bool prior_retain = client.recorder->retain_packets();
   client.recorder->set_capture_payloads(true);
-  client.recorder->set_retain_packets(true);
+  if (!streaming) client.recorder->set_retain_packets(true);
   client.recorder->clear();
+  if (streaming) client.analyzer->begin_boundary_probe();
 
   // Distinct keywords: the paper's content analysis relies on responses to
   // *different* queries so the common prefix stops at the static portion.
@@ -57,24 +61,32 @@ std::size_t discover_boundary(Scenario& scenario, std::size_t client_index,
   for (const search::Keyword& kw : keywords) {
     client.query_client->submit(fe, kw, [](const cdn::QueryResult&) {});
   }
-  scenario.simulator().run();
+  scenario.run();
 
-  // Reassemble each connection's response stream.
-  std::vector<std::string> responses;
-  for (const auto& [flow, conn] :
-       client.recorder->trace().split_by_flow(kServicePort)) {
-    analysis::ReassembledStream stream =
-        analysis::reassemble(conn, flow, capture::Direction::kReceived);
-    if (!stream.empty()) responses.push_back(stream.bytes());
+  std::size_t response_count = 0;
+  std::size_t boundary = 0;
+  if (streaming) {
+    response_count = client.analyzer->probe_flows();
+    boundary = client.analyzer->finish_boundary_probe();
+  } else {
+    // Reassemble each connection's response stream.
+    std::vector<std::string> responses;
+    for (const auto& [flow, conn] :
+         client.recorder->trace().split_by_flow(kServicePort)) {
+      analysis::ReassembledStream stream =
+          analysis::reassemble(conn, flow, capture::Direction::kReceived);
+      if (!stream.empty()) responses.push_back(stream.bytes());
+    }
+    response_count = responses.size();
+    boundary = analysis::common_prefix_boundary(responses);
   }
   client.recorder->clear();
   client.recorder->set_capture_payloads(prior_payloads);
   client.recorder->set_retain_packets(prior_retain);
 
-  if (responses.size() < 2) {
+  if (response_count < 2) {
     throw std::runtime_error("discover_boundary: not enough responses");
   }
-  const std::size_t boundary = analysis::common_prefix_boundary(responses);
   if (boundary == 0) {
     throw std::runtime_error("discover_boundary: no common prefix found");
   }
@@ -130,13 +142,17 @@ ExperimentResult run_experiment_subset(
       const sim::SimTime at =
           options.stagger * static_cast<std::int64_t>(i) +
           options.interval * static_cast<std::int64_t>(r);
-      simulator.schedule_in(at, [&clients, i, endpoint, kw]() {
-        clients[i].query_client->submit(endpoint, kw,
-                                        [](const cdn::QueryResult&) {});
-      });
+      // Submissions are scheduled on the submitting client's own shard
+      // kernel (identical to `simulator` in a serial scenario — all shard
+      // clocks agree between runs).
+      clients[i].node->simulator().schedule_in(
+          at, [&clients, i, endpoint, kw]() {
+            clients[i].query_client->submit(endpoint, kw,
+                                            [](const cdn::QueryResult&) {});
+          });
     }
   }
-  simulator.run();
+  scenario.run();
 
   // Offline analysis per selected vantage point (result aligns with
   // client_indices).
@@ -159,6 +175,7 @@ ExperimentResult run_experiment_subset(
     result.per_node_timings.push_back(std::move(timings));
   }
   scenario.collect_metrics(result.metrics);
+  scenario.collect_kernel_metrics(result.kernel_metrics);
   result.trace = scenario.shared_trace();
   return result;
 }
@@ -215,7 +232,7 @@ CachingExperimentResult run_caching_experiment(Scenario& scenario,
   client.query_client->submit_repeated(fe, corpus.front(), reps,
                                        sim::SimTime::milliseconds(1500),
                                        [](const cdn::QueryResult&) {});
-  simulator.run();
+  scenario.run();
   {
     auto timings = analyze_client_trace(client, boundary);
     for (const auto& q : timings) {
@@ -223,15 +240,16 @@ CachingExperimentResult run_caching_experiment(Scenario& scenario,
     }
   }
 
-  // Phase 2: distinct keywords, one each.
+  // Phase 2: distinct keywords, one each (scheduled on the probing
+  // client's shard kernel).
   for (std::size_t r = 0; r < reps; ++r) {
-    simulator.schedule_in(
+    client.node->simulator().schedule_in(
         sim::SimTime::milliseconds(1500) * static_cast<std::int64_t>(r),
         [&client, fe, kw = corpus[r + 1]]() {
           client.query_client->submit(fe, kw, [](const cdn::QueryResult&) {});
         });
   }
-  simulator.run();
+  scenario.run();
   {
     auto timings = analyze_client_trace(client, boundary);
     for (const auto& q : timings) {
@@ -257,13 +275,12 @@ FetchFactoringResult run_fetch_factoring_experiment(
   const std::size_t boundary = discover_boundary(scenario, 0, 0);
   scenario.set_stream_boundary(boundary);
 
-  sim::Simulator& simulator = scenario.simulator();
   for (std::size_t i = 0; i < clients.size(); ++i) {
     clients[i].query_client->submit_repeated(
         scenario.fe_endpoint(i), keyword, reps,
         sim::SimTime::milliseconds(1700), [](const cdn::QueryResult&) {});
   }
-  simulator.run();
+  scenario.run();
 
   FetchFactoringResult result;
   for (std::size_t i = 0; i < clients.size(); ++i) {

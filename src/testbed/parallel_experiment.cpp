@@ -69,6 +69,7 @@ ExperimentResult run_sharded(const ScenarioOptions& base,
           std::move(shard_results[s].per_node_timings[k]);
     }
     merged.metrics.merge(shard_results[s].metrics);
+    merged.kernel_metrics.merge(shard_results[s].kernel_metrics);
     if (shard_results[s].trace) {
       if (!merged.trace) {
         merged.trace = std::make_shared<obs::TraceSession>();
@@ -128,13 +129,12 @@ FetchFactoringResult run_fetch_factoring_experiment(
     const std::size_t boundary = discover_boundary(scenario, 0, 0);
     scenario.set_stream_boundary(boundary);
 
-    sim::Simulator& simulator = scenario.simulator();
     for (const std::size_t i : groups[s]) {
       clients[i].query_client->submit_repeated(
           scenario.fe_endpoint(i), keyword, reps,
           sim::SimTime::milliseconds(1700), [](const cdn::QueryResult&) {});
     }
-    simulator.run();
+    scenario.run();
 
     ShardSeries series;
     for (const std::size_t i : groups[s]) {

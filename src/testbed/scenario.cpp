@@ -2,22 +2,69 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace dyncdn::testbed {
 
+namespace {
+
+std::size_t resolve_sim_shards(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DYNCDN_SIM_SHARDS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  return 1;
+}
+
+}  // namespace
+
 Scenario::Scenario(ScenarioOptions options) : options_(std::move(options)) {
+  const std::size_t shards = resolve_sim_shards(options_.sim_shards);
+  // Every shard kernel shares the seed: a named RNG stream yields the same
+  // sequence no matter which shard its consumer landed on.
   simulator_ = std::make_unique<sim::Simulator>(options_.seed);
+  sims_.push_back(simulator_.get());
+  for (std::size_t s = 1; s < shards; ++s) {
+    extra_sims_.push_back(std::make_unique<sim::Simulator>(options_.seed));
+    sims_.push_back(extra_sims_.back().get());
+  }
   if (options_.enable_tracing) {
     trace_ = std::make_shared<obs::TraceSession>(options_.trace_ring_bytes);
     simulator_->set_trace(trace_.get());
+    // Shards 1..S-1 record into private sessions with disjoint id ranges
+    // (folded into trace_ by merge_shard_traces). No flight-recorder ring:
+    // the bounded binary dump stays a shard-0 feature.
+    shard_traces_.resize(shards);
+    for (std::size_t s = 1; s < shards; ++s) {
+      shard_traces_[s] = std::make_unique<obs::TraceSession>(0);
+      shard_traces_[s]->set_id_base(static_cast<obs::SpanId>(s) << 40);
+      sims_[s]->set_trace(shard_traces_[s].get());
+    }
   }
   network_ = std::make_unique<net::Network>(*simulator_);
+  if (shards > 1) network_->set_shards(sims_);
   content_ = std::make_unique<search::ContentModel>(options_.profile.content,
                                                     options_.profile.name);
   build_backend();
   build_frontends();
   build_clients();
+  runner_ = std::make_unique<parallel::ShardRunner>(*network_, sims_);
+}
+
+void Scenario::run() { runner_->run(); }
+
+void Scenario::run_until(sim::SimTime deadline) {
+  runner_->run_until(deadline);
+}
+
+void Scenario::merge_shard_traces() {
+  if (!trace_) return;
+  for (auto& session : shard_traces_) {
+    if (session) trace_->absorb_shard(*session);
+  }
 }
 
 void Scenario::build_backend() {
@@ -72,7 +119,12 @@ void Scenario::build_frontends() {
     FrontEnd fe;
     fe.site_name = site.name;
     fe.location = site.location;
-    fe.node = &network_->add_node("fe-" + site.name, site.location);
+    // Fixed shard assignment by FE index: round-robin over the shard
+    // kernels. The BE stays on shard 0, so the FE<->BE links form the
+    // cross-shard cut and their propagation delay is the lookahead.
+    fe.node = &network_->add_node(
+        "fe-" + site.name, site.location,
+        static_cast<std::uint32_t>(fes_.size() % sims_.size()));
     fe.distance_to_be_miles =
         net::haversine_miles(site.location, p.be_location);
 
@@ -151,9 +203,11 @@ void Scenario::build_clients() {
   for (std::size_t i = 0; i < vps.size(); ++i) {
     Client c;
     c.vantage = vps[i];
-    c.node = &network_->add_node(vps[i].name, vps[i].location);
 
-    // DNS emulation: default FE = geographically nearest site.
+    // DNS emulation: default FE = geographically nearest site. Computed
+    // before node creation because the client lives on its default FE's
+    // shard — the chatty client<->FE conversation stays intra-shard, and
+    // only the FE<->BE (or non-default-FE) legs cross shards.
     std::size_t best = 0;
     double best_miles = std::numeric_limits<double>::max();
     for (std::size_t f = 0; f < fes_.size(); ++f) {
@@ -166,13 +220,15 @@ void Scenario::build_clients() {
     }
     if (options_.fe_distance_sweep_miles) best = i;  // pair probe with FE
     c.default_fe = best;
+    c.node = &network_->add_node(vps[i].name, vps[i].location,
+                                 fes_[best].node->shard());
 
     if (options_.capture_clients) {
       capture::RecorderOptions ro;
       ro.capture_payloads = options_.capture_payloads;
       ro.retain_packets = !options_.stream_analysis;
-      c.recorder = std::make_unique<capture::TraceRecorder>(*c.node,
-                                                            *simulator_, ro);
+      c.recorder = std::make_unique<capture::TraceRecorder>(
+          *c.node, c.node->simulator(), ro);
       if (options_.stream_analysis) {
         c.analyzer = std::make_unique<analysis::StreamingAnalyzer>(
             fes_.front().server->client_endpoint().port);
@@ -192,6 +248,7 @@ net::LinkConfig Scenario::client_access_link(
   link.propagation_delay =
       net::propagation_delay(vp.location, fe_location) + vp.last_mile_one_way;
   link.bandwidth_bps = options_.profile.client_fe_bandwidth_bps;
+  link.reorder_probability = options_.client_link_reorder;
   const double loss = options_.client_link_loss + vp.access_loss;
   if (loss > 0.0) {
     link.loss_factory = [loss] { return net::make_bernoulli_loss(loss); };
@@ -244,22 +301,43 @@ sim::SimTime Scenario::client_fe_rtt(std::size_t client_index,
 }
 
 void Scenario::warm_up(sim::SimTime duration) {
-  simulator_->run_until(simulator_->now() + duration);
+  run_until(simulator_->now() + duration);
   // Recorders should not carry warm-up traffic into the analysis.
   for (Client& c : clients_) {
     if (c.recorder) c.recorder->clear();
   }
 }
 
-void Scenario::collect_metrics(obs::MetricsRegistry& out) {
-  // Event kernel. All counters are replica-additive: a sharded campaign
-  // merging its shards' registries reports fleet totals.
-  out.add("sim_events_executed", simulator_->events_executed());
-  out.add("sim_events_scheduled", simulator_->events_scheduled());
-  out.add("sim_timer_cancels", simulator_->events_cancelled());
-  out.gauge_max("sim_event_heap_peak",
-                static_cast<std::int64_t>(simulator_->max_heaped_entries()));
+void Scenario::collect_kernel_metrics(obs::MetricsRegistry& out) {
+  // Event kernel, summed over shard kernels. All counters are
+  // replica-additive: a sharded campaign merging its shards' registries
+  // reports fleet totals. These genuinely depend on the shard layout
+  // (cross-shard links bypass delivery coalescing; each shard has its own
+  // heap), which is why they are not part of collect_metrics.
+  std::uint64_t executed = 0, scheduled = 0, cancels = 0;
+  std::int64_t heap_peak = 0;
+  for (sim::Simulator* s : sims_) {
+    executed += s->events_executed();
+    scheduled += s->events_scheduled();
+    cancels += s->events_cancelled();
+    heap_peak = std::max(heap_peak,
+                         static_cast<std::int64_t>(s->max_heaped_entries()));
+  }
+  out.add("sim_events_executed", executed);
+  out.add("sim_events_scheduled", scheduled);
+  out.add("sim_timer_cancels", cancels);
+  out.gauge_max("sim_event_heap_peak", heap_peak);
 
+  // Conservative-window runner (all zero in a serial scenario).
+  const parallel::ShardRunnerStats& st = runner_->stats();
+  out.gauge_max("pdes_shards", static_cast<std::int64_t>(sims_.size()));
+  out.add("pdes_windows", st.windows);
+  out.add("pdes_barrier_stalls", st.barrier_stalls);
+  out.add("pdes_cross_shard_packets", st.cross_shard_packets);
+  out.add("pdes_serial_fallbacks", st.serial_fallbacks);
+}
+
+void Scenario::collect_metrics(obs::MetricsRegistry& out) {
   // Network layer.
   out.add("net_packets_created", network_->packets_created());
   out.add("net_packets_routed", network_->packets_routed());

@@ -19,6 +19,7 @@
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/pdes.hpp"
 #include "search/content_model.hpp"
 #include "sim/simulator.hpp"
 #include "testbed/planetlab.hpp"
@@ -52,6 +53,19 @@ struct ScenarioOptions {
   /// lossy-last-hop (wireless) regime. 0 = clean, like the paper's wired
   /// PlanetLab measurements.
   double client_link_loss = 0.0;
+
+  /// Per-packet probability that a client access link delays a packet by
+  /// net::LinkConfig::reorder_extra_delay so later packets overtake it —
+  /// multipath-style reordering on the last mile (both directions).
+  double client_link_reorder = 0.0;
+
+  /// Conservative parallel execution of THIS scenario (parallel/pdes.hpp):
+  /// vantage points and their FE attachments are partitioned into
+  /// `sim_shards` event kernels that run concurrently between lookahead
+  /// barriers. Results (timelines, TSVs, metrics exports) are identical at
+  /// any shard count; only the kernel counters in collect_kernel_metrics
+  /// legitimately differ. 0 = DYNCDN_SIM_SHARDS if set, else 1 (serial).
+  std::size_t sim_shards = 0;
 
   /// Fractions of vantage points on residential-DSL and wireless access
   /// (reviewer #5's critique: PlanetLab's campus bias understates real
@@ -137,15 +151,49 @@ class Scenario {
   /// established and warmed. Call before submitting measured queries.
   void warm_up(sim::SimTime duration = sim::SimTime::seconds(5));
 
-  /// Tracing session attached to the simulator (null unless
-  /// ScenarioOptions::enable_tracing).
-  obs::TraceSession* trace() { return trace_.get(); }
-  std::shared_ptr<obs::TraceSession> shared_trace() { return trace_; }
+  /// Execute pending events on every shard (serial kernel loop when
+  /// sim_shards == 1) until the queues drain / until `deadline`. All shard
+  /// clocks agree with the serial kernel's final clock afterwards, so
+  /// host-side schedule_in() on any shard stays shard-count invariant.
+  void run();
+  void run_until(sim::SimTime deadline);
 
-  /// Snapshot the testbed's operational counters into `out` (event kernel,
-  /// network, TCP stacks, FE/BE servers). Purely additive: callers can
-  /// merge registries across replicas.
+  std::size_t shard_count() const { return sims_.size(); }
+  /// Window/barrier counters from the shard runner (accumulated across
+  /// run() calls; all zero for a serial scenario).
+  const parallel::ShardRunnerStats& shard_stats() const {
+    return runner_->stats();
+  }
+
+  /// Tracing session (null unless ScenarioOptions::enable_tracing). In a
+  /// sharded scenario each shard records spans in its own session with a
+  /// disjoint id range; these accessors fold them into the main session in
+  /// shard-index order, so call only after runs, not mid-simulation. The
+  /// folded span *content* (names, stamps, args, parent links) matches the
+  /// serial run; span ids and list order are shard-layout dependent.
+  obs::TraceSession* trace() {
+    merge_shard_traces();
+    return trace_.get();
+  }
+  std::shared_ptr<obs::TraceSession> shared_trace() {
+    merge_shard_traces();
+    return trace_;
+  }
+
+  /// Snapshot the testbed's operational counters into `out` (network, TCP
+  /// stacks, FE/BE servers). Purely additive: callers can merge registries
+  /// across replicas. Every counter here is shard-count invariant; the
+  /// kernel-level counters that legitimately depend on the shard layout
+  /// live in collect_kernel_metrics.
   void collect_metrics(obs::MetricsRegistry& out);
+
+  /// Event-kernel + shard-runner introspection (events executed/scheduled,
+  /// heap peaks, windows, barrier stalls, cross-shard packets). Kept out
+  /// of collect_metrics because event counts genuinely differ between
+  /// serial and sharded runs (cross-shard links bypass delivery
+  /// coalescing), and experiment exports must stay byte-identical at any
+  /// shard count.
+  void collect_kernel_metrics(obs::MetricsRegistry& out);
 
   /// True when clients reduce flows online (ScenarioOptions::stream_analysis).
   bool streaming() const { return options_.stream_analysis; }
@@ -166,12 +214,21 @@ class Scenario {
   void build_backend();
   void build_frontends();
   void build_clients();
+  void merge_shard_traces();
   net::LinkConfig client_access_link(const VantagePoint& vp,
                                      const net::GeoPoint& fe_location) const;
 
   ScenarioOptions options_;
   std::shared_ptr<obs::TraceSession> trace_;
   std::unique_ptr<sim::Simulator> simulator_;
+  /// Shard kernels 1..S-1 (shard 0 is simulator_), same seed everywhere.
+  std::vector<std::unique_ptr<sim::Simulator>> extra_sims_;
+  /// All shard kernels by shard index; sims_[0] == simulator_.get().
+  std::vector<sim::Simulator*> sims_;
+  /// Per-shard trace sessions for shards 1..S-1 ([0] is null — shard 0
+  /// records straight into trace_). Disjoint id ranges via set_id_base.
+  std::vector<std::unique_ptr<obs::TraceSession>> shard_traces_;
+  std::unique_ptr<parallel::ShardRunner> runner_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<search::ContentModel> content_;
   std::unique_ptr<cdn::BackendDataCenter> backend_;

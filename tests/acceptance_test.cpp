@@ -50,7 +50,7 @@ TEST(Acceptance, StaticPortionExistsAndKeywordEffectIsDynamicOnly) {
     auto& client = s.clients().front();
     client.query_client->submit_repeated(s.fe_endpoint(0), kw, 10, 900_ms,
                                          [](const cdn::QueryResult&) {});
-    s.simulator().run();
+    s.run();
     const auto timelines = analysis::extract_all_timelines(
         client.recorder->trace(), 80, boundary);
     client.recorder->clear();

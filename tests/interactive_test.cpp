@@ -38,7 +38,7 @@ struct InteractiveFixture {
     typer.type(scenario->fe_endpoint(0),
                search::Keyword{text, search::KeywordClass::kGranular, 500},
                [&](const TypingSessionResult& s) { out = s; });
-    scenario->simulator().run();
+    scenario->run();
     return out;
   }
 
@@ -139,7 +139,7 @@ TEST(BackendCorrelation, ExactRepeatIsNotCorrelated) {
   for (int i = 0; i < 3; ++i) {
     client.query_client->submit(f.scenario->fe_endpoint(0), kw,
                                 [](const QueryResult&) {});
-    f.scenario->simulator().run();
+    f.scenario->run();
   }
   const auto& log = f.scenario->backend().query_log();
   ASSERT_EQ(log.size(), 3u);
@@ -164,7 +164,7 @@ TEST(BackendCorrelation, HistoryIsBounded) {
         scenario.fe_endpoint(0),
         search::Keyword{text, search::KeywordClass::kPopular, 500},
         [](const QueryResult&) {});
-    scenario.simulator().run();
+    scenario.run();
   };
   submit("aaa");       // history: [aaa]
   submit("unrelated"); // history: [aaa, unrelated]

@@ -134,12 +134,12 @@ std::string run_scenario_capture(bool coalesce,
   const auto keywords = catalog.distinct_corpus(4);
   SimTime at = SimTime::zero();
   for (const search::Keyword& kw : keywords) {
-    scenario.simulator().schedule_in(at, [&client, fe, kw]() {
+    client.node->simulator().schedule_in(at, [&client, fe, kw]() {
       client.query_client->submit(fe, kw, [](const cdn::QueryResult&) {});
     });
     at = at + SimTime::milliseconds(1500);
   }
-  scenario.simulator().run();
+  scenario.run();
 
   const capture::PacketTrace web =
       client.recorder->trace().filter_remote_port(80);

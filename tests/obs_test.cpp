@@ -314,12 +314,12 @@ TEST(ObsEndToEnd, SpanTimelineMatchesPacketAnalysisExactly) {
   const auto keywords = catalog.distinct_corpus(4);
   sim::SimTime at = SimTime::zero();
   for (const search::Keyword& kw : keywords) {
-    scenario.simulator().schedule_in(at, [&client, fe, kw]() {
+    client.node->simulator().schedule_in(at, [&client, fe, kw]() {
       client.query_client->submit(fe, kw, [](const cdn::QueryResult&) {});
     });
     at = at + SimTime::milliseconds(1500);
   }
-  scenario.simulator().run();
+  scenario.run();
 
   // Boundary discovery from the capture, exactly like the offline path.
   const capture::PacketTrace web =
@@ -383,7 +383,7 @@ TEST(ObsEndToEnd, SpanTreeLinksClientFeAndBe) {
                            search::KeywordClass::kPopular, 100};
   client.query_client->submit(scenario.fe_endpoint(0), kw,
                               [](const cdn::QueryResult&) {});
-  scenario.simulator().run();
+  scenario.run();
 
   obs::TraceSession* trace = scenario.trace();
   ASSERT_NE(trace, nullptr);

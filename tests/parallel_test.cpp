@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -141,6 +142,62 @@ TEST(ReplicaExecutor, GrainBatchesChunksWithoutChangingResults) {
   EXPECT_EQ(exec.last_stats().tasks, 3u);  // ceil(10 / 4)
 }
 
+TEST(ReplicaExecutor, AutoGrainLowersAfterStealHeavyRun) {
+  // Auto mode (grain = 0, no DYNCDN_GRAIN): the first run starts at
+  // count / (threads * 8) and subsequent runs react to the steal counters.
+  unsetenv("DYNCDN_GRAIN");
+  parallel::ExecutorConfig cfg;
+  cfg.threads = 2;
+  cfg.grain = 0;
+  parallel::ReplicaExecutor exec(cfg);
+  ASSERT_TRUE(exec.auto_grain());
+  EXPECT_EQ(exec.grain(), 0u);  // nothing tuned before the first run
+
+  // 32 replicas, 2 workers -> initial grain 2, 16 chunks; worker 0 owns
+  // chunks 0..7 (indices 0..15). Replica 0 blocks until indices 8..15 have
+  // all run — they sit in worker 0's own deque, so the only way forward is
+  // worker 1 stealing chunks 4..7. That forces >= 4 steals out of 16
+  // chunks deterministically, which trips the steal-heavy rule
+  // (steals * 4 >= tasks) and halves the grain for the next run.
+  std::atomic<int> upper_half_ran{0};
+  const auto out = exec.run(32, [&](std::size_t i) {
+    if (i >= 8 && i < 16) upper_half_ran.fetch_add(1);
+    if (i == 0) {
+      while (upper_half_ran.load() < 8) std::this_thread::yield();
+    }
+    return i * 3;
+  });
+  ASSERT_EQ(out.size(), 32u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 3);
+  EXPECT_EQ(exec.last_stats().tasks, 16u);
+  EXPECT_GE(exec.last_stats().steals, 4u);
+  EXPECT_EQ(exec.grain(), 1u);  // halved from the warm-up grain of 2
+
+  // The tuned grain drives the next run: 32 chunks now.
+  const auto again = exec.run(32, [](std::size_t i) { return i + 7; });
+  for (std::size_t i = 0; i < again.size(); ++i) EXPECT_EQ(again[i], i + 7);
+  EXPECT_EQ(exec.last_stats().tasks, 32u);
+}
+
+TEST(ReplicaExecutor, PinnedGrainNeverTunes) {
+  // Both an explicit config grain and the DYNCDN_GRAIN env var disable
+  // auto-tuning: the resolved grain is a contract, not a starting point.
+  parallel::ExecutorConfig cfg;
+  cfg.threads = 2;
+  cfg.grain = 4;
+  parallel::ReplicaExecutor pinned(cfg);
+  EXPECT_FALSE(pinned.auto_grain());
+  EXPECT_EQ(pinned.grain(), 4u);
+  (void)pinned.run(32, [](std::size_t i) { return i; });
+  EXPECT_EQ(pinned.grain(), 4u);
+
+  setenv("DYNCDN_GRAIN", "3", 1);
+  parallel::ReplicaExecutor from_env({2, 0});
+  unsetenv("DYNCDN_GRAIN");
+  EXPECT_FALSE(from_env.auto_grain());
+  EXPECT_EQ(from_env.grain(), 3u);
+}
+
 TEST(ReplicaExecutor, SkewedWorkloadMatchesSerialResults) {
   // Heavily skewed costs: the last block takes far longer than the rest.
   // Whatever the steal pattern, results must equal the serial run.
@@ -258,7 +315,10 @@ TEST(ParallelExperiment, MetricsPrometheusDumpThreadCountInvariant) {
     plan.executor.threads = threads;
     const auto r = testbed::run_fixed_fe_experiment(scenario, 0, options, plan);
     EXPECT_GT(r.metrics.counter("queries_analyzed"), 0u);
-    EXPECT_GT(r.metrics.counter("sim_events_executed"), 0u);
+    // Kernel counters live in the segregated registry: they depend on the
+    // shard layout, so keeping them out of `metrics` is what lets this
+    // test demand byte-identical dumps in the first place.
+    EXPECT_GT(r.kernel_metrics.counter("sim_events_executed"), 0u);
     ASSERT_NE(r.metrics.histogram("query_rtt_ms"), nullptr);
     dumps.push_back(obs::export_prometheus(r.metrics));
   }

@@ -13,9 +13,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/boundary.hpp"
+#include "analysis/reassembly.hpp"
 #include "analysis/streaming.hpp"
 #include "analysis/timeline.hpp"
 #include "capture/recorder.hpp"
+#include "net/packet.hpp"
 #include "harness.hpp"
 #include "obs/export_prometheus.hpp"
 #include "tcp/stack.hpp"
@@ -321,6 +324,167 @@ TEST(StreamingSynthetic, OtherPortsAreIgnoredByBothPaths) {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming boundary discovery: the probe must return exactly what
+// common_prefix_boundary produces over fully reassembled responses — on
+// clean, reordered, retransmitted and SYN-less inputs — while retaining
+// only O(boundary) bytes once two responses diverge.
+// ---------------------------------------------------------------------------
+
+struct ProbeCapture {
+  net::NodeId client{10};
+  net::NodeId server{20};
+  capture::PacketTrace trace{net::NodeId{10}};
+  StreamingAnalyzer analyzer{kPort};
+
+  capture::PacketRecord make(net::Port client_port, bool sent,
+                             std::int64_t at_us, std::uint64_t seq,
+                             std::uint64_t ack, const std::string& text,
+                             net::TcpFlags flags) {
+    capture::PacketRecord r;
+    r.timestamp = SimTime::microseconds(at_us);
+    r.direction =
+        sent ? capture::Direction::kSent : capture::Direction::kReceived;
+    r.src = sent ? client : server;
+    r.dst = sent ? server : client;
+    r.tcp.src_port = sent ? client_port : kPort;
+    r.tcp.dst_port = sent ? kPort : client_port;
+    r.tcp.seq = seq;
+    r.tcp.ack = ack;
+    r.tcp.flags = flags;
+    r.payload_size = text.size();
+    if (!text.empty()) {
+      std::vector<std::uint8_t> bytes(text.begin(), text.end());
+      r.payload =
+          net::PayloadRef{net::make_buffer(std::move(bytes)), 0, text.size()};
+    }
+    return r;
+  }
+
+  void feed(const capture::PacketRecord& r) {
+    analyzer.on_packet(r);
+    trace.add(r);
+  }
+
+  void server_syn(net::Port client_port, std::int64_t at_us) {
+    feed(make(client_port, false, at_us, 500, 101, "",
+              {.syn = true, .ack = true}));
+  }
+
+  void data(net::Port client_port, std::int64_t at_us, std::uint64_t seq,
+            const std::string& text) {
+    feed(make(client_port, false, at_us, seq, 121, text, {.ack = true}));
+  }
+
+  /// Ground truth: the post-hoc path over the identical record list.
+  std::size_t post_hoc_boundary() const {
+    std::vector<std::string> responses;
+    for (const auto& [flow, conn] : trace.split_by_flow(kPort)) {
+      ReassembledStream stream =
+          reassemble(conn, flow, capture::Direction::kReceived);
+      if (!stream.empty()) responses.push_back(stream.bytes());
+    }
+    return common_prefix_boundary(responses);
+  }
+};
+
+TEST(StreamingBoundaryProbe, MatchesPostHocAndClipsMemory) {
+  ProbeCapture c;
+  c.analyzer.begin_boundary_probe();
+  const std::string common(200, 'S');
+  const std::string tail_a(5000, 'a');
+  const std::string tail_b(5000, 'b');
+
+  c.server_syn(40001, 1000);
+  c.server_syn(40002, 1100);
+  c.data(40001, 2000, 501, common + tail_a);
+  c.data(40002, 2100, 501, common + tail_b);
+  EXPECT_EQ(c.analyzer.probe_flows(), 2u);
+
+  // Divergence at byte 200 clipped every buffer: the analyzer holds a few
+  // hundred bytes of prefix, never the ~10 KB of payload that was fed.
+  EXPECT_LT(c.analyzer.live_bytes(), 2048u);
+
+  const std::size_t expected = c.post_hoc_boundary();
+  ASSERT_EQ(expected, common.size());
+  EXPECT_EQ(c.analyzer.finish_boundary_probe(), expected);
+  EXPECT_FALSE(c.analyzer.probing());
+  EXPECT_EQ(c.analyzer.live_bytes(), 0u);
+}
+
+TEST(StreamingBoundaryProbe, OutOfOrderAndOverlappingRetransmission) {
+  ProbeCapture c;
+  c.analyzer.begin_boundary_probe();
+  // Flow 1 arrives in order; flow 2 delivers its head last and overlaps a
+  // retransmitted middle segment. The probe must not compare '\0' filler
+  // under the still-open head gap.
+  c.server_syn(40001, 1000);
+  c.server_syn(40002, 1100);
+  c.data(40001, 2000, 501, std::string(300, 'S') + std::string(100, 'x'));
+  c.data(40002, 2100, 801, std::string(60, 'y'));         // offset 300 first
+  c.data(40002, 2200, 601, std::string(240, 'S'));        // middle, overlaps
+  c.data(40002, 2300, 501, std::string(100, 'S'));        // head arrives last
+  EXPECT_EQ(c.analyzer.finish_boundary_probe(), c.post_hoc_boundary());
+}
+
+TEST(StreamingBoundaryProbe, MissingSynFallsBackToMinSeq) {
+  ProbeCapture c;
+  c.analyzer.begin_boundary_probe();
+  // Capture started late: neither flow has a SYN, so the stream base is
+  // the minimum data seq — only final when the probe finishes.
+  c.data(40001, 2000, 1501, std::string(50, 'D'));  // higher seq first
+  c.data(40001, 2100, 501, std::string(1000, 'S'));
+  c.data(40002, 2200, 501, std::string(120, 'S') + std::string(40, 'z'));
+  EXPECT_EQ(c.analyzer.finish_boundary_probe(), c.post_hoc_boundary());
+}
+
+TEST(StreamingBoundaryProbe, ShorterResponseBoundsThePrefix) {
+  ProbeCapture c;
+  c.analyzer.begin_boundary_probe();
+  // No byte ever diverges — the prefix is limited by the shortest stream,
+  // exactly like common_prefix_boundary's min-length clamp.
+  c.server_syn(40001, 1000);
+  c.server_syn(40002, 1100);
+  c.data(40001, 2000, 501, std::string(500, 'S'));
+  c.data(40002, 2100, 501, std::string(180, 'S'));
+  const std::size_t expected = c.post_hoc_boundary();
+  ASSERT_EQ(expected, 180u);
+  EXPECT_EQ(c.analyzer.finish_boundary_probe(), expected);
+}
+
+TEST(StreamingBoundaryProbe, ThreeFlowsTakeTheEarliestDivergence) {
+  ProbeCapture c;
+  c.analyzer.begin_boundary_probe();
+  c.server_syn(40001, 1000);
+  c.server_syn(40002, 1100);
+  c.server_syn(40003, 1200);
+  c.data(40001, 2000, 501, std::string(400, 'S') + "AAAA");
+  c.data(40002, 2100, 501, std::string(400, 'S') + "BBBB");  // diverges @400
+  c.data(40003, 2200, 501, std::string(90, 'S') + "CCCC");   // diverges @90
+  const std::size_t expected = c.post_hoc_boundary();
+  ASSERT_EQ(expected, 90u);
+  EXPECT_EQ(c.analyzer.finish_boundary_probe(), expected);
+}
+
+TEST(StreamingBoundaryProbe, ProbeTrafficNeverBecomesTimelines) {
+  ProbeCapture c;
+  c.analyzer.begin_boundary_probe();
+  c.server_syn(40001, 1000);
+  c.server_syn(40002, 1100);
+  c.data(40001, 2000, 501, "STATICaaa");
+  c.data(40002, 2100, 501, "STATICbbb");
+  EXPECT_EQ(c.analyzer.finish_boundary_probe(), 6u);
+  // Fewer than two data-bearing flows -> 0, mirroring the "not enough
+  // responses" guard in discover_boundary.
+  c.analyzer.begin_boundary_probe();
+  c.server_syn(40004, 3000);
+  c.data(40004, 3100, 501, "only one response");
+  EXPECT_EQ(c.analyzer.probe_flows(), 1u);
+  EXPECT_EQ(c.analyzer.finish_boundary_probe(), 0u);
+  // None of the probe traffic reached the timeline flow table.
+  EXPECT_TRUE(c.analyzer.drain(6).empty());
+}
+
+// ---------------------------------------------------------------------------
 // Online-emission lifecycle: once the boundary is known, completed flows
 // collapse to timelines at teardown and their builder state is freed.
 // ---------------------------------------------------------------------------
@@ -487,6 +651,20 @@ TEST(StreamingExperiment, ByteIdenticalUnderClientLinkLoss) {
   str.warm_up();
   const auto b = testbed::run_fixed_fe_experiment(str, 0, options);
   expect_results_identical(a, b);
+}
+
+TEST(StreamingExperiment, DiscoverBoundaryMatchesCaptureMode) {
+  // Full-stack cross-check of the probe: the streaming scenario's clipped
+  // prefix reassembly must land on the very boundary the retained-trace
+  // path computes from complete responses.
+  testbed::Scenario cap(small_scenario(false));
+  cap.warm_up();
+  const std::size_t post_hoc = testbed::discover_boundary(cap, 0, 0);
+  testbed::Scenario str(small_scenario(true));
+  str.warm_up();
+  const std::size_t probed = testbed::discover_boundary(str, 0, 0);
+  EXPECT_GT(post_hoc, 0u);
+  EXPECT_EQ(probed, post_hoc);
 }
 
 TEST(StreamingExperiment, CachingExperimentMatchesCapturePath) {

@@ -142,7 +142,7 @@ TEST(Scenario, WirelessVantagePointsGetLossyAccessLinks) {
   c.query_client->submit(s.default_fe_endpoint(0),
                          search::Keyword{"wifi probe", {}, 100},
                          [&](const cdn::QueryResult& r) { result = r; });
-  s.simulator().run();
+  s.run();
   EXPECT_FALSE(result.failed) << result.failure_reason;
 }
 

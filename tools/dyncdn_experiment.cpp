@@ -41,6 +41,7 @@ struct CliOptions {
   std::string save_traces;  // directory; empty = off
   std::size_t threads = 0;  // 0 = DYNCDN_THREADS / hardware concurrency
   std::size_t shards = 0;   // 0 = one replica per vantage point
+  std::size_t sim_shards = 0;  // per-scenario kernels (0 = DYNCDN_SIM_SHARDS)
   std::string trace_out;    // Chrome trace_event JSON; empty = off
   std::string metrics_out;  // Prometheus text dump; empty = off
   bool stream = true;       // online timeline analysis (--capture = off)
@@ -54,12 +55,16 @@ void usage() {
       "                         [--service=google|bing] [--clients=N]\n"
       "                         [--reps=N] [--seed=S] [--save-traces=DIR]\n"
       "                         [--threads=N] [--shards=N]\n"
+      "                         [--shards-per-scenario=N]\n"
       "                         [--trace-out=FILE] [--metrics-out=FILE]\n"
       "                         [--stream | --capture]\n"
       "  --threads  worker threads for sharded experiments "
       "(0 = DYNCDN_THREADS or all cores)\n"
       "  --shards   replica count (0 = one per vantage point; "
       "1 = legacy serial semantics)\n"
+      "  --shards-per-scenario  conservative-parallel kernels inside each\n"
+      "             scenario (0 = DYNCDN_SIM_SHARDS or 1; results are\n"
+      "             identical at any value)\n"
       "  --stream   reduce flows to timelines online (default): campaign "
       "memory is O(in-flight flows)\n"
       "  --capture  retain full packet traces and analyze post-hoc "
@@ -98,6 +103,9 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     } else if (auto v = value("--threads=")) {
       opt.threads = static_cast<std::size_t>(std::strtoull(v->c_str(),
                                                            nullptr, 10));
+    } else if (auto v = value("--shards-per-scenario=")) {
+      opt.sim_shards = static_cast<std::size_t>(std::strtoull(v->c_str(),
+                                                              nullptr, 10));
     } else if (auto v = value("--shards=")) {
       opt.shards = static_cast<std::size_t>(std::strtoull(v->c_str(),
                                                           nullptr, 10));
@@ -179,6 +187,7 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
                                        : cdn::bing_like_profile();
   so.client_count = cli.clients;
   so.seed = cli.seed;
+  so.sim_shards = cli.sim_shards;
   so.enable_tracing = !cli.trace_out.empty();
   // --save-traces needs the raw PacketRecords on disk, so it implies the
   // retained-capture path regardless of --stream.
@@ -206,14 +215,14 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
         // Cycle keyword classes so offline content analysis on the saved
         // trace can find the static/dynamic boundary.
         const search::Keyword kw = eo.keywords[r % eo.keywords.size()];
-        scenario.simulator().schedule_in(
+        scenario.clients()[i].node->simulator().schedule_in(
             eo.interval * static_cast<std::int64_t>(r),
             [client, endpoint, kw]() {
               client->submit(endpoint, kw, [](const cdn::QueryResult&) {});
             });
       }
     }
-    scenario.simulator().run();
+    scenario.run();
     save_all_traces(scenario, cli.save_traces);
     obs::MetricsRegistry metrics;
     scenario.collect_metrics(metrics);
@@ -255,6 +264,7 @@ int run_caching(const CliOptions& cli) {
                                        : cdn::bing_like_profile();
   so.client_count = std::max<std::size_t>(cli.clients, 4);
   so.seed = cli.seed;
+  so.sim_shards = cli.sim_shards;
   so.enable_tracing = !cli.trace_out.empty();
   so.stream_analysis = cli.stream;
   testbed::Scenario scenario(so);
@@ -291,6 +301,7 @@ int run_factoring(const CliOptions& cli) {
   so.profile = cli.service == "google" ? cdn::google_like_profile()
                                        : cdn::bing_like_profile();
   so.seed = cli.seed;
+  so.sim_shards = cli.sim_shards;
   so.stream_analysis = cli.stream;
   std::vector<double> distances;
   for (std::size_t i = 0; i < std::max<std::size_t>(cli.clients / 5, 6);
