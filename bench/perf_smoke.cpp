@@ -16,7 +16,10 @@
 // JSON schema: {"mode", "threads_available", "event_kernel": {...
 // events_per_sec}, "cancel_churn": {...}, "timer_churn": {...},
 // "link_batch": {...}, "tcp_bulk": {...}, "gather_fastpath": {...},
-// "obs_overhead": {...}, "memory": {"peak_rss_bytes", "capture": {...},
+// "obs_overhead": {...}, "telemetry": {ts_interval_ms, ticks, plain_ms,
+// sampled_ms, telemetry_overhead_pct, "attribution": {queries,
+// reconcile_failures, skipped, "components": {name: {count, mean, p50,
+// p99, p999, min, max}}}}, "memory": {"peak_rss_bytes", "capture": {...},
 // "stream": {...}, "stream_reduction_pct"}, "experiment": {"queries",
 // "serial_wall_ms", "queries_per_sec_best", "thread_scaling": [{threads,
 // threads_available, oversubscribed, wall_ms, queries_per_sec,
@@ -299,6 +302,25 @@ struct MemoryPhase {
   std::uint64_t late_packets = 0;
 };
 
+/// One serial campaign with the 100ms sim-time sampler on or off, timing
+/// ONLY the measurement run: scenario construction and warm-up stay
+/// outside the clock, since they are identical on both sides and their
+/// allocation noise would drown the per-tick sampling cost the telemetry
+/// overhead gate compares.
+double bench_campaign_wall_ms(const testbed::ScenarioOptions& base,
+                              const testbed::ExperimentOptions& eo,
+                              bool sampled) {
+  testbed::ScenarioOptions so = base;
+  so.enable_tracing = false;
+  so.ts_interval =
+      sampled ? sim::SimTime::milliseconds(100) : sim::SimTime::zero();
+  testbed::Scenario sc(so);
+  sc.warm_up();
+  const auto start = std::chrono::steady_clock::now();
+  testbed::run_fixed_fe_experiment(sc, 0, eo);
+  return wall_ms_since(start);
+}
+
 MemoryPhase bench_campaign_memory(const testbed::ScenarioOptions& base,
                                   const testbed::ExperimentOptions& eo,
                                   bool streaming) {
@@ -566,6 +588,88 @@ int main(int argc, char** argv) {
                 p.oversubscribed ? " [oversubscribed]" : "");
   }
 
+  // Time-resolved telemetry cost: the same serial campaign with the 100ms
+  // sim-time sampler on versus off, measured with the obs_overhead
+  // discipline (interleaved warm-up pair, then interleaved best-of pairs,
+  // so allocator warm-up and CPU-frequency drift hit both sides equally).
+  // The quick campaign runs in single-digit milliseconds, so the rep count
+  // is raised to stretch each timed sample well past timer resolution —
+  // the same reasoning as obs_overhead's enlarged transfer. The <1%
+  // observability target is reported; as with obs_overhead only a gross
+  // regression (>10%) fails — CI wall-clock noise exceeds 1%.
+  testbed::ExperimentOptions telem_eo = eo;
+  telem_eo.reps_per_node = full ? reps : reps * 20;
+  const int telem_pairs = full ? 1 : 5;
+  double telem_plain_ms = 1e300, telem_sampled_ms = 1e300;
+  bench_campaign_wall_ms(scenario, telem_eo, false);  // warm-up, discarded
+  bench_campaign_wall_ms(scenario, telem_eo, true);
+  for (int i = 0; i < telem_pairs; ++i) {
+    telem_plain_ms = std::min(telem_plain_ms,
+                              bench_campaign_wall_ms(scenario, telem_eo, false));
+    telem_sampled_ms = std::min(
+        telem_sampled_ms, bench_campaign_wall_ms(scenario, telem_eo, true));
+  }
+  const double telemetry_overhead_pct =
+      (telem_sampled_ms - telem_plain_ms) / telem_plain_ms * 100.0;
+  std::printf("telemetry:      %+10.2f %% (100ms sim-time sampler; "
+              "target <1%%)\n",
+              telemetry_overhead_pct);
+  if (telemetry_overhead_pct > 1.0) {
+    std::fprintf(stderr,
+                 "perf_smoke: warning: time-series sampling overhead %.2f%% "
+                 "exceeds the 1%% target\n",
+                 telemetry_overhead_pct);
+  }
+  if (telemetry_overhead_pct > 10.0) {
+    std::fprintf(stderr,
+                 "perf_smoke: time-series sampling overhead %.2f%% exceeds "
+                 "the 10%% hard limit\n",
+                 telemetry_overhead_pct);
+    return 1;
+  }
+
+  // Attribution reducer over a traced run of the same campaign: the
+  // per-component percentiles land in BENCH.json, and any query that
+  // violates the exact telescoping identity (components sum != T_dynamic
+  // in integer nanoseconds) fails the bench outright — the values are
+  // sim-time derived and deterministic, so a failure is a real bug, not
+  // noise.
+  testbed::ScenarioOptions attr_so = scenario;
+  attr_so.enable_tracing = true;
+  attr_so.ts_interval = sim::SimTime::milliseconds(100);
+  testbed::Scenario attr_sc(attr_so);
+  attr_sc.warm_up();
+  const testbed::ExperimentResult attr_result =
+      testbed::run_fixed_fe_experiment(attr_sc, 0, eo);
+  const obs::QueryAttribution& attr = attr_result.attribution;
+  {
+    const obs::Histogram* td =
+        attr.registry().histogram("attr_t_dynamic_ms");
+    std::printf("attribution:    %llu queries (%llu skipped, %zu ts ticks), "
+                "t_dynamic p50 %.2f ms p99 %.2f ms\n",
+                static_cast<unsigned long long>(attr.queries()),
+                static_cast<unsigned long long>(attr.skipped()),
+                attr_result.timeseries.sample_count(),
+                td != nullptr ? td->quantile(0.50) : 0.0,
+                td != nullptr ? td->quantile(0.99) : 0.0);
+  }
+  if (attr.reconcile_failures() > 0) {
+    std::fprintf(stderr,
+                 "perf_smoke: %llu queries failed attribution "
+                 "reconciliation (component sums != T_dynamic)\n",
+                 static_cast<unsigned long long>(attr.reconcile_failures()));
+    return 1;
+  }
+#if DYNCDN_OBS
+  // With observability compiled in, the traced campaign must decompose
+  // every analyzed query; silently attributing zero queries would make
+  // the reconciliation gate vacuous.
+  if (attr.queries() == 0) {
+    std::fprintf(stderr, "perf_smoke: attribution decomposed 0 queries\n");
+    return 1;
+  }
+#endif
+
   // queries_per_sec at the best *measured* (non-oversubscribed) thread
   // count — the scalar bench_diff gates. Oversubscribed rows stay in the
   // JSON for the trend but never gate.
@@ -655,6 +759,16 @@ int main(int argc, char** argv) {
        "\"disabled_trace_ms\": %.3f, \"overhead_pct\": %.3f, "
        "\"target_pct\": 1.0, \"hard_limit_pct\": 10.0},\n",
        obs_bytes, plain_ms, traced_ms, overhead_pct);
+  emit("  \"telemetry\": {\"ts_interval_ms\": 100.0, \"ticks\": %zu, "
+       "\"plain_ms\": %.3f, \"sampled_ms\": %.3f, "
+       "\"telemetry_overhead_pct\": %.3f, \"target_pct\": 1.0, "
+       "\"hard_limit_pct\": 10.0,\n",
+       attr_result.timeseries.sample_count(), telem_plain_ms,
+       telem_sampled_ms, telemetry_overhead_pct);
+  // attribution JSON can exceed the snprintf line buffer; append directly.
+  json += "    \"attribution\": ";
+  json += attr.to_json();
+  json += "},\n";
   emit("  \"memory\": {\n");
   emit("    \"tracking\": %s,\n",
        obs::memory_tracking_enabled() ? "true" : "false");

@@ -1,0 +1,66 @@
+// Span-forest walker for per-query latency attribution.
+//
+// Walks a trace's span list (live from a TraceSession, or rebuilt from a
+// Chrome-trace JSON dump by trace_inspect), pairs each `query` span with
+// its `tcp.flow` / `fe.request` / `fe.service` / `fe.fetch` descendants,
+// and derives the Fig.-2 control points. t5 comes from the *same* code
+// path the packet-capture pipeline uses (`ReassembledStream::from_segments`
+// + `finish_timeline_from_stream` over the flow's rx events), which is why
+// the attribution sum reconciles with capture-derived T_dynamic at
+// tolerance 0. The obs-layer reducers (`QueryAttribution`,
+// `FlightRecorder`) consume the extracted samples; this file owns the
+// analysis dependency so src/obs/ stays free of it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/attribution.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+
+namespace dyncdn::analysis {
+
+struct AttributedQuery {
+  bool ok = false;  // decomposable (complete, not failed)
+  obs::QueryAttribution::Sample sample;
+  std::string node;
+  std::string keyword;
+  double t_dynamic_ms = 0.0;
+  std::int64_t end_ns = 0;  // completion time (deterministic sort key)
+  // Indexes into the input span list: the query span and its whole
+  // subtree, parent before child (for flight-recorder promotion).
+  std::vector<std::size_t> subtree;
+};
+
+struct SpanAttributionResult {
+  // Completed queries sorted by (end_ns, node, keyword) so downstream
+  // reducers see a deterministic order at any thread/shard count.
+  std::vector<AttributedQuery> queries;
+  std::vector<double> dns_ms;  // root dns.resolve durations, input order
+  std::size_t skipped = 0;     // failed / incomplete query spans
+};
+
+/// Decompose every query span in `spans` using `boundary` (stream bytes)
+/// as the static/dynamic split — the same value the capture pipeline's
+/// content analysis discovers.
+SpanAttributionResult extract_attribution(
+    const std::vector<obs::SpanRecord>& spans, std::size_t boundary);
+
+/// Static/dynamic boundary recovered from the spans themselves: the FE
+/// stamps the wire size of the static portion (`bytes`) on every
+/// `static_flush` event. Returns 0 when no stamped event exists (traces
+/// from before the arg was added). Lets `trace_inspect attribution` work
+/// on a span dump alone, with no packet capture beside it.
+std::size_t boundary_from_spans(const std::vector<obs::SpanRecord>& spans);
+
+/// Extract and feed the obs-layer reducers in deterministic order.
+/// `flight`, when non-null, receives one entry per completed query with
+/// the full span subtree attached.
+void reduce_attribution(const std::vector<obs::SpanRecord>& spans,
+                        std::size_t boundary,
+                        obs::QueryAttribution& attribution,
+                        obs::FlightRecorder* flight = nullptr);
+
+}  // namespace dyncdn::analysis

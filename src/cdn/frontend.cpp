@@ -257,25 +257,32 @@ void FrontEndServer::send_head_and_static(ClientCtx& ctx) {
     static_prefix_primed_ = true;
     static_prefix_buf_ = net::make_buffer(content_.static_prefix());
   }
-#if DYNCDN_OBS
-  if (obs::TraceSession* trace =
-          obs::active_trace(node_.simulator())) {
-    // Role 1 of the paper: the static flush leaves the FE here; the
-    // client-side t3/t4 stamps are its arrival as seen by the tcp.flow
-    // span's rx events.
-    trace->add_event(ctx.span, "static_flush",
-                     node_.simulator().now());
-  }
-#endif
   http::HttpResponse head;
   // Service-level constant headers only: the response head is part of the
   // static portion the analyzer discovers by cross-query (and cross-FE)
   // common-prefix comparison, so nothing FE- or query-specific goes here.
   head.set_header("Server", content_.service_name());
   head.set_header("Connection", "close");
+  const std::string head_text = head.serialize_head();
+#if DYNCDN_OBS
+  if (obs::TraceSession* trace =
+          obs::active_trace(node_.simulator())) {
+    // Role 1 of the paper: the static flush leaves the FE here; the
+    // client-side t3/t4 stamps are its arrival as seen by the tcp.flow
+    // span's rx events. `bytes` is the wire size of the static portion
+    // (head + cached prefix) — the same byte count the analyzer discovers
+    // as the static/dynamic boundary, recorded so an offline span trace is
+    // attributable without a packet capture (trace_inspect attribution).
+    trace->add_event(
+        ctx.span, "static_flush", node_.simulator().now(),
+        {obs::Arg{"bytes",
+                  obs::ArgValue::of(static_cast<std::int64_t>(
+                      head_text.size() + static_prefix_buf_->size()))}});
+  }
+#endif
   // Close-framed response: the dynamic size is unknown at this point, which
   // is exactly why the FE can start sending before the BE answers.
-  ctx.socket->send_text(head.serialize_head());
+  ctx.socket->send_text(head_text);
   ctx.socket->send(
       net::PayloadRef{static_prefix_buf_, 0, static_prefix_buf_->size()});
 }

@@ -111,6 +111,11 @@ class FrontEndServer {
   bool backend_connected() const;
   std::size_t backend_pool_size() const { return be_pool_.size(); }
 
+  /// Instantaneous depths for the time-series sampler (the *_peak()
+  /// accessors below keep the end-of-run high-water marks).
+  std::size_t fetch_queue_depth() const { return fetch_queue_.size(); }
+  std::size_t active_requests() const { return active_requests_; }
+
   /// High-water marks for the metrics layer.
   std::size_t backend_pool_peak() const { return be_pool_peak_; }
   std::size_t fetch_queue_peak() const { return fetch_queue_peak_; }

@@ -19,6 +19,7 @@ void Network::set_shards(std::vector<sim::Simulator*> sims) {
   shard_sims_ = std::move(sims);
   no_route_by_shard_.assign(shard_sims_.size(), 0);
   routed_by_shard_.assign(shard_sims_.size(), 0);
+  arrivals_by_shard_.assign(shard_sims_.size(), ShardArrivals{});
 }
 
 Node& Network::add_node(const std::string& name, GeoPoint location,
@@ -62,11 +63,16 @@ void Network::connect(Node& a, Node& b, const LinkConfig& a_to_b,
       sim::Simulator* src_sim = &from.simulator();
       link->set_cross_shard_post(
           [box, src_sim](sim::SimTime arrival, PacketPtr p) {
+            // Mirror the transmit-time delivery counts the Link just
+            // recorded, so sampled_link_stats() can back them out.
+            ++box->posted_packets;
+            box->posted_bytes += p->wire_size();
             box->staged.push_back(
                 Mailbox::Staged{arrival, src_sim->now(), std::move(p)});
           });
       min_cross_delay_ = std::min(min_cross_delay_, cfg.propagation_delay);
     }
+    all_links_.push_back(link.get());
     adjacency_[from.id().value()].push_back(Edge{to.id(), std::move(link)});
   };
   make_edge(a, b, a_to_b);
@@ -99,8 +105,13 @@ std::size_t Network::flush_mailboxes() {
                    });
   for (const Entry& e : entries) {
     Mailbox::Staged& s = e.box->staged[e.index];
+    // The arrival closure runs on the destination shard's worker thread,
+    // which exclusively owns that shard's ShardArrivals slot.
+    ShardArrivals* arrived = &arrivals_by_shard_[e.box->dst->shard()];
     e.box->dst_sim->schedule_at(
-        s.arrival, [dst = e.box->dst, p = std::move(s.packet)]() {
+        s.arrival, [dst = e.box->dst, arrived, p = std::move(s.packet)]() {
+          ++arrived->packets;
+          arrived->bytes += p->wire_size();
           dst->deliver(p);
         });
   }
@@ -246,17 +257,33 @@ Link* Network::first_hop_link(NodeId a, NodeId b) {
 }
 
 LinkStats Network::aggregate_link_stats() const {
+  // Flat link list, not the adjacency map: this runs once per sampler
+  // tick, and pointer-chasing the per-node edge vectors showed up in the
+  // telemetry overhead measurement.
   LinkStats total;
-  for (const auto& [from, edges] : adjacency_) {
-    for (const auto& edge : edges) {
-      const LinkStats& s = edge.link->stats();
-      total.packets_offered += s.packets_offered;
-      total.packets_delivered += s.packets_delivered;
-      total.drops_loss += s.drops_loss;
-      total.drops_queue += s.drops_queue;
-      total.packets_reordered += s.packets_reordered;
-      total.bytes_delivered += s.bytes_delivered;
-    }
+  for (const Link* link : all_links_) {
+    const LinkStats& s = link->stats();
+    total.packets_offered += s.packets_offered;
+    total.packets_delivered += s.packets_delivered;
+    total.drops_loss += s.drops_loss;
+    total.drops_queue += s.drops_queue;
+    total.packets_reordered += s.packets_reordered;
+    total.bytes_delivered += s.bytes_delivered;
+  }
+  return total;
+}
+
+LinkStats Network::sampled_link_stats() const {
+  LinkStats total = aggregate_link_stats();
+  // Unsigned wrap in the intermediate is fine: arrived <= posted always,
+  // so the final sums are non-negative.
+  for (const auto& box : mailboxes_) {
+    total.packets_delivered -= box->posted_packets;
+    total.bytes_delivered -= box->posted_bytes;
+  }
+  for (const ShardArrivals& a : arrivals_by_shard_) {
+    total.packets_delivered += a.packets;
+    total.bytes_delivered += a.bytes;
   }
   return total;
 }

@@ -100,6 +100,17 @@ class Network {
   /// Element-wise sum of every directed link's counters.
   LinkStats aggregate_link_stats() const;
 
+  /// aggregate_link_stats() with delivery re-expressed at ARRIVAL time for
+  /// every link. Cross-shard links count packets_delivered/bytes_delivered
+  /// at transmit (the destination shard must never touch the source link's
+  /// state), so the raw aggregate depends on which links straddle the
+  /// shard cut while packets are in flight. This view subtracts the
+  /// transmit-time cross-shard counts and adds back arrivals that have
+  /// actually executed, making mid-run snapshots (the time-series sampler)
+  /// identical at every shard layout. At quiescence the two views agree.
+  /// Call only while no shard worker is running (e.g. at a tick barrier).
+  LinkStats sampled_link_stats() const;
+
   /// One-way shortest-path propagation delay between two nodes (sum of link
   /// propagation delays; ignores bandwidth). Infinity if unreachable.
   sim::SimTime path_delay(NodeId a, NodeId b) const;
@@ -123,6 +134,19 @@ class Network {
     Node* dst = nullptr;
     sim::Simulator* dst_sim = nullptr;
     std::vector<Staged> staged;
+    /// Transmit-time delivery counts for this directed link (the amounts
+    /// its Link::stats() recorded early). Written only by the source
+    /// shard's thread via the post closure.
+    std::uint64_t posted_packets = 0;
+    std::uint64_t posted_bytes = 0;
+  };
+
+  /// Cross-shard arrivals that have executed, indexed by destination
+  /// shard: each slot is written only by that shard's worker thread.
+  /// Padded so neighbouring shards never share a cache line.
+  struct alignas(64) ShardArrivals {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
   };
 
   sim::Simulator& simulator_;
@@ -130,11 +154,15 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
   std::unordered_map<std::string, NodeId> by_name_;
   std::unordered_map<std::uint32_t, std::vector<Edge>> adjacency_;
+  /// Every directed link in creation order — the flat iteration order for
+  /// aggregate_link_stats(), which runs on the per-tick sampling path.
+  std::vector<const Link*> all_links_;
   /// next_hop_[src][dst] -> link to use.
   std::unordered_map<std::uint32_t, std::unordered_map<std::uint32_t, Link*>>
       next_hop_;
   /// One mailbox per cross-shard directed link, in creation order.
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<ShardArrivals> arrivals_by_shard_;
   sim::SimTime min_cross_delay_ = sim::SimTime::infinity();
   bool routes_dirty_ = true;
   /// Indexed by the source node's shard: parallel route() calls from

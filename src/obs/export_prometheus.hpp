@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 namespace dyncdn::obs {
 
@@ -20,5 +21,15 @@ std::string export_prometheus(const MetricsRegistry& registry,
 bool write_prometheus(const MetricsRegistry& registry,
                       const std::string& path,
                       const std::string& prefix = "dyncdn_");
+
+// One-line description for a catalog metric (unprefixed name, e.g.
+// "fe_queries_handled"); empty for unknown names. Emitted as `# HELP`
+// ahead of `# TYPE` by export_prometheus.
+std::string_view metric_help(std::string_view name);
+
+// Exposition-format escaping. HELP text escapes backslash and newline;
+// label values additionally escape double quotes.
+std::string escape_help(std::string_view text);
+std::string escape_label_value(std::string_view text);
 
 }  // namespace dyncdn::obs

@@ -73,11 +73,17 @@ double Histogram::quantile(double q) const {
     const std::uint64_t next = cumulative + buckets_[i];
     if (static_cast<double>(next) >= target && buckets_[i] > 0) {
       const double lo = i == 0 ? 0.0 : bounds[i - 1];
-      const double hi = i < bounds.size() ? bounds[i] : max_;
+      const double hi = i < bounds.size() ? bounds[i] : std::max(max_, lo);
       const double frac =
           (target - static_cast<double>(cumulative)) /
           static_cast<double>(buckets_[i]);
-      return std::clamp(lo + (hi - lo) * frac, min_, max_);
+      // Bucket edges form a geometric ladder, so mass inside a bucket is
+      // modelled log-uniform: interpolate geometrically where both edges
+      // are positive. Bucket 0 has lo == 0 — linear is the only option.
+      const double v = (lo > 0.0 && hi > lo)
+                           ? lo * std::pow(hi / lo, frac)
+                           : lo + (hi - lo) * frac;
+      return std::clamp(v, min_, max_);
     }
     cumulative = next;
   }

@@ -39,7 +39,10 @@ class Histogram {
   static const std::vector<double>& upper_bounds();
   const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
 
-  // Linear-interpolated quantile estimate from the bucket counts.
+  // Quantile estimate from the bucket counts with log-bucket (geometric)
+  // interpolation inside the hit bucket, matching the geometric bound
+  // ladder; linear only in bucket 0 (whose lower edge is zero). Clamped
+  // to the observed [min, max].
   double quantile(double q) const;
 
  private:

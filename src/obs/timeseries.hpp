@@ -1,0 +1,118 @@
+// Sim-time periodic metric series: bounded, merge-deterministic sampling
+// of scalar channels at a fixed tick interval.
+//
+// The sampler itself is passive — it does not know about the simulator.
+// The scenario drives it: at each tick boundary it calls begin_tick(),
+// record()s every channel, then end_tick(). Channels come in two groups:
+//
+//  * application channels (default): derived only from simulation state
+//    (queue depths, in-flight packets, delivered-byte deltas). These are
+//    shard-layout invariant at barrier-aligned tick times, so the CSV/JSON
+//    exports are byte-identical at any thread or shard count — the same
+//    contract as the metrics registry.
+//  * runtime channels (record(..., /*runtime=*/true)): PDES/executor
+//    health (barrier stall wall-time, window counts). Wall clocks and
+//    layout-dependent counters live here; they are excluded from the
+//    deterministic exports and surface only via to_json(true).
+//
+// merge() aligns two samplers by absolute tick index and sums values, the
+// commutative rule that keeps replica merges order-independent. The series
+// is bounded: past max_samples ticks the oldest tick is evicted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dyncdn::obs {
+
+class TimeSeriesSampler {
+  struct Channel;
+
+ public:
+  // interval_ns: sim-time width of one tick; max_samples bounds retained
+  // ticks (oldest evicted first).
+  explicit TimeSeriesSampler(std::uint64_t interval_ns = 0,
+                             std::size_t max_samples = 4096);
+
+  bool enabled() const { return interval_ns_ > 0; }
+  std::uint64_t interval_ns() const { return interval_ns_; }
+  std::size_t max_samples() const { return max_samples_; }
+
+  // Start the sample for absolute tick index `tick` (sim time =
+  // tick * interval). Ticks must be presented in increasing order.
+  void begin_tick(std::uint64_t tick);
+
+  // Record an instantaneous value for `channel` at the current tick.
+  void record(const std::string& channel, double value, bool runtime = false);
+
+  // Record a monotonically increasing cumulative counter; the stored value
+  // is the delta since the previous record_cumulative on this channel.
+  void record_cumulative(const std::string& channel, double cumulative,
+                         bool runtime = false);
+
+  // Interned channel handle for the per-tick hot path: resolves the name
+  // once, then record(ref, ...) skips the string-keyed map lookup that
+  // dominates take_sample() at small tick intervals. Refs stay valid
+  // across ticks and evictions but are invalidated by merge().
+  class ChannelRef {
+   public:
+    ChannelRef() = default;
+
+   private:
+    friend class TimeSeriesSampler;
+    Channel* ch = nullptr;
+  };
+  ChannelRef channel(const std::string& name, bool runtime = false);
+  void record(ChannelRef ref, double value);
+  void record_cumulative(ChannelRef ref, double cumulative);
+
+  // Close the current tick: channels not recorded this tick are padded
+  // with zero so every channel column has one value per retained tick.
+  void end_tick();
+
+  // Sum `other` into this series, aligning rows by absolute tick index
+  // (a tick missing on either side contributes zero). Channel runtime
+  // flags are unioned. Deterministic for any merge order.
+  void merge(const TimeSeriesSampler& other);
+
+  std::size_t sample_count() const { return ticks_.size(); }
+  const std::vector<std::uint64_t>& ticks() const { return ticks_; }
+  std::vector<std::string> channel_names(bool include_runtime = false) const;
+
+  // CSV with header `tick,time_ms,<app channels sorted>`; runtime channels
+  // never appear (they are not deterministic across layouts).
+  std::string to_csv() const;
+
+  // JSON object {interval_ns, ticks:[...], channels:{name:[...]}}.
+  // Runtime channels are included only when include_runtime is set.
+  std::string to_json(bool include_runtime = false) const;
+
+ private:
+  struct Channel {
+    bool runtime = false;
+    bool has_prev = false;
+    double prev_cumulative = 0.0;
+    // values[i] belongs to ticks_[i]; padded to ticks_.size() by
+    // end_tick(), shorter only mid-tick.
+    std::vector<double> values;
+  };
+
+  void record_channel(Channel& ch, double value);
+
+  void pad_channel(Channel& ch) {
+    if (ch.values.size() < ticks_.size()) {
+      ch.values.resize(ticks_.size(), 0.0);
+    }
+  }
+  void evict_to_bound();
+
+  std::uint64_t interval_ns_ = 0;
+  std::size_t max_samples_ = 4096;
+  bool in_tick_ = false;
+  std::vector<std::uint64_t> ticks_;
+  std::map<std::string, Channel> channels_;
+};
+
+}  // namespace dyncdn::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <stdexcept>
@@ -139,8 +140,10 @@ void ShardRunner::run_windowed(sim::SimTime bound) {
 
   const std::size_t workers = std::max<std::size_t>(1, threads_);
   std::barrier barrier(static_cast<std::ptrdiff_t>(workers), on_completion);
+  std::atomic<std::uint64_t> stall_wall_ns{0};
 
   const auto worker = [&](std::size_t w) {
+    std::uint64_t my_stall_ns = 0;
     while (true) {
       std::size_t s = 0;
       while (true) {
@@ -160,8 +163,16 @@ void ShardRunner::run_windowed(sim::SimTime bound) {
           abort.store(true, std::memory_order_relaxed);
         }
       }
+      const auto wait_begin = std::chrono::steady_clock::now();
       barrier.arrive_and_wait();
-      if (shared.done) return;
+      my_stall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wait_begin)
+              .count());
+      if (shared.done) {
+        stall_wall_ns.fetch_add(my_stall_ns, std::memory_order_relaxed);
+        return;
+      }
     }
   };
 
@@ -170,6 +181,7 @@ void ShardRunner::run_windowed(sim::SimTime bound) {
   for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker, w);
   worker(0);  // the caller is worker 0 (the deque owner)
   for (std::thread& t : pool) t.join();
+  stats_.stall_wall_ns += stall_wall_ns.load(std::memory_order_relaxed);
 
   // Lowest-shard exception wins, matching ReplicaExecutor's convention.
   for (const std::exception_ptr& e : errors) {

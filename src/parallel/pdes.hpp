@@ -56,6 +56,10 @@ struct ShardRunnerStats {
   /// Shard-windows that executed zero events (the shard reached the
   /// barrier having had nothing to do in [tmin, tmin + L)).
   std::uint64_t barrier_stalls = 0;
+  /// Wall-clock nanoseconds workers spent blocked in the window barrier,
+  /// summed over workers. Wall time, so runtime telemetry only — never
+  /// merged into deterministic exports.
+  std::uint64_t stall_wall_ns = 0;
   /// Packets staged on cross-shard links and flushed at barriers.
   std::uint64_t cross_shard_packets = 0;
   /// Events executed via the zero-lookahead serial fallback.

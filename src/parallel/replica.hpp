@@ -71,6 +71,12 @@ struct ExecutorStats {
   std::uint64_t tasks = 0;    // chunks executed in total
   std::uint64_t steals = 0;   // chunks executed by a non-owner worker
   std::size_t workers = 0;    // threads actually spawned (1 = inline)
+  // Per-worker breakdowns (index = worker id) for the telemetry layer;
+  // the inline path reports one pseudo-worker. Wall-clock free, but the
+  // split across workers is scheduling-dependent — runtime telemetry
+  // only, never part of the deterministic result contract.
+  std::vector<std::uint64_t> tasks_by_worker;
+  std::vector<std::uint64_t> steals_by_worker;
 };
 
 class ReplicaExecutor {
@@ -111,13 +117,19 @@ class ReplicaExecutor {
     }
     const std::size_t chunks = (count + grain - 1) / grain;
     const std::size_t workers = std::min(threads_, chunks);
-    stats_ = ExecutorStats{chunks, 0, workers > 0 ? workers : 1};
+    stats_ = ExecutorStats{};
+    stats_.tasks = chunks;
+    stats_.workers = workers > 0 ? workers : 1;
 
     if (workers <= 1) {
       for (std::size_t i = 0; i < count; ++i) slots[i].emplace(fn(i));
+      stats_.tasks_by_worker.assign(1, chunks);
+      stats_.steals_by_worker.assign(1, 0);
     } else {
       std::vector<std::exception_ptr> errors(count);
       std::atomic<std::uint64_t> steals{0};
+      std::vector<std::uint64_t> tasks_by_worker(workers, 0);
+      std::vector<std::uint64_t> steals_by_worker(workers, 0);
 
       // Each worker's deque starts with a contiguous block of chunk ids,
       // pushed highest-first so the owner pops ascending while thieves
@@ -148,8 +160,11 @@ class ReplicaExecutor {
       for (std::size_t w = 0; w < workers; ++w) {
         pool.emplace_back([&, w]() {
           std::size_t c = 0;
+          std::uint64_t my_tasks = 0;
+          std::uint64_t my_steals = 0;
           while (true) {
             if (deques[w]->pop(c)) {
+              ++my_tasks;
               run_chunk(c);
               continue;
             }
@@ -172,15 +187,22 @@ class ReplicaExecutor {
             }
             if (stole) {
               steals.fetch_add(1, std::memory_order_relaxed);
+              ++my_tasks;
+              ++my_steals;
               run_chunk(c);
               continue;
             }
             if (!lost_race) break;
           }
+          // Single writer per index; join() publishes to the coordinator.
+          tasks_by_worker[w] = my_tasks;
+          steals_by_worker[w] = my_steals;
         });
       }
       for (std::thread& t : pool) t.join();
       stats_.steals = steals.load(std::memory_order_relaxed);
+      stats_.tasks_by_worker = std::move(tasks_by_worker);
+      stats_.steals_by_worker = std::move(steals_by_worker);
       if (auto_grain_) {
         // A steal-heavy round means the static blocks were too coarse for
         // the cost skew: halve the grain for subsequent runs. Otherwise

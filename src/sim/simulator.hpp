@@ -45,6 +45,10 @@ class Simulator {
   /// (May advance the timing wheel's cursor internally.)
   SimTime next_event_time() { return queue_.next_time(); }
 
+  /// True while any event is pending. Convenience for host-side loops
+  /// (e.g. the time-series sampling loop) that advance tick by tick.
+  bool has_pending() { return next_event_time() != SimTime::infinity(); }
+
   /// Advance the clock to `t` without running an event. `t` must not
   /// precede now() nor overtake the earliest pending event. Link delivery
   /// coalescing uses this to stamp each packet of a drained train with its

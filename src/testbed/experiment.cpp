@@ -4,6 +4,7 @@
 
 #include "analysis/boundary.hpp"
 #include "analysis/reassembly.hpp"
+#include "analysis/span_attribution.hpp"
 #include "analysis/timeline.hpp"
 
 namespace dyncdn::testbed {
@@ -177,6 +178,18 @@ ExperimentResult run_experiment_subset(
   scenario.collect_metrics(result.metrics);
   scenario.collect_kernel_metrics(result.kernel_metrics);
   result.trace = scenario.shared_trace();
+  result.timeseries = scenario.take_timeseries();
+
+  // Telemetry reducers over the span forest: per-component latency
+  // attribution plus the slow-query flight recorder, fed in deterministic
+  // completion order. The walker reuses the capture pipeline's timeline
+  // code, so attribution sums reconcile with packet-derived T_dynamic at
+  // tolerance 0.
+  result.flight = obs::FlightRecorder(options.flight);
+  if (result.trace != nullptr && !result.trace->spans().empty()) {
+    analysis::reduce_attribution(result.trace->spans(), boundary,
+                                 result.attribution, &result.flight);
+  }
   return result;
 }
 

@@ -19,6 +19,9 @@
 #include "core/cache_detector.hpp"
 #include "core/inference.hpp"
 #include "core/timings.hpp"
+#include "obs/attribution.hpp"
+#include "obs/flight.hpp"
+#include "parallel/replica.hpp"
 #include "search/keywords.hpp"
 #include "testbed/scenario.hpp"
 
@@ -49,6 +52,10 @@ struct ExperimentOptions {
     double alpha = 1.0;
   };
   std::optional<ZipfWorkload> zipf;
+
+  /// Slow-query flight recorder configuration (only consulted when the
+  /// scenario traces: the recorder is fed from the span forest).
+  obs::FlightRecorder::Options flight;
 };
 
 struct ExperimentResult {
@@ -76,6 +83,22 @@ struct ExperimentResult {
   /// Trace session of the run (merged across shards, stamped with replica
   /// ids). Null unless ScenarioOptions::enable_tracing.
   std::shared_ptr<obs::TraceSession> trace;
+
+  /// Sim-time metric series (empty unless ScenarioOptions::ts_interval).
+  /// Replica merges align by absolute tick and sum, so the deterministic
+  /// exports are byte-identical at any thread count.
+  obs::TimeSeriesSampler timeseries;
+
+  /// Per-component latency attribution over the span forest (empty unless
+  /// the scenario traces). Fed in deterministic completion order.
+  obs::QueryAttribution attribution;
+
+  /// Slow-query flight recorder (empty unless the scenario traces).
+  obs::FlightRecorder flight;
+
+  /// Work-stealing executor counters from the replica engine; filled by
+  /// run_sharded, default for serial runs. Runtime telemetry only.
+  parallel::ExecutorStats executor_stats;
 
   /// All timings flattened.
   std::vector<core::QueryTimings> all() const;

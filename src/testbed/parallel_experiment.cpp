@@ -60,6 +60,7 @@ ExperimentResult run_sharded(const ScenarioOptions& base,
   ExperimentResult merged;
   merged.boundary = shard_results.front().boundary;
   merged.discovery_fetches = shard_results.front().discovery_fetches;
+  merged.flight = obs::FlightRecorder(options.flight);
   merged.per_node.resize(clients);
   merged.per_node_timings.resize(clients);
   for (std::size_t s = 0; s < shards; ++s) {
@@ -70,6 +71,12 @@ ExperimentResult run_sharded(const ScenarioOptions& base,
     }
     merged.metrics.merge(shard_results[s].metrics);
     merged.kernel_metrics.merge(shard_results[s].kernel_metrics);
+    // Telemetry merges in replica-index order: time-series rows align by
+    // absolute tick and sum, attribution histograms add bins, flight
+    // entries concatenate — all thread-count invariant.
+    merged.timeseries.merge(shard_results[s].timeseries);
+    merged.attribution.merge(shard_results[s].attribution);
+    merged.flight.merge(shard_results[s].flight);
     if (shard_results[s].trace) {
       if (!merged.trace) {
         merged.trace = std::make_shared<obs::TraceSession>();
@@ -78,6 +85,7 @@ ExperimentResult run_sharded(const ScenarioOptions& base,
                                static_cast<std::uint32_t>(s));
     }
   }
+  merged.executor_stats = executor.last_stats();
   return merged;
 }
 

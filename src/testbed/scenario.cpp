@@ -52,9 +52,74 @@ Scenario::Scenario(ScenarioOptions options) : options_(std::move(options)) {
   build_frontends();
   build_clients();
   runner_ = std::make_unique<parallel::ShardRunner>(*network_, sims_);
+  if (options_.ts_interval > sim::SimTime::zero()) {
+    sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+        static_cast<std::uint64_t>(options_.ts_interval.ns()),
+        options_.ts_max_samples);
+    ts_channels_.fe_fetch_queue = sampler_->channel("fe_fetch_queue");
+    ts_channels_.fe_active_requests = sampler_->channel("fe_active_requests");
+    ts_channels_.fe_backend_pool = sampler_->channel("fe_backend_pool");
+    ts_channels_.be_queue_depth = sampler_->channel("be_queue_depth");
+    ts_channels_.net_packets_in_flight =
+        sampler_->channel("net_packets_in_flight");
+    ts_channels_.link_packets_delivered =
+        sampler_->channel("link_packets_delivered");
+    ts_channels_.link_bytes_delivered =
+        sampler_->channel("link_bytes_delivered");
+    ts_channels_.pdes_windows =
+        sampler_->channel("pdes_windows", /*runtime=*/true);
+    ts_channels_.pdes_barrier_stalls =
+        sampler_->channel("pdes_barrier_stalls", /*runtime=*/true);
+    ts_channels_.pdes_stall_wall_ms =
+        sampler_->channel("pdes_stall_wall_ms", /*runtime=*/true);
+    ts_channels_.pdes_cross_shard_packets =
+        sampler_->channel("pdes_cross_shard_packets", /*runtime=*/true);
+  }
 }
 
-void Scenario::run() { runner_->run(); }
+void Scenario::run() {
+  if (!sampler_) {
+    runner_->run();
+    return;
+  }
+  // Sampled run: advance tick by tick, snapshotting the fleet at every
+  // tick boundary. Ticks are absolute (tick k = k * interval on the sim
+  // clock), so series from consecutive runs and from different replicas
+  // align by index.
+  const std::uint64_t interval =
+      static_cast<std::uint64_t>(options_.ts_interval.ns());
+  sim::SimTime max_now = sim::SimTime::zero();
+  for (sim::Simulator* s : sims_) max_now = std::max(max_now, s->now());
+  std::uint64_t tick =
+      static_cast<std::uint64_t>(max_now.ns()) / interval + 1;
+  while (true) {
+    sim::SimTime next = sim::SimTime::infinity();
+    for (sim::Simulator* s : sims_) {
+      next = std::min(next, s->next_event_time());
+    }
+    if (next == sim::SimTime::infinity()) break;
+    run_to_tick(sim::SimTime::nanoseconds(
+        static_cast<std::int64_t>(tick * interval)));
+    take_sample(tick);
+    ++tick;
+  }
+  // Drain anything staged outside the kernels (cross-shard mailboxes fed
+  // by host code between runs); normally a no-op.
+  runner_->run();
+}
+
+void Scenario::run_to_tick(sim::SimTime target) {
+  if (sims_.size() == 1) {
+    // run_window, not run_until: the bounded horizon parks coalesced
+    // delivery trains at the tick instead of letting them ride past it,
+    // which is what keeps tick-time state identical to the sharded path
+    // (cross-shard links never coalesce).
+    simulator_->run_window(target + sim::SimTime::nanoseconds(1));
+    if (simulator_->now() < target) simulator_->align_clock(target);
+    return;
+  }
+  runner_->run_until(target);
+}
 
 void Scenario::run_until(sim::SimTime deadline) {
   runner_->run_until(deadline);
@@ -335,6 +400,9 @@ void Scenario::collect_kernel_metrics(obs::MetricsRegistry& out) {
   out.add("pdes_barrier_stalls", st.barrier_stalls);
   out.add("pdes_cross_shard_packets", st.cross_shard_packets);
   out.add("pdes_serial_fallbacks", st.serial_fallbacks);
+  // stall_wall_ns is deliberately absent: it is wall-clock time, and this
+  // registry stays deterministic at a fixed shard layout. The stall timer
+  // surfaces through the time-series runtime channels instead.
 }
 
 void Scenario::collect_metrics(obs::MetricsRegistry& out) {
@@ -406,6 +474,60 @@ void Scenario::collect_metrics(obs::MetricsRegistry& out) {
   out.add("be_queries_served", backend_->queries_served());
   out.gauge_max("be_queue_depth_peak",
                 static_cast<std::int64_t>(backend_->active_queries_peak()));
+}
+
+void Scenario::take_sample(std::uint64_t tick) {
+  obs::TimeSeriesSampler& ts = *sampler_;
+  ts.begin_tick(tick);
+
+  // Application channels: derived purely from simulation state at the
+  // (horizon-aligned) tick, so byte-identical at any thread/shard count.
+  std::int64_t fetch_queue = 0, active = 0, pool = 0;
+  for (FrontEnd& fe : fes_) {
+    fetch_queue += static_cast<std::int64_t>(fe.server->fetch_queue_depth());
+    active += static_cast<std::int64_t>(fe.server->active_requests());
+    pool += static_cast<std::int64_t>(fe.server->backend_pool_size());
+  }
+  ts.record(ts_channels_.fe_fetch_queue, static_cast<double>(fetch_queue));
+  ts.record(ts_channels_.fe_active_requests, static_cast<double>(active));
+  ts.record(ts_channels_.fe_backend_pool, static_cast<double>(pool));
+  ts.record(ts_channels_.be_queue_depth,
+            static_cast<double>(backend_->active_queries()));
+
+  // sampled_link_stats, not aggregate_link_stats: mid-run snapshots must
+  // count delivery at arrival on every link or the series would depend on
+  // which links straddle the shard cut.
+  const net::LinkStats links = network_->sampled_link_stats();
+  ts.record(ts_channels_.net_packets_in_flight,
+            static_cast<double>(links.packets_offered -
+                                links.packets_delivered - links.drops_loss -
+                                links.drops_queue));
+  ts.record_cumulative(ts_channels_.link_packets_delivered,
+                       static_cast<double>(links.packets_delivered));
+  ts.record_cumulative(ts_channels_.link_bytes_delivered,
+                       static_cast<double>(links.bytes_delivered));
+
+  // Runtime channels: PDES health. Layout- and wall-clock-dependent, so
+  // excluded from the deterministic exports (to_csv / to_json(false)).
+  const parallel::ShardRunnerStats& st = runner_->stats();
+  ts.record_cumulative(ts_channels_.pdes_windows,
+                       static_cast<double>(st.windows));
+  ts.record_cumulative(ts_channels_.pdes_barrier_stalls,
+                       static_cast<double>(st.barrier_stalls));
+  ts.record_cumulative(ts_channels_.pdes_stall_wall_ms,
+                       static_cast<double>(st.stall_wall_ns) / 1e6);
+  ts.record_cumulative(ts_channels_.pdes_cross_shard_packets,
+                       static_cast<double>(st.cross_shard_packets));
+  ts.end_tick();
+}
+
+obs::TimeSeriesSampler Scenario::take_timeseries() {
+  if (!sampler_) return obs::TimeSeriesSampler{};
+  obs::TimeSeriesSampler out = std::move(*sampler_);
+  *sampler_ = obs::TimeSeriesSampler(
+      static_cast<std::uint64_t>(options_.ts_interval.ns()),
+      options_.ts_max_samples);
+  return out;
 }
 
 void Scenario::set_stream_boundary(std::size_t boundary) {

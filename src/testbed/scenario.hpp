@@ -18,6 +18,7 @@
 #include "cdn/frontend.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "parallel/pdes.hpp"
 #include "search/content_model.hpp"
@@ -82,6 +83,18 @@ struct ScenarioOptions {
   /// When >0, completed spans also feed a bounded binary flight recorder
   /// of this many bytes (obs::RingBuffer).
   std::size_t trace_ring_bytes = 0;
+
+  /// Sim-time metric sampling (obs::TimeSeriesSampler). When > 0, run()
+  /// advances in `ts_interval` steps and snapshots queue depths /
+  /// in-flight work at every tick boundary. Tick advances are
+  /// horizon-bounded (run_window semantics), so the application channels
+  /// are byte-identical at any thread or shard count; a sampled run's
+  /// final clock is rounded up to a tick boundary, so — like tracing — a
+  /// sampled run is deterministic but not byte-identical to an unsampled
+  /// one. zero() = off.
+  sim::SimTime ts_interval = sim::SimTime::zero();
+  /// Bound on retained ticks (oldest evicted first).
+  std::size_t ts_max_samples = 4096;
 
   /// Batch contiguous link deliveries behind single kernel events
   /// (net::LinkConfig::coalesce_deliveries) on every link. Results are
@@ -195,6 +208,12 @@ class Scenario {
   /// shard count.
   void collect_kernel_metrics(obs::MetricsRegistry& out);
 
+  /// Time-series sampler (null unless ScenarioOptions::ts_interval > 0).
+  obs::TimeSeriesSampler* timeseries() { return sampler_.get(); }
+  /// Move the sampled series out (empty sampler when sampling is off).
+  /// Call after the final run; the scenario's sampler is left drained.
+  obs::TimeSeriesSampler take_timeseries();
+
   /// True when clients reduce flows online (ScenarioOptions::stream_analysis).
   bool streaming() const { return options_.stream_analysis; }
 
@@ -215,6 +234,11 @@ class Scenario {
   void build_frontends();
   void build_clients();
   void merge_shard_traces();
+  /// Execute all events at or before `target` with a bounded horizon (so
+  /// coalesced delivery trains park at the tick instead of riding past
+  /// it) and align every shard clock to `target`.
+  void run_to_tick(sim::SimTime target);
+  void take_sample(std::uint64_t tick);
   net::LinkConfig client_access_link(const VantagePoint& vp,
                                      const net::GeoPoint& fe_location) const;
 
@@ -229,6 +253,22 @@ class Scenario {
   /// records straight into trace_). Disjoint id ranges via set_id_base.
   std::vector<std::unique_ptr<obs::TraceSession>> shard_traces_;
   std::unique_ptr<parallel::ShardRunner> runner_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  /// Interned sampler channels, resolved once at construction so the
+  /// per-tick hot path never touches the string-keyed channel map.
+  struct TsChannels {
+    obs::TimeSeriesSampler::ChannelRef fe_fetch_queue;
+    obs::TimeSeriesSampler::ChannelRef fe_active_requests;
+    obs::TimeSeriesSampler::ChannelRef fe_backend_pool;
+    obs::TimeSeriesSampler::ChannelRef be_queue_depth;
+    obs::TimeSeriesSampler::ChannelRef net_packets_in_flight;
+    obs::TimeSeriesSampler::ChannelRef link_packets_delivered;
+    obs::TimeSeriesSampler::ChannelRef link_bytes_delivered;
+    obs::TimeSeriesSampler::ChannelRef pdes_windows;
+    obs::TimeSeriesSampler::ChannelRef pdes_barrier_stalls;
+    obs::TimeSeriesSampler::ChannelRef pdes_stall_wall_ms;
+    obs::TimeSeriesSampler::ChannelRef pdes_cross_shard_packets;
+  } ts_channels_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<search::ContentModel> content_;
   std::unique_ptr<cdn::BackendDataCenter> backend_;

@@ -297,6 +297,9 @@ std::uint64_t int_arg(const std::vector<obs::Arg>& args,
 }  // namespace
 
 TEST(ObsEndToEnd, SpanTimelineMatchesPacketAnalysisExactly) {
+#if !DYNCDN_OBS
+  GTEST_SKIP() << "requires span instrumentation (DYNCDN_OBS=ON)";
+#endif
   testbed::ScenarioOptions so;
   so.profile = cdn::google_like_profile();
   so.client_count = 2;
@@ -369,6 +372,9 @@ TEST(ObsEndToEnd, SpanTimelineMatchesPacketAnalysisExactly) {
 }
 
 TEST(ObsEndToEnd, SpanTreeLinksClientFeAndBe) {
+#if !DYNCDN_OBS
+  GTEST_SKIP() << "requires span instrumentation (DYNCDN_OBS=ON)";
+#endif
   testbed::ScenarioOptions so;
   so.profile = cdn::google_like_profile();
   so.client_count = 2;

@@ -332,6 +332,9 @@ TEST(ParallelExperiment, MetricsPrometheusDumpThreadCountInvariant) {
 // shard-index order with deterministic id remapping, so the Chrome export
 // is byte-identical at any thread count.
 TEST(ParallelExperiment, TraceChromeExportThreadCountInvariant) {
+#if !DYNCDN_OBS
+  GTEST_SKIP() << "requires span instrumentation (DYNCDN_OBS=ON)";
+#endif
   auto scenario = small_scenario();
   scenario.enable_tracing = true;
   const auto options = small_experiment();

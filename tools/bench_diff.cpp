@@ -16,6 +16,12 @@
 //     (memory is less noisy than wall clock but RSS quantizes in pages, so
 //     it gets its own, looser knob).
 //
+//   absolute ceiling (observability cost): `overhead_pct`,
+//     `telemetry_overhead_pct`. Gated on the CANDIDATE value alone against
+//     `--overhead-ceiling` (default 10.0, the bench's hard limit) — these
+//     are wall-clock percentages whose baseline value is noise, and the
+//     ceiling must hold even when the baseline predates the section.
+//
 // Metrics are addressed by dotted path; metrics present on only one side
 // are reported but not fatal, so the bench can grow sections without
 // breaking older baselines. Exit 1 on regression, 2 on usage/parse errors.
@@ -36,7 +42,7 @@ namespace {
 
 using dyncdn::obs::json::Value;
 
-enum class Direction { kHigherIsBetter, kLowerIsBetter };
+enum class Direction { kHigherIsBetter, kLowerIsBetter, kCeiling };
 
 bool is_throughput_metric(const std::string& key) {
   return key == "events_per_sec" || key == "queries_per_sec_serial" ||
@@ -48,6 +54,10 @@ bool is_memory_metric(const std::string& key) {
   return key == "peak_rss_bytes" || key == "peak_live_delta_bytes" ||
          key == "allocations" || key == "retained_bytes_peak" ||
          key == "analyzer_bytes_peak";
+}
+
+bool is_ceiling_metric(const std::string& key) {
+  return key == "overhead_pct" || key == "telemetry_overhead_pct";
 }
 
 struct Metric {
@@ -67,6 +77,8 @@ void collect(const Value& v, const std::string& prefix,
     } else if (child.type == Value::Type::kNumber && is_memory_metric(key)) {
       out.push_back(Metric{path, child.as_double(),
                            Direction::kLowerIsBetter});
+    } else if (child.type == Value::Type::kNumber && is_ceiling_metric(key)) {
+      out.push_back(Metric{path, child.as_double(), Direction::kCeiling});
     } else {
       collect(child, path, out);
     }
@@ -104,6 +116,7 @@ const Metric* find(const std::vector<Metric>& metrics,
 int main(int argc, char** argv) {
   double tolerance = 0.10;
   double mem_tolerance = 0.25;
+  double overhead_ceiling = 10.0;
   const char* base_path = nullptr;
   const char* cand_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -111,6 +124,8 @@ int main(int argc, char** argv) {
       tolerance = std::atof(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--mem-tolerance=", 16) == 0) {
       mem_tolerance = std::atof(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--overhead-ceiling=", 19) == 0) {
+      overhead_ceiling = std::atof(argv[i] + 19);
     } else if (base_path == nullptr) {
       base_path = argv[i];
     } else if (cand_path == nullptr) {
@@ -121,10 +136,11 @@ int main(int argc, char** argv) {
     }
   }
   if (base_path == nullptr || cand_path == nullptr || tolerance < 0.0 ||
-      mem_tolerance < 0.0) {
+      mem_tolerance < 0.0 || overhead_ceiling < 0.0) {
     std::fprintf(stderr,
                  "usage: bench_diff <baseline.json> <candidate.json> "
-                 "[--tolerance=0.10] [--mem-tolerance=0.25]\n");
+                 "[--tolerance=0.10] [--mem-tolerance=0.25] "
+                 "[--overhead-ceiling=10.0]\n");
     return 2;
   }
 
@@ -137,6 +153,7 @@ int main(int argc, char** argv) {
 
   int regressions = 0;
   for (const Metric& b : base) {
+    if (b.direction == Direction::kCeiling) continue;  // candidate-side gate
     const Metric* c = find(cand, b.path);
     if (c == nullptr) {
       std::printf("MISSING  %-45s baseline=%.0f (not in candidate)\n",
@@ -156,7 +173,15 @@ int main(int argc, char** argv) {
     if (regressed) ++regressions;
   }
   for (const Metric& c : cand) {
-    if (find(base, c.path) == nullptr) {
+    if (c.direction == Direction::kCeiling) {
+      // Absolute gate on the candidate: these percentages are wall-clock
+      // noise run to run, so only the hard ceiling is enforced.
+      const bool over = c.value > overhead_ceiling;
+      std::printf("%s %-45s %12.2f  (ceiling %.1f)\n",
+                  over ? "CEILING " : "ok      ", c.path.c_str(), c.value,
+                  overhead_ceiling);
+      if (over) ++regressions;
+    } else if (find(base, c.path) == nullptr) {
       std::printf("NEW      %-45s candidate=%.0f (not in baseline)\n",
                   c.path.c_str(), c.value);
     }

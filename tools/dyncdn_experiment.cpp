@@ -45,6 +45,12 @@ struct CliOptions {
   std::string trace_out;    // Chrome trace_event JSON; empty = off
   std::string metrics_out;  // Prometheus text dump; empty = off
   bool stream = true;       // online timeline analysis (--capture = off)
+  double ts_interval_ms = 0.0;  // 0 = default 100ms when a ts output is set
+  std::string ts_out;           // time series (.csv -> CSV, else JSON)
+  std::string ts_runtime_out;   // runtime channels + executor JSON
+  std::string attribution_out;  // per-component latency JSON
+  std::string slow_log;         // flight-recorder slow-query JSON
+  double slow_threshold_ms = 0.0;  // explicit trigger; 0 = adaptive
 };
 
 void usage() {
@@ -57,6 +63,10 @@ void usage() {
       "                         [--threads=N] [--shards=N]\n"
       "                         [--shards-per-scenario=N]\n"
       "                         [--trace-out=FILE] [--metrics-out=FILE]\n"
+      "                         [--ts-interval=MS] [--ts-out=FILE]\n"
+      "                         [--ts-runtime-out=FILE]\n"
+      "                         [--attribution-out=FILE] [--slow-log=FILE]\n"
+      "                         [--slow-threshold=MS]\n"
       "                         [--stream | --capture]\n"
       "  --threads  worker threads for sharded experiments "
       "(0 = DYNCDN_THREADS or all cores)\n"
@@ -72,7 +82,25 @@ void usage() {
       "  --trace-out    write per-query span timelines as Chrome "
       "trace_event JSON (chrome://tracing, Perfetto)\n"
       "  --metrics-out  write the run's metrics registry in Prometheus "
-      "text format\n");
+      "text format\n"
+      "  --ts-interval  sim-time sampling tick in ms (default 100 once any\n"
+      "                 time-series output is requested)\n"
+      "  --ts-out       write the sampled metric series; a .csv suffix\n"
+      "                 selects CSV, anything else JSON. Application\n"
+      "                 channels only: byte-identical at any --threads /\n"
+      "                 --shards-per-scenario value\n"
+      "  --ts-runtime-out  write runtime-health JSON (PDES barrier stalls,\n"
+      "                 per-worker run/steal counts); layout-dependent by\n"
+      "                 nature, so kept out of --ts-out\n"
+      "  --attribution-out  write per-component latency attribution JSON\n"
+      "                 (dns/connect/uplink/fe wait/fetch/delivery "
+      "percentiles);\n"
+      "                 implies tracing\n"
+      "  --slow-log     write the slow-query flight recorder dump (span\n"
+      "                 trees of promoted queries); implies tracing\n"
+      "  --slow-threshold  promote queries with T_dynamic above this many\n"
+      "                 ms (0 = adaptive: p90 of the running distribution "
+      "x 3)\n");
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -113,6 +141,18 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opt.trace_out = *v;
     } else if (auto v = value("--metrics-out=")) {
       opt.metrics_out = *v;
+    } else if (auto v = value("--ts-interval=")) {
+      opt.ts_interval_ms = std::strtod(v->c_str(), nullptr);
+    } else if (auto v = value("--ts-out=")) {
+      opt.ts_out = *v;
+    } else if (auto v = value("--ts-runtime-out=")) {
+      opt.ts_runtime_out = *v;
+    } else if (auto v = value("--attribution-out=")) {
+      opt.attribution_out = *v;
+    } else if (auto v = value("--slow-log=")) {
+      opt.slow_log = *v;
+    } else if (auto v = value("--slow-threshold=")) {
+      opt.slow_threshold_ms = std::strtod(v->c_str(), nullptr);
     } else if (arg == "--stream") {
       opt.stream = true;
     } else if (arg == "--capture") {
@@ -139,7 +179,108 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     std::fprintf(stderr, "--clients and --reps must be positive\n");
     return std::nullopt;
   }
+  if (opt.ts_interval_ms < 0.0 || opt.slow_threshold_ms < 0.0) {
+    std::fprintf(stderr,
+                 "--ts-interval and --slow-threshold must be >= 0\n");
+    return std::nullopt;
+  }
+  // A requested time-series output without an interval gets the default
+  // 100ms tick.
+  if (opt.ts_interval_ms == 0.0 &&
+      (!opt.ts_out.empty() || !opt.ts_runtime_out.empty())) {
+    opt.ts_interval_ms = 100.0;
+  }
   return opt;
+}
+
+// Sampling tick as sim time (zero = sampling off).
+sim::SimTime ts_interval(const CliOptions& cli) {
+  return sim::SimTime::nanoseconds(
+      static_cast<std::int64_t>(cli.ts_interval_ms * 1e6));
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+void write_timeseries_outputs(const CliOptions& cli,
+                              const obs::TimeSeriesSampler& ts,
+                              const parallel::ExecutorStats* exec) {
+  if (!cli.ts_out.empty()) {
+    const bool csv = cli.ts_out.size() >= 4 &&
+                     cli.ts_out.compare(cli.ts_out.size() - 4, 4, ".csv") == 0;
+    if (write_text_file(cli.ts_out, csv ? ts.to_csv() : ts.to_json(false))) {
+      std::fprintf(stderr, "time series (%zu ticks) written to %s\n",
+                   ts.sample_count(), cli.ts_out.c_str());
+    }
+  }
+  if (!cli.ts_runtime_out.empty()) {
+    // Runtime view: the full series including runtime channels, plus the
+    // executor's per-worker breakdown when a replica campaign supplied one.
+    std::string out = "{\"timeseries\":";
+    out += ts.to_json(true);
+    if (exec != nullptr) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ",\"executor\":{\"workers\":%zu",
+                    exec->workers);
+      out += buf;
+      std::snprintf(buf, sizeof(buf), ",\"tasks\":%llu,\"steals\":%llu",
+                    static_cast<unsigned long long>(exec->tasks),
+                    static_cast<unsigned long long>(exec->steals));
+      out += buf;
+      out += ",\"tasks_by_worker\":[";
+      for (std::size_t i = 0; i < exec->tasks_by_worker.size(); ++i) {
+        if (i != 0) out += ',';
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(
+                          exec->tasks_by_worker[i]));
+        out += buf;
+      }
+      out += "],\"steals_by_worker\":[";
+      for (std::size_t i = 0; i < exec->steals_by_worker.size(); ++i) {
+        if (i != 0) out += ',';
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(
+                          exec->steals_by_worker[i]));
+        out += buf;
+      }
+      out += "]}";
+    }
+    out += "}";
+    if (write_text_file(cli.ts_runtime_out, out)) {
+      std::fprintf(stderr, "runtime telemetry written to %s\n",
+                   cli.ts_runtime_out.c_str());
+    }
+  }
+}
+
+void write_attribution_outputs(const CliOptions& cli,
+                               const obs::QueryAttribution& attribution,
+                               const obs::FlightRecorder& flight) {
+  if (!cli.attribution_out.empty()) {
+    if (write_text_file(cli.attribution_out, attribution.to_json())) {
+      std::fprintf(stderr,
+                   "attribution (%llu queries, %llu reconcile failures) "
+                   "written to %s\n",
+                   static_cast<unsigned long long>(attribution.queries()),
+                   static_cast<unsigned long long>(
+                       attribution.reconcile_failures()),
+                   cli.attribution_out.c_str());
+    }
+  }
+  if (!cli.slow_log.empty()) {
+    if (write_text_file(cli.slow_log, flight.to_json())) {
+      std::fprintf(stderr, "slow-query log (%zu entries) written to %s\n",
+                   flight.slow().size(), cli.slow_log.c_str());
+    }
+  }
 }
 
 void save_all_traces(testbed::Scenario& scenario, const std::string& dir) {
@@ -188,7 +329,11 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
   so.client_count = cli.clients;
   so.seed = cli.seed;
   so.sim_shards = cli.sim_shards;
-  so.enable_tracing = !cli.trace_out.empty();
+  // Attribution and the flight recorder reduce the span forest, so they
+  // imply tracing just like --trace-out.
+  so.enable_tracing = !cli.trace_out.empty() || !cli.attribution_out.empty() ||
+                      !cli.slow_log.empty();
+  so.ts_interval = ts_interval(cli);
   // --save-traces needs the raw PacketRecords on disk, so it implies the
   // retained-capture path regardless of --stream.
   so.stream_analysis = cli.stream && cli.save_traces.empty();
@@ -196,6 +341,7 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
   testbed::ExperimentOptions eo;
   eo.reps_per_node = cli.reps;
   eo.interval = 1200_ms;
+  eo.flight.threshold_ms = cli.slow_threshold_ms;
   search::KeywordCatalog catalog(cli.seed);
   eo.keywords = catalog.figure3_keywords();
 
@@ -227,6 +373,15 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
     obs::MetricsRegistry metrics;
     scenario.collect_metrics(metrics);
     write_obs_outputs(cli, scenario.trace(), metrics);
+    if (scenario.timeseries() != nullptr) {
+      write_timeseries_outputs(cli, *scenario.timeseries(), nullptr);
+    }
+    if (!cli.attribution_out.empty() || !cli.slow_log.empty()) {
+      std::fprintf(stderr,
+                   "--attribution-out/--slow-log are unavailable with "
+                   "--save-traces; analyze the saved traces with "
+                   "trace_inspect instead\n");
+    }
     return 0;
   }
 
@@ -254,6 +409,8 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
   const auto threshold = core::estimate_delta_threshold(result.per_node);
   std::printf("# %s\n", threshold.to_string().c_str());
   write_obs_outputs(cli, result.trace.get(), result.metrics);
+  write_timeseries_outputs(cli, result.timeseries, &result.executor_stats);
+  write_attribution_outputs(cli, result.attribution, result.flight);
   print_memory_summary(so.stream_analysis);
   return 0;
 }
@@ -266,6 +423,7 @@ int run_caching(const CliOptions& cli) {
   so.seed = cli.seed;
   so.sim_shards = cli.sim_shards;
   so.enable_tracing = !cli.trace_out.empty();
+  so.ts_interval = ts_interval(cli);
   so.stream_analysis = cli.stream;
   testbed::Scenario scenario(so);
   scenario.warm_up();
@@ -292,6 +450,9 @@ int run_caching(const CliOptions& cli) {
   obs::MetricsRegistry metrics;
   scenario.collect_metrics(metrics);
   write_obs_outputs(cli, scenario.trace(), metrics);
+  if (scenario.timeseries() != nullptr) {
+    write_timeseries_outputs(cli, *scenario.timeseries(), nullptr);
+  }
   print_memory_summary(so.stream_analysis);
   return 0;
 }

@@ -19,6 +19,27 @@
 // them against the packet-capture analysis pipeline at tolerance 0: the
 // two observation paths (in-process spans vs. offline tcpdump-style
 // analysis) must agree on every timestamp, bit for bit.
+//
+// Attribution mode:
+//   trace_inspect attribution <trace.json> [--diff=<capture.trace>]
+//       [--boundary=N]
+//
+// Runs the per-query latency attribution reducer over the span forest and
+// prints per-component percentiles (dns/connect/uplink/fe wait/fetch/
+// delivery). With --diff, every attributed query's anchors and component
+// sum are checked against the packet-capture analysis at tolerance 0.
+//
+// Time-series mode:
+//   trace_inspect timeseries <series.csv|series.json>
+//
+// Summarizes a --ts-out export: per-channel min/mean/max over the tick
+// range.
+//
+// Slow-query mode:
+//   trace_inspect slow <slow.json> [--tree]
+//
+// Pretty-prints a --slow-log flight-recorder dump; --tree includes each
+// promoted query's retained span subtree.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -32,11 +53,14 @@
 
 #include "analysis/boundary.hpp"
 #include "analysis/reassembly.hpp"
+#include "analysis/span_attribution.hpp"
 #include "analysis/timeline.hpp"
 #include "capture/serialize.hpp"
 #include "core/inference.hpp"
 #include "core/timings.hpp"
+#include "obs/attribution.hpp"
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 using namespace dyncdn;
 
@@ -371,6 +395,468 @@ int inspect_spans(int argc, char** argv) {
 }
 
 // ---------------------------------------------------------------------------
+// Attribution mode
+// ---------------------------------------------------------------------------
+
+obs::ArgValue typed_arg(const obs::json::Value& v) {
+  using Type = obs::json::Value::Type;
+  switch (v.type) {
+    case Type::kString:
+      return obs::ArgValue::of(v.string);
+    case Type::kNumber:
+      if (v.is_integer) return obs::ArgValue::of(v.integer);
+      return obs::ArgValue::of(v.number);
+    case Type::kBool:
+      return obs::ArgValue::of(static_cast<std::int64_t>(v.boolean));
+    default:
+      return obs::ArgValue::of(std::int64_t{0});
+  }
+}
+
+bool structural_span_key(const std::string& key) {
+  return key == "span_id" || key == "parent" || key == "start_ns" ||
+         key == "end_ns" || key == "open" || key == "at_ns";
+}
+
+/// Parse a Chrome trace_event file back into the SpanRecord shape the
+/// in-process reducers consume, typed args included.
+bool load_span_records(const std::string& path,
+                       std::vector<obs::SpanRecord>& records) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto doc = obs::json::parse(ss.str());
+  if (!doc) {
+    std::fprintf(stderr, "error: %s is not valid JSON\n", path.c_str());
+    return false;
+  }
+  const obs::json::Value* events = doc->get("traceEvents");
+  if (!events || !events->is_array()) {
+    std::fprintf(stderr, "error: no traceEvents array in %s\n", path.c_str());
+    return false;
+  }
+
+  std::map<std::int64_t, std::size_t> by_id;
+  for (const obs::json::Value& ev : events->array) {
+    const obs::json::Value* ph = ev.get("ph");
+    const obs::json::Value* jargs = ev.get("args");
+    if (!ph || !jargs) continue;
+    if (ph->as_string() == "X") {
+      obs::SpanRecord r;
+      if (const auto* v = ev.get("name")) r.name = v->as_string();
+      if (const auto* v = ev.get("cat")) r.category = v->as_string();
+      if (const auto* v = jargs->get("span_id")) {
+        r.id = static_cast<obs::SpanId>(v->as_int());
+      }
+      if (const auto* v = jargs->get("parent")) {
+        r.parent = static_cast<obs::SpanId>(v->as_int());
+      }
+      if (const auto* v = jargs->get("start_ns")) {
+        r.start = sim::SimTime::nanoseconds(v->as_int());
+      }
+      if (const auto* v = jargs->get("end_ns")) {
+        r.end = sim::SimTime::nanoseconds(v->as_int());
+      }
+      r.open = jargs->get("open") != nullptr;
+      for (const auto& [key, val] : jargs->object) {
+        if (structural_span_key(key)) continue;
+        r.args.push_back(obs::Arg{key, typed_arg(val)});
+      }
+      by_id[static_cast<std::int64_t>(r.id)] = records.size();
+      records.push_back(std::move(r));
+    } else if (ph->as_string() == "i") {
+      const obs::json::Value* sid = jargs->get("span_id");
+      if (!sid) continue;
+      const auto it = by_id.find(sid->as_int());
+      if (it == by_id.end()) continue;
+      obs::SpanEvent e;
+      if (const auto* v = ev.get("name")) e.name = v->as_string();
+      if (const auto* v = jargs->get("at_ns")) {
+        e.at = sim::SimTime::nanoseconds(v->as_int());
+      }
+      for (const auto& [key, val] : jargs->object) {
+        if (structural_span_key(key)) continue;
+        e.args.push_back(obs::Arg{key, typed_arg(val)});
+      }
+      records[it->second].events.push_back(std::move(e));
+    }
+  }
+  return true;
+}
+
+/// Content-analysis boundary from a capture file (0 when unavailable).
+std::size_t boundary_from_capture(const capture::PacketTrace& web) {
+  std::vector<std::string> responses;
+  for (const auto& flow : web.flows()) {
+    auto stream =
+        analysis::reassemble(web, flow, capture::Direction::kReceived);
+    if (!stream.bytes().empty()) responses.push_back(stream.bytes());
+  }
+  return responses.size() >= 2 ? analysis::common_prefix_boundary(responses)
+                               : 0;
+}
+
+void print_attribution_table(const obs::QueryAttribution& attribution) {
+  std::printf("queries=%" PRIu64 " reconcile_failures=%" PRIu64
+              " skipped=%" PRIu64 "\n",
+              attribution.queries(), attribution.reconcile_failures(),
+              attribution.skipped());
+  std::printf("%-20s%8s%12s%12s%12s%12s\n", "component", "count", "mean_ms",
+              "p50_ms", "p99_ms", "p999_ms");
+  for (const std::string& name : obs::QueryAttribution::component_names()) {
+    const obs::Histogram* h = attribution.registry().histogram(name);
+    // Zero-count components still get a row (count 0) so the table layout
+    // matches the BENCH.json schema: every component, every run.
+    const std::uint64_t count = h != nullptr ? h->count() : 0;
+    if (count == 0) {
+      std::printf("%-20s%8" PRIu64 "%12s%12s%12s%12s\n", name.c_str(), count,
+                  "-", "-", "-", "-");
+      continue;
+    }
+    std::printf("%-20s%8" PRIu64 "%12.3f%12.3f%12.3f%12.3f\n", name.c_str(),
+                count, h->sum() / static_cast<double>(h->count()),
+                h->quantile(0.50), h->quantile(0.99), h->quantile(0.999));
+  }
+}
+
+/// Check every attributed query against the packet-capture pipeline:
+/// anchors t2/t5 must match some capture timeline exactly, and the
+/// component sum must telescope to t5 - t2 in integer nanoseconds.
+int diff_attribution(const analysis::SpanAttributionResult& result,
+                     const std::string& capture_path, std::size_t boundary) {
+  capture::PacketTrace trace;
+  try {
+    trace = capture::load_trace(capture_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const capture::PacketTrace web = trace.filter_remote_port(80);
+  const auto capture_tls = analysis::extract_all_timelines(web, 80, boundary);
+
+  std::size_t compared = 0, mismatches = 0;
+  for (const analysis::AttributedQuery& q : result.queries) {
+    const obs::QueryAttribution::Sample& s = q.sample;
+    const analysis::QueryTimeline* match = nullptr;
+    for (const auto& ct : capture_tls) {
+      if (ct.valid && ct.t1.ns() == s.t1 && ct.tb.ns() == s.tb) {
+        match = &ct;
+        break;
+      }
+    }
+    if (match == nullptr) continue;  // capture covers one vantage point
+    ++compared;
+    // Anchor collapse mirrors QueryAttribution::observe.
+    const std::int64_t a0 = s.t1;
+    const std::int64_t a1 = s.fe_recv >= 0 ? s.fe_recv : a0;
+    const std::int64_t a2 = s.fetch_start >= 0 ? s.fetch_start : a1;
+    const std::int64_t a3 = s.fetch_first_byte >= 0 ? s.fetch_first_byte : a2;
+    const std::int64_t sum = (a1 - a0) + (a2 - a1) + (a3 - a2) +
+                             (s.t5 - a3) - (s.t2 - s.t1);
+    const std::int64_t capture_t_dynamic = match->t5.ns() - match->t2.ns();
+    if (s.t2 != match->t2.ns() || s.t5 != match->t5.ns() ||
+        sum != capture_t_dynamic) {
+      ++mismatches;
+      std::printf("node %s: MISMATCH span(t2=%" PRId64 " t5=%" PRId64
+                  " sum=%" PRId64 ") capture(t2=%" PRId64 " t5=%" PRId64
+                  " t_dynamic=%" PRId64 ")\n",
+                  q.node.c_str(), s.t2, s.t5, sum, match->t2.ns(),
+                  match->t5.ns(), capture_t_dynamic);
+    }
+  }
+  std::printf("attribution diff: %zu compared, %zu mismatched "
+              "(boundary=%zu, tolerance=0)\n",
+              compared, mismatches, boundary);
+  if (compared == 0) {
+    std::fprintf(stderr, "attribution diff: nothing compared\n");
+    return 1;
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
+int inspect_attribution(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: trace_inspect attribution <trace.json> "
+                 "[--diff=<capture.trace>] [--boundary=N]\n");
+    return 2;
+  }
+  const std::string json_path = argv[2];
+  std::string diff_path;
+  std::size_t boundary = 0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--diff=")) {
+      diff_path = arg.substr(7);
+    } else if (arg.starts_with("--boundary=")) {
+      boundary = std::strtoull(argv[i] + 11, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::vector<obs::SpanRecord> records;
+  if (!load_span_records(json_path, records)) return 1;
+
+  if (boundary == 0 && !diff_path.empty()) {
+    try {
+      const capture::PacketTrace trace = capture::load_trace(diff_path);
+      boundary = boundary_from_capture(trace.filter_remote_port(80));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (boundary == 0) {
+    // Span-only invocation: recover the static/dynamic split from the
+    // FE's static_flush byte stamp instead of requiring a capture.
+    boundary = analysis::boundary_from_spans(records);
+    if (boundary != 0) {
+      std::printf("boundary %zu (from static_flush spans)\n", boundary);
+    } else {
+      std::fprintf(stderr,
+                   "warning: no boundary (no --boundary=, no --diff "
+                   "capture, no static_flush byte stamps); every query "
+                   "will be skipped\n");
+    }
+  }
+
+  const analysis::SpanAttributionResult result =
+      analysis::extract_attribution(records, boundary);
+  obs::QueryAttribution attribution;
+  for (const double ms : result.dns_ms) attribution.observe_dns_ms(ms);
+  for (std::size_t i = 0; i < result.skipped; ++i) attribution.skip();
+  for (const analysis::AttributedQuery& q : result.queries) {
+    attribution.observe(q.sample);
+  }
+  print_attribution_table(attribution);
+
+  if (!diff_path.empty()) {
+    return diff_attribution(result, diff_path, boundary);
+  }
+  return attribution.reconcile_failures() == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Time-series mode
+// ---------------------------------------------------------------------------
+
+struct SeriesColumn {
+  std::string name;
+  std::vector<double> values;
+};
+
+void print_series_summary(const std::vector<std::uint64_t>& ticks,
+                          const std::vector<SeriesColumn>& columns) {
+  std::printf("ticks: %zu", ticks.size());
+  if (!ticks.empty()) {
+    std::printf(" (%" PRIu64 "..%" PRIu64 ")", ticks.front(), ticks.back());
+  }
+  std::printf("\n%-28s%12s%12s%12s\n", "channel", "min", "mean", "max");
+  for (const SeriesColumn& c : columns) {
+    if (c.values.empty()) continue;
+    double lo = c.values.front(), hi = c.values.front(), sum = 0.0;
+    for (const double v : c.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    std::printf("%-28s%12.3f%12.3f%12.3f\n", c.name.c_str(), lo,
+                sum / static_cast<double>(c.values.size()), hi);
+  }
+}
+
+int inspect_timeseries(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: trace_inspect timeseries <series.csv|series.json>\n");
+    return 2;
+  }
+  const std::string path = argv[2];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  std::vector<std::uint64_t> ticks;
+  std::vector<SeriesColumn> columns;
+
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    std::stringstream lines(text);
+    std::string line;
+    bool header = true;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      std::stringstream cells(line);
+      std::string cell;
+      std::size_t col = 0;
+      while (std::getline(cells, cell, ',')) {
+        if (header) {
+          // Columns 0/1 are tick,time_ms; the rest are channels.
+          if (col >= 2) columns.push_back(SeriesColumn{cell, {}});
+        } else if (col == 0) {
+          ticks.push_back(std::strtoull(cell.c_str(), nullptr, 10));
+        } else if (col >= 2 && col - 2 < columns.size()) {
+          columns[col - 2].values.push_back(
+              std::strtod(cell.c_str(), nullptr));
+        }
+        ++col;
+      }
+      header = false;
+    }
+  } else {
+    const auto doc = obs::json::parse(text);
+    if (!doc) {
+      std::fprintf(stderr, "error: %s is not valid JSON\n", path.c_str());
+      return 1;
+    }
+    if (const auto* jticks = doc->get("ticks"); jticks && jticks->is_array()) {
+      for (const auto& t : jticks->array) {
+        ticks.push_back(static_cast<std::uint64_t>(t.as_int()));
+      }
+    }
+    if (const auto* chans = doc->get("channels");
+        chans && chans->is_object()) {
+      for (const auto& [name, vals] : chans->object) {
+        SeriesColumn c{name, {}};
+        for (const auto& v : vals.array) c.values.push_back(v.as_double());
+        columns.push_back(std::move(c));
+      }
+    }
+    if (const auto* v = doc->get("interval_ns")) {
+      std::printf("interval: %.3f ms\n",
+                  static_cast<double>(v->as_int()) / 1e6);
+    }
+  }
+  print_series_summary(ticks, columns);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query mode
+// ---------------------------------------------------------------------------
+
+/// Rebuild the span-tree view from a flight-recorder dump entry (the
+/// entry's spans use the same field names as the Chrome exporter's args).
+void collect_slow_spans(const obs::json::Value& jspans,
+                        std::vector<SpanNode>& nodes,
+                        std::vector<std::size_t>& roots) {
+  std::map<std::int64_t, std::size_t> by_id;
+  for (const obs::json::Value& js : jspans.array) {
+    SpanNode n;
+    if (const auto* v = js.get("id")) n.id = v->as_int();
+    if (const auto* v = js.get("parent")) n.parent = v->as_int();
+    if (const auto* v = js.get("name")) n.name = v->as_string();
+    if (const auto* v = js.get("cat")) n.cat = v->as_string();
+    if (const auto* v = js.get("start_ns")) n.start_ns = v->as_int();
+    if (const auto* v = js.get("end_ns")) n.end_ns = v->as_int();
+    if (const auto* jargs = js.get("args"); jargs && jargs->is_object()) {
+      for (const auto& [key, val] : jargs->object) {
+        n.args.emplace_back(key, arg_to_string(val));
+      }
+    }
+    if (const auto* jevents = js.get("events");
+        jevents && jevents->is_array()) {
+      for (const auto& je : jevents->array) {
+        SpanNode::Event e;
+        if (const auto* v = je.get("name")) e.name = v->as_string();
+        if (const auto* v = je.get("at_ns")) e.at_ns = v->as_int();
+        if (const auto* ja = je.get("args"); ja && ja->is_object()) {
+          if (const auto* v = ja->get("off")) e.off = v->as_int();
+          if (const auto* v = ja->get("len")) e.len = v->as_int();
+        }
+        n.events.push_back(std::move(e));
+      }
+    }
+    by_id[n.id] = nodes.size();
+    nodes.push_back(std::move(n));
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto it = by_id.find(nodes[i].parent);
+    if (nodes[i].parent != 0 && it != by_id.end()) {
+      nodes[it->second].children.push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+}
+
+int inspect_slow(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: trace_inspect slow <slow.json> [--tree]\n");
+    return 2;
+  }
+  const std::string path = argv[2];
+  bool tree = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--tree") {
+      tree = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto doc = obs::json::parse(ss.str());
+  if (!doc) {
+    std::fprintf(stderr, "error: %s is not valid JSON\n", path.c_str());
+    return 1;
+  }
+  std::printf("observed: %" PRId64 " queries, trigger threshold %.3f ms\n",
+              doc->get("observed") ? doc->get("observed")->as_int() : 0,
+              doc->get("threshold_ms") ? doc->get("threshold_ms")->as_double()
+                                       : 0.0);
+  const obs::json::Value* slow = doc->get("slow");
+  if (!slow || !slow->is_array()) {
+    std::fprintf(stderr, "error: no slow array in %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("slow queries: %zu\n", slow->array.size());
+  for (const obs::json::Value& e : slow->array) {
+    const auto* node = e.get("node");
+    const auto* keyword = e.get("keyword");
+    std::printf("- %s \"%s\"  t_dynamic=%.3f ms  threshold=%.3f ms  "
+                "end=%.3f ms\n",
+                node ? node->as_string().c_str() : "?",
+                keyword ? keyword->as_string().c_str() : "?",
+                e.get("t_dynamic_ms") ? e.get("t_dynamic_ms")->as_double()
+                                      : 0.0,
+                e.get("threshold_ms") ? e.get("threshold_ms")->as_double()
+                                      : 0.0,
+                e.get("end_ns")
+                    ? static_cast<double>(e.get("end_ns")->as_int()) / 1e6
+                    : 0.0);
+    if (tree) {
+      if (const auto* jspans = e.get("spans");
+          jspans && jspans->is_array()) {
+        std::vector<SpanNode> nodes;
+        std::vector<std::size_t> roots;
+        collect_slow_spans(*jspans, nodes, roots);
+        for (const std::size_t r : roots) print_span(nodes, r, 1);
+      }
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // Packet mode (the original tool)
 // ---------------------------------------------------------------------------
 
@@ -440,9 +926,20 @@ int main(int argc, char** argv) {
                  "usage: trace_inspect <trace-file> [boundary]\n"
                  "       trace_inspect spans <trace.json> "
                  "[--diff=<capture.trace>] [--boundary=N] [--node=NAME] "
-                 "[--tree]\n");
+                 "[--tree]\n"
+                 "       trace_inspect attribution <trace.json> "
+                 "[--diff=<capture.trace>] [--boundary=N]\n"
+                 "       trace_inspect timeseries <series.csv|series.json>\n"
+                 "       trace_inspect slow <slow.json> [--tree]\n");
     return 2;
   }
   if (std::strcmp(argv[1], "spans") == 0) return inspect_spans(argc, argv);
+  if (std::strcmp(argv[1], "attribution") == 0) {
+    return inspect_attribution(argc, argv);
+  }
+  if (std::strcmp(argv[1], "timeseries") == 0) {
+    return inspect_timeseries(argc, argv);
+  }
+  if (std::strcmp(argv[1], "slow") == 0) return inspect_slow(argc, argv);
   return inspect_packets(argc, argv);
 }
