@@ -20,7 +20,8 @@
 // sampled_ms, telemetry_overhead_pct, "attribution": {queries,
 // reconcile_failures, skipped, "components": {name: {count, mean, p50,
 // p99, p999, min, max}}}}, "memory": {"peak_rss_bytes", "capture": {...},
-// "stream": {...}, "stream_reduction_pct"}, "experiment": {"queries",
+// "stream": {...}, "allocs_per_query", "stream_reduction_pct"},
+// "experiment": {"queries",
 // "serial_wall_ms", "queries_per_sec_best", "thread_scaling": [{threads,
 // threads_available, oversubscribed, wall_ms, queries_per_sec,
 // speedup_vs_1, shards, barrier_stalls, cross_shard_packets}],
@@ -704,11 +705,27 @@ int main(int argc, char** argv) {
                        static_cast<double>(mem_capture.peak_live_delta_bytes)) *
                 100.0
           : 0.0;
+  // Heap-allocation intensity of the default (streaming) pipeline. The
+  // campaign is deterministic, so under DYNCDN_MEM_TRACK=1 this count is
+  // exactly reproducible and bench_diff gates it as lower-is-better; with
+  // tracking off it reports 0 and never gates.
+  const double allocs_per_query =
+      queries > 0
+          ? static_cast<double>(mem_stream.allocations) /
+                static_cast<double>(queries)
+          : 0.0;
   std::printf("memory:         capture %.1f KB peak vs stream %.1f KB peak "
               "(%.1f%% lower; tracked delta %.1f%%)\n",
               static_cast<double>(mem_capture.retained_bytes_peak) / 1024.0,
               static_cast<double>(mem_stream.analyzer_bytes_peak) / 1024.0,
               stream_reduction_pct, tracked_reduction_pct);
+  if (obs::memory_tracking_enabled()) {
+    std::printf("allocations:    %10.1f allocs/query (%llu allocs, "
+                "%zu queries, streaming pipeline)\n",
+                allocs_per_query,
+                static_cast<unsigned long long>(mem_stream.allocations),
+                queries);
+  }
   if (mem_stream.late_packets != 0) {
     std::fprintf(stderr,
                  "perf_smoke: streaming analyzer saw %llu late packets "
@@ -787,6 +804,7 @@ int main(int argc, char** argv) {
        static_cast<unsigned long long>(mem_stream.allocations),
        static_cast<unsigned long long>(mem_stream.timelines_online),
        static_cast<unsigned long long>(mem_stream.late_packets));
+  emit("    \"allocs_per_query\": %.2f,\n", allocs_per_query);
   emit("    \"stream_reduction_pct\": %.2f,\n", stream_reduction_pct);
   emit("    \"tracked_reduction_pct\": %.2f\n", tracked_reduction_pct);
   emit("  },\n");

@@ -75,7 +75,7 @@ ReassembledStream reassemble(const capture::PacketTrace& trace,
   // Normalizer: the sender's SYN sequence number (data begins at ISS + 1).
   std::optional<std::uint64_t> iss;
   std::optional<std::uint64_t> min_data_seq;
-  for (const capture::PacketRecord& r : trace.records()) {
+  for (const auto& r : trace.records()) {
     if (r.direction != direction) continue;
     if (r.flow_at_capture_node() != flow) continue;
     if (r.tcp.flags.syn) iss = r.tcp.seq;
@@ -87,7 +87,7 @@ ReassembledStream reassemble(const capture::PacketTrace& trace,
   const std::uint64_t base = iss ? *iss + 1 : *min_data_seq;
 
   std::string& bytes = out.bytes_;
-  for (const capture::PacketRecord& r : trace.records()) {
+  for (const auto& r : trace.records()) {
     if (r.direction != direction) continue;
     if (r.payload_size == 0) continue;
     if (r.flow_at_capture_node() != flow) continue;

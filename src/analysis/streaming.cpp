@@ -91,7 +91,19 @@ QueryTimeline StreamingTimeline::finalize(std::size_t boundary) const {
 }
 
 StreamingAnalyzer::StreamingAnalyzer(net::Port server_port)
-    : server_port_(server_port) {}
+    : server_port_(server_port),
+      timeline_slab_(/*blocks_per_chunk=*/64) {}
+
+StreamingAnalyzer::~StreamingAnalyzer() {
+  for (Slot& slot : slots_) {
+    if (slot.live != nullptr) timeline_slab_.destroy(slot.live);
+  }
+}
+
+void StreamingAnalyzer::release_live(Slot& slot) {
+  timeline_slab_.destroy(slot.live);
+  slot.live = nullptr;
+}
 
 void StreamingAnalyzer::on_packet(const capture::PacketRecord& record) {
   if (probing_) {
@@ -103,14 +115,13 @@ void StreamingAnalyzer::on_packet(const capture::PacketRecord& record) {
   const net::FlowId flow = record.flow_at_capture_node();
   if (flow.remote.port != server_port_) return;
 
-  const auto [it, inserted] = index_.try_emplace(flow, slots_.size());
+  const auto [entry, inserted] = index_.try_emplace(flow, slots_.size());
   if (inserted) {
-    slots_.push_back(
-        Slot{flow, std::make_unique<StreamingTimeline>(flow), std::nullopt});
+    slots_.push_back(Slot{flow, timeline_slab_.create(flow), std::nullopt});
     live_bytes_ += slots_.back().live->retained_bytes();
     bump_peak();
   }
-  Slot& slot = slots_[it->second];
+  Slot& slot = slots_[*entry];
 
   if (!slot.live) {
     // Flow already collapsed online. Teardown ACKs are inert by
@@ -130,7 +141,7 @@ void StreamingAnalyzer::on_packet(const capture::PacketRecord& record) {
 void StreamingAnalyzer::collapse(Slot& slot) {
   live_bytes_ -= slot.live->retained_bytes();
   slot.done = slot.live->finalize(*boundary_);
-  slot.live.reset();
+  release_live(slot);
   live_bytes_ += sizeof(QueryTimeline);
   bump_peak();
   ++emitted_online_;
@@ -157,8 +168,9 @@ std::vector<QueryTimeline> StreamingAnalyzer::drain(std::size_t boundary) {
   std::vector<QueryTimeline> out;
   out.reserve(slots_.size());
   for (Slot& slot : slots_) {
-    if (slot.live) {
+    if (slot.live != nullptr) {
       out.push_back(slot.live->finalize(boundary));
+      release_live(slot);
     } else {
       out.push_back(std::move(*slot.done));
     }
@@ -170,6 +182,9 @@ std::vector<QueryTimeline> StreamingAnalyzer::drain(std::size_t boundary) {
 }
 
 void StreamingAnalyzer::on_clear() {
+  for (Slot& slot : slots_) {
+    if (slot.live != nullptr) release_live(slot);
+  }
   slots_.clear();
   index_.clear();
   live_bytes_ = 0;
@@ -209,10 +224,13 @@ void StreamingAnalyzer::observe_probe(const capture::PacketRecord& r) {
   const net::FlowId flow = r.flow_at_capture_node();
   if (flow.remote.port != server_port_) return;
 
-  const auto [it, inserted] =
+  const auto [entry, inserted] =
       probe_index_.try_emplace(flow, probe_flows_.size());
-  if (inserted) probe_flows_.push_back(ProbeFlow{flow});
-  ProbeFlow& pf = probe_flows_[it->second];
+  if (inserted) {
+    probe_flows_.emplace_back();
+    probe_flows_.back().flow = flow;
+  }
+  ProbeFlow& pf = probe_flows_[*entry];
   const std::size_t before = inserted ? 0 : probe_retained(pf);
 
   if (r.tcp.flags.syn) {
@@ -227,16 +245,28 @@ void StreamingAnalyzer::observe_probe(const capture::PacketRecord& r) {
     pf.pending.clear();
   }
   if (r.payload_size > 0) {
-    // Flatten the (possibly sliced) payload once; segments are MSS-sized.
-    std::vector<std::uint8_t> flat;
-    flat.reserve(r.payload.length);
-    r.payload.for_each_slice([&flat](std::span<const std::uint8_t> s) {
-      flat.insert(flat.end(), s.begin(), s.end());
-    });
+    // Single-slice payloads (the overwhelming common case) are consumed in
+    // place; chained ones are flattened into a reused scratch buffer whose
+    // capacity persists across packets.
+    std::span<const std::uint8_t> flat;
+    if (!r.payload.chained()) {
+      flat = r.payload.bytes();
+    } else {
+      probe_scratch_.clear();
+      probe_scratch_.reserve(r.payload.length);
+      r.payload.for_each_slice([this](std::span<const std::uint8_t> s) {
+        probe_scratch_.insert(probe_scratch_.end(), s.begin(), s.end());
+      });
+      flat = probe_scratch_;
+    }
     if (!pf.iss) {
-      pf.pending.push_back(
-          ProbeFlow::PendingSegment{r.tcp.seq, r.payload_size,
-                                    std::move(flat)});
+      // Pre-SYN data must outlive this call: stash a copy in the probe
+      // arena (reclaimed wholesale at probe teardown).
+      const std::uint8_t* kept = static_cast<const std::uint8_t*>(
+          probe_arena_.copy(flat.data(), flat.size()));
+      pf.pending.push_back(ProbeFlow::PendingSegment{
+          r.tcp.seq, r.payload_size,
+          std::span<const std::uint8_t>(kept, flat.size())});
     } else {
       apply_probe_segment(pf, *pf.iss + 1, r.tcp.seq, r.payload_size, flat);
     }
@@ -381,6 +411,7 @@ void StreamingAnalyzer::reset_probe() {
   for (const ProbeFlow& f : probe_flows_) live_bytes_ -= probe_retained(f);
   probe_flows_.clear();
   probe_index_.clear();
+  probe_arena_.reset();
   probe_cap_ = std::numeric_limits<std::size_t>::max();
   probing_ = false;
 }

@@ -22,17 +22,18 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "analysis/timeline.hpp"
 #include "capture/recorder.hpp"
 #include "capture/trace.hpp"
+#include "mem/arena.hpp"
+#include "mem/flat_table.hpp"
+#include "mem/slab.hpp"
 #include "net/address.hpp"
 
 namespace dyncdn::analysis {
@@ -95,6 +96,10 @@ class StreamingTimeline {
 class StreamingAnalyzer final : public capture::PacketSink {
  public:
   explicit StreamingAnalyzer(net::Port server_port);
+  ~StreamingAnalyzer() override;
+
+  StreamingAnalyzer(const StreamingAnalyzer&) = delete;
+  StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
 
   // capture::PacketSink
   void on_packet(const capture::PacketRecord& record) override;
@@ -150,7 +155,7 @@ class StreamingAnalyzer final : public capture::PacketSink {
  private:
   struct Slot {
     net::FlowId flow;
-    std::unique_ptr<StreamingTimeline> live;  // null once collapsed
+    StreamingTimeline* live = nullptr;  // slab-owned; null once collapsed
     std::optional<QueryTimeline> done;
   };
 
@@ -163,10 +168,12 @@ class StreamingAnalyzer final : public capture::PacketSink {
     struct PendingSegment {
       // Data captured before any SYN: the stream base is unknown until a
       // SYN arrives (or, like reassemble()'s fallback, until the probe
-      // finishes and the minimum data seq becomes the base).
+      // finishes and the minimum data seq becomes the base). The bytes
+      // live in the analyzer's probe arena, which outlives every pending
+      // segment (reset only at probe teardown).
       std::uint64_t seq;
       std::size_t length;
-      std::vector<std::uint8_t> bytes;
+      std::span<const std::uint8_t> bytes;
     };
     std::vector<PendingSegment> pending;
     std::string bytes;  // clipped mirror of ReassembledStream::bytes()
@@ -181,6 +188,9 @@ class StreamingAnalyzer final : public capture::PacketSink {
     if (live_bytes_ > peak_live_bytes_) peak_live_bytes_ = live_bytes_;
   }
   void collapse(Slot& slot);
+  /// Finalize-and-release for one live builder (slab storage goes back to
+  /// the free list).
+  void release_live(Slot& slot);
   /// Deterministic footprint of one probe flow (buffer + interval list +
   /// any pre-SYN pending segments). Feeds live/peak accounting.
   static std::size_t probe_retained(const ProbeFlow& flow);
@@ -195,10 +205,18 @@ class StreamingAnalyzer final : public capture::PacketSink {
   net::Port server_port_;
   std::optional<std::size_t> boundary_;
   std::vector<Slot> slots_;  // first-appearance order
-  std::unordered_map<net::FlowId, std::size_t> index_;
+  /// Flow -> slot index. Flat table: drain order comes from slots_, so the
+  /// table's slot-order iteration never matters.
+  mem::FlatMap<net::FlowId, std::size_t> index_;
+  /// Builder storage: one slab block per in-flight flow.
+  mem::TypedSlab<StreamingTimeline> timeline_slab_;
   bool probing_ = false;
   std::vector<ProbeFlow> probe_flows_;  // first-appearance order
-  std::unordered_map<net::FlowId, std::size_t> probe_index_;
+  mem::FlatMap<net::FlowId, std::size_t> probe_index_;
+  /// Backing store for pre-SYN pending segment bytes; reset with the probe.
+  mem::Arena probe_arena_;
+  /// Reused flattening scratch for chained payloads (capacity persists).
+  std::vector<std::uint8_t> probe_scratch_;
   /// Upper bound on probe buffer length: tightened to (divergence + 1) the
   /// moment any flow mismatches the reference, clipping all buffers.
   std::size_t probe_cap_ = static_cast<std::size_t>(-1);

@@ -35,7 +35,7 @@ QueryTimeline timeline_from_conn(const capture::PacketTrace& conn,
   // --- control-plane events -----------------------------------------------
   bool saw_syn = false, saw_synack = false, saw_t1 = false, saw_t2 = false;
   std::optional<std::uint64_t> client_iss;
-  for (const capture::PacketRecord& r : conn.records()) {
+  for (const auto& r : conn.records()) {
     const bool sent = r.direction == capture::Direction::kSent;
     if (sent && r.tcp.flags.syn && !saw_syn) {
       tl.tb = r.timestamp;

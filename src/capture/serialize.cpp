@@ -101,7 +101,7 @@ std::string serialize_trace(const PacketTrace& trace, bool with_payloads) {
   out += '\n';
 
   char buf[192];
-  for (const PacketRecord& r : trace.records()) {
+  for (const auto& r : trace.records()) {
     std::snprintf(buf, sizeof(buf),
                   "%lld %s %u %u %u %u %llu %llu %u %s %zu",
                   static_cast<long long>(r.timestamp.ns()),

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <unordered_map>
+
+#include "mem/flat_table.hpp"
 
 namespace dyncdn::capture {
 
-net::FlowId PacketRecord::flow_at_capture_node() const {
+net::FlowId flow_at_capture(Direction direction, net::NodeId src,
+                            net::NodeId dst, const net::TcpHeader& tcp) {
   if (direction == Direction::kSent) {
     return net::FlowId{net::Endpoint{src, tcp.src_port},
                        net::Endpoint{dst, tcp.dst_port}};
@@ -15,7 +17,10 @@ net::FlowId PacketRecord::flow_at_capture_node() const {
                      net::Endpoint{src, tcp.src_port}};
 }
 
-std::string PacketRecord::to_string() const {
+std::string record_to_string(sim::SimTime timestamp, Direction direction,
+                             net::NodeId src, net::NodeId dst,
+                             const net::TcpHeader& tcp,
+                             std::size_t payload_size) {
   char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "%12s %s %u:%u -> %u:%u seq=%llu ack=%llu [%s] %zuB",
@@ -29,23 +34,24 @@ std::string PacketRecord::to_string() const {
 }
 
 PacketTrace PacketTrace::filter(
-    const std::function<bool(const PacketRecord&)>& pred) const {
+    const std::function<bool(const PacketRecordView&)>& pred) const {
   PacketTrace out(node_);
-  for (const PacketRecord& r : records_) {
-    if (pred(r)) out.add(r);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const PacketRecordView v = view(i);
+    if (pred(v)) out.add(v);
   }
   return out;
 }
 
 PacketTrace PacketTrace::filter_flow(const net::FlowId& flow) const {
-  return filter([&](const PacketRecord& r) {
+  return filter([&](const PacketRecordView& r) {
     const net::FlowId f = r.flow_at_capture_node();
     return f == flow || f == flow.reversed();
   });
 }
 
 PacketTrace PacketTrace::filter_remote_port(net::Port port) const {
-  return filter([&](const PacketRecord& r) {
+  return filter([&](const PacketRecordView& r) {
     return r.flow_at_capture_node().remote.port == port;
   });
 }
@@ -53,21 +59,23 @@ PacketTrace PacketTrace::filter_remote_port(net::Port port) const {
 std::vector<std::pair<net::FlowId, PacketTrace>> PacketTrace::split_by_flow(
     std::optional<net::Port> remote_port) const {
   std::vector<std::pair<net::FlowId, PacketTrace>> out;
-  std::unordered_map<net::FlowId, std::size_t> index;
-  for (const PacketRecord& r : records_) {
+  mem::FlatMap<net::FlowId, std::size_t> index;
+  for (std::size_t i = 0; i < size(); ++i) {
+    const PacketRecordView r = view(i);
     const net::FlowId f = r.flow_at_capture_node();
     if (remote_port && f.remote.port != *remote_port) continue;
-    const auto [it, inserted] = index.try_emplace(f, out.size());
+    const auto [slot, inserted] = index.try_emplace(f, out.size());
     if (inserted) out.emplace_back(f, PacketTrace(node_));
-    out[it->second].second.add(r);
+    out[*slot].second.add(r);
   }
   return out;
 }
 
 std::vector<net::FlowId> PacketTrace::flows() const {
   std::vector<net::FlowId> out;
-  for (const PacketRecord& r : records_) {
-    const net::FlowId f = r.flow_at_capture_node();
+  for (std::size_t i = 0; i < size(); ++i) {
+    const net::FlowId f =
+        flow_at_capture(directions_[i], srcs_[i], dsts_[i], tcps_[i]);
     if (std::find(out.begin(), out.end(), f) == out.end()) out.push_back(f);
   }
   return out;
@@ -75,8 +83,8 @@ std::vector<net::FlowId> PacketTrace::flows() const {
 
 std::string PacketTrace::to_text() const {
   std::string out;
-  for (const PacketRecord& r : records_) {
-    out += r.to_string();
+  for (std::size_t i = 0; i < size(); ++i) {
+    out += view(i).to_string();
     out += '\n';
   }
   return out;

@@ -187,7 +187,10 @@ void BackendDataCenter::serve_fetch(tcp::TcpSocket& socket) {
   tcp::TcpSocket::Callbacks cb;
   cb.on_data = [sock, alive, parser](net::PayloadRef d) {
     try {
-      parser->feed(d.to_text());
+      d.for_each_slice([&parser](std::span<const std::uint8_t> s) {
+        parser->feed(std::string_view(
+            reinterpret_cast<const char*>(s.data()), s.size()));
+      });
     } catch (const std::exception&) {
       if (*alive) sock->abort();  // malformed fetch request
     }
@@ -227,7 +230,10 @@ void BackendDataCenter::serve_direct(tcp::TcpSocket& socket) {
   tcp::TcpSocket::Callbacks cb;
   cb.on_data = [sock, alive, parser](net::PayloadRef d) {
     try {
-      parser->feed(d.to_text());
+      d.for_each_slice([&parser](std::span<const std::uint8_t> s) {
+        parser->feed(std::string_view(
+            reinterpret_cast<const char*>(s.data()), s.size()));
+      });
     } catch (const std::exception&) {
       if (*alive) sock->abort();  // malformed request
     }

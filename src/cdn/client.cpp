@@ -13,8 +13,12 @@ QueryClient::QueryClient(net::Node& node, tcp::TcpConfig tcp_config)
     : node_(node), stack_(node, tcp_config) {}
 
 std::string QueryClient::target_for(const search::Keyword& keyword) {
-  std::string t = "/search?q=" + http::url_encode(keyword.text);
-  t += "&rank=" + std::to_string(keyword.rank);
+  std::string t;
+  t.reserve(48 + keyword.text.size() * 3);  // worst case: all %-escaped
+  t += "/search?q=";
+  t += http::url_encode(keyword.text);
+  t += "&rank=";
+  t += std::to_string(keyword.rank);
   t += "&cls=";
   t += search::to_string(keyword.cls);
   return t;
@@ -103,7 +107,10 @@ void QueryClient::submit(net::Endpoint server, const search::Keyword& keyword,
   };
   cb.on_data = [ctx](net::PayloadRef d) {
     try {
-      ctx->parser->feed(d.to_text());
+      d.for_each_slice([&ctx](std::span<const std::uint8_t> s) {
+        ctx->parser->feed(std::string_view(
+            reinterpret_cast<const char*>(s.data()), s.size()));
+      });
     } catch (const std::exception& e) {
       ctx->result.failed = true;
       ctx->result.failure_reason = e.what();

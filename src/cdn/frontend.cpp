@@ -163,7 +163,10 @@ FrontEndServer::BackendConn& FrontEndServer::open_backend_conn(bool warm) {
   cb.on_data = [this, conn_ptr, alive](net::PayloadRef d) {
     if (!*alive) return;
     try {
-      conn_ptr->parser->feed(d.to_text());
+      d.for_each_slice([&conn_ptr](std::span<const std::uint8_t> s) {
+        conn_ptr->parser->feed(std::string_view(
+            reinterpret_cast<const char*>(s.data()), s.size()));
+      });
     } catch (const std::exception&) {
       // Corrupt BE response stream: drop the connection; in-flight fetch
       // fails over via backend_conn_lost.
@@ -235,7 +238,10 @@ void FrontEndServer::accept_client(tcp::TcpSocket& socket) {
   tcp::TcpSocket::Callbacks cb;
   cb.on_data = [ctx, parser](net::PayloadRef d) {
     try {
-      parser->feed(d.to_text());
+      d.for_each_slice([&parser](std::span<const std::uint8_t> s) {
+        parser->feed(std::string_view(
+            reinterpret_cast<const char*>(s.data()), s.size()));
+      });
     } catch (const std::exception&) {
       // Malformed request: reset the connection, never crash the server.
       if (ctx->alive) ctx->socket->abort();

@@ -32,7 +32,7 @@ void DnsServer::serve(tcp::TcpSocket& socket) {
 
   tcp::TcpSocket::Callbacks cb;
   cb.on_data = [this, sock, alive, buffer](net::PayloadRef d) {
-    buffer->append(d.to_text());
+    d.append_to(*buffer);
     const std::size_t eol = buffer->find('\n');
     if (eol == std::string::npos) return;
     const std::string line = buffer->substr(0, eol);
@@ -130,7 +130,7 @@ void DnsClient::resolve(const std::string& name, Handler handler) {
 
   tcp::TcpSocket::Callbacks cb;
   cb.on_data = [this, ctx, name, &simulator](net::PayloadRef d) {
-    ctx->buffer.append(d.to_text());
+    d.append_to(ctx->buffer);
     const std::size_t eol = ctx->buffer.find('\n');
     if (eol == std::string::npos) return;
     const std::string line = ctx->buffer.substr(0, eol);

@@ -23,6 +23,14 @@ void append_headers(std::string& out, const HeaderList& headers) {
     out += "\r\n";
   }
 }
+
+std::size_t headers_serialized_size(const HeaderList& headers) {
+  std::size_t n = 0;
+  for (const auto& [name, value] : headers) {
+    n += name.size() + 2 + value.size() + 2;
+  }
+  return n;
+}
 }  // namespace
 
 std::optional<std::string_view> find_header(const HeaderList& headers,
@@ -45,7 +53,8 @@ void HttpRequest::set_header(std::string name, std::string value) {
 
 std::string HttpRequest::serialize() const {
   std::string out;
-  out.reserve(128 + body.size());
+  out.reserve(method.size() + target.size() + version.size() + 4 +
+              headers_serialized_size(headers) + 2 + body.size());
   out += method;
   out += ' ';
   out += target;
@@ -87,10 +96,11 @@ void HttpResponse::set_header(std::string name, std::string value) {
 }
 
 std::string HttpResponse::serialize_head() const {
-  std::string out;
-  out.reserve(128);
   char line[64];
   std::snprintf(line, sizeof(line), "%s %d ", version.c_str(), status);
+  std::string out;
+  out.reserve(version.size() + 16 + reason.size() + 2 +
+              headers_serialized_size(headers) + 2);
   out += line;
   out += reason;
   out += "\r\n";
@@ -100,12 +110,31 @@ std::string HttpResponse::serialize_head() const {
 }
 
 std::string HttpResponse::serialize() const {
-  if (!header("Content-Length")) {
-    HttpResponse copy = *this;
-    copy.set_header("Content-Length", std::to_string(body.size()));
-    return copy.serialize();
+  // When Content-Length is absent it is injected in place. set_header()
+  // would have appended it at the end of the header list, so emitting it
+  // after the existing headers is byte-identical to the old copy-mutate
+  // path without duplicating the whole message.
+  const bool inject = !header("Content-Length");
+  const std::string content_length =
+      inject ? std::to_string(body.size()) : std::string();
+  char line[64];
+  std::snprintf(line, sizeof(line), "%s %d ", version.c_str(), status);
+  std::string out;
+  out.reserve(version.size() + 16 + reason.size() + 2 +
+              headers_serialized_size(headers) +
+              (inject ? 16 + content_length.size() + 2 : 0) + 2 + body.size());
+  out += line;
+  out += reason;
+  out += "\r\n";
+  append_headers(out, headers);
+  if (inject) {
+    out += "Content-Length: ";
+    out += content_length;
+    out += "\r\n";
   }
-  return serialize_head() + body;
+  out += "\r\n";
+  out += body;
+  return out;
 }
 
 std::string url_decode(std::string_view s) {

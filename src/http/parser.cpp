@@ -99,6 +99,29 @@ void RequestParser::try_parse() {
 }
 
 void ResponseParser::feed(std::string_view bytes) {
+  // Body fast path. Mid-body the parser buffer is always empty at feed
+  // entry (a kBody iteration either drains the buffer or completes the
+  // response), so body bytes can stream straight from the caller's view to
+  // the callbacks without the append/erase round trip through buffer_ —
+  // payload bytes dominate a response, so this skips nearly all of the
+  // parser's buffering work.
+  while (state_ == State::kBody && buffer_.empty()) {
+    const std::size_t want =
+        body_expected_ ? *body_expected_ - body_received_ : bytes.size();
+    const std::size_t take = std::min(want, bytes.size());
+    if (take > 0) {
+      if (callbacks_.on_body_data) callbacks_.on_body_data(bytes.substr(0, take));
+      current_.body.append(bytes.data(), take);
+      bytes.remove_prefix(take);
+      body_received_ += take;
+    }
+    if (!body_expected_ || body_received_ < *body_expected_) {
+      return;  // need more bytes (or the peer's FIN)
+    }
+    complete_current();
+    if (bytes.empty()) return;
+  }
+
   buffer_.append(bytes);
 
   while (!buffer_.empty()) {
@@ -187,6 +210,7 @@ void ResponseParser::parse_headers() {
 
   current_ = std::move(resp);
   body_expected_ = parse_content_length(current_.headers);
+  if (body_expected_) current_.body.reserve(*body_expected_);
   body_received_ = 0;
   state_ = State::kBody;
   buffer_.erase(0, end + 4);

@@ -1,0 +1,174 @@
+// Open-addressing hash map for per-flow hot-path state.
+//
+// std::unordered_map allocates one node per entry and chases a pointer per
+// lookup; FlatMap keeps (key, value) pairs inline in one power-of-two slot
+// array with linear probing, so the per-flow tables on the TCP and
+// streaming-analysis hot paths cost zero allocations per insert at steady
+// state and one cache line per lookup. Determinism: probing uses only the
+// key hash and the insertion history — no per-process salt — so any two
+// runs that perform the same operations in the same order see identical
+// tables. Iteration order is slot order, NOT insertion order; callers that
+// need a deterministic traversal independent of hash layout must keep
+// their own ordering (as StreamingAnalyzer does with its slot vector) or
+// only fold order-independent aggregates (as TcpStack::aggregate_stats
+// does).
+//
+// Values must be default-constructible and movable; erased slots hold a
+// moved-from/default value until reused (fine for the pointer and index
+// payloads this is meant for).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace dyncdn::mem {
+
+template <class K, class V, class Hash = std::hash<K>>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  /// Find the value for `key`, or null.
+  V* find(const K& key) {
+    if (size_ == 0) return nullptr;
+    std::size_t i = probe_start(key);
+    while (true) {
+      switch (state_[i]) {
+        case State::kEmpty:
+          return nullptr;
+        case State::kFull:
+          if (slots_[i].key == key) return &slots_[i].value;
+          break;
+        case State::kTombstone:
+          break;
+      }
+      i = (i + 1) & mask();
+    }
+  }
+  const V* find(const K& key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Insert `key` if absent. Returns (value slot, inserted).
+  std::pair<V*, bool> try_emplace(const K& key, V value = V{}) {
+    if (slots_.empty() || (size_ + tombstones_ + 1) * 4 >= capacity() * 3) {
+      rehash(capacity() == 0 ? 16 : capacity() * 2);
+    }
+    std::size_t i = probe_start(key);
+    std::size_t insert_at = capacity();  // first tombstone on the probe path
+    while (true) {
+      if (state_[i] == State::kEmpty) {
+        if (insert_at == capacity()) {
+          insert_at = i;
+        } else {
+          --tombstones_;  // reusing a tombstone slot
+        }
+        state_[insert_at] = State::kFull;
+        slots_[insert_at].key = key;
+        slots_[insert_at].value = std::move(value);
+        ++size_;
+        return {&slots_[insert_at].value, true};
+      }
+      if (state_[i] == State::kFull && slots_[i].key == key) {
+        return {&slots_[i].value, false};
+      }
+      if (state_[i] == State::kTombstone && insert_at == capacity()) {
+        insert_at = i;
+      }
+      i = (i + 1) & mask();
+    }
+  }
+
+  /// Remove `key`. Returns true if it was present. The value is reset to a
+  /// default-constructed V immediately (releasing what it owned).
+  bool erase(const K& key) {
+    if (size_ == 0) return false;
+    std::size_t i = probe_start(key);
+    while (true) {
+      if (state_[i] == State::kEmpty) return false;
+      if (state_[i] == State::kFull && slots_[i].key == key) {
+        state_[i] = State::kTombstone;
+        slots_[i].key = K{};
+        slots_[i].value = V{};
+        --size_;
+        ++tombstones_;
+        return true;
+      }
+      i = (i + 1) & mask();
+    }
+  }
+
+  void clear() {
+    state_.assign(state_.size(), State::kEmpty);
+    for (Slot& s : slots_) {
+      s.key = K{};
+      s.value = V{};
+    }
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Visit every (key, value) in slot order (see header note on ordering).
+  template <class F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (state_[i] == State::kFull) f(slots_[i].key, slots_[i].value);
+    }
+  }
+  template <class F>
+  void for_each(F&& f) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (state_[i] == State::kFull) f(slots_[i].key, slots_[i].value);
+    }
+  }
+
+ private:
+  enum class State : std::uint8_t { kEmpty, kFull, kTombstone };
+
+  struct Slot {
+    K key{};
+    V value{};
+  };
+
+  std::size_t mask() const { return slots_.size() - 1; }
+  std::size_t probe_start(const K& key) const {
+    // Multiplicative mix: std::hash for ints/pointers is often identity,
+    // which probes terribly under power-of-two masking.
+    const std::uint64_t h = Hash{}(key) * 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::size_t>(h >> 32) & mask();
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old_slots;
+    std::vector<State> old_state;
+    old_slots.swap(slots_);
+    old_state.swap(state_);
+    slots_.resize(new_capacity);
+    state_.assign(new_capacity, State::kEmpty);
+    size_ = 0;
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_state[i] != State::kFull) continue;
+      std::size_t j = probe_start(old_slots[i].key);
+      while (state_[j] == State::kFull) j = (j + 1) & mask();
+      state_[j] = State::kFull;
+      slots_[j].key = std::move(old_slots[i].key);
+      slots_[j].value = std::move(old_slots[i].value);
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<State> state_;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace dyncdn::mem

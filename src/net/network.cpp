@@ -73,7 +73,9 @@ void Network::connect(Node& a, Node& b, const LinkConfig& a_to_b,
       min_cross_delay_ = std::min(min_cross_delay_, cfg.propagation_delay);
     }
     all_links_.push_back(link.get());
-    adjacency_[from.id().value()].push_back(Edge{to.id(), std::move(link)});
+    const std::uint32_t fid = from.id().value();
+    if (adjacency_.size() <= fid) adjacency_.resize(fid + 1);
+    adjacency_[fid].push_back(Edge{to.id(), std::move(link)});
   };
   make_edge(a, b, a_to_b);
   make_edge(b, a, b_to_a);
@@ -127,34 +129,39 @@ bool Network::mailboxes_empty() const {
 }
 
 void Network::compute_routes() {
-  next_hop_.clear();
-  // Dijkstra from every node, cost = propagation delay in ns.
+  const std::size_t stride = nodes_.size() + 1;
+  next_hop_stride_ = stride;
+  next_hop_.assign(stride * stride, nullptr);
+  if (adjacency_.size() < stride) adjacency_.resize(stride);
+  constexpr std::int64_t kUnreached = std::numeric_limits<std::int64_t>::max();
+  // Dijkstra from every node, cost = propagation delay in ns. The dist row
+  // and the binary heap are member scratch; the first-link row is written
+  // straight into the next-hop matrix.
   for (const auto& src_node : nodes_) {
     const std::uint32_t src = src_node->id().value();
-    std::unordered_map<std::uint32_t, std::int64_t> dist;
-    std::unordered_map<std::uint32_t, Link*> first_link;
-    using QE = std::pair<std::int64_t, std::uint32_t>;
-    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
-    dist[src] = 0;
-    pq.emplace(0, src);
-    while (!pq.empty()) {
-      const auto [d, u] = pq.top();
-      pq.pop();
-      if (d > dist[u]) continue;
-      auto adj = adjacency_.find(u);
-      if (adj == adjacency_.end()) continue;
-      for (const Edge& e : adj->second) {
+    dijkstra_dist_.assign(stride, kUnreached);
+    dijkstra_heap_.clear();
+    Link** first_link = next_hop_.data() + src * stride;
+    dijkstra_dist_[src] = 0;
+    dijkstra_heap_.emplace_back(0, src);
+    while (!dijkstra_heap_.empty()) {
+      std::pop_heap(dijkstra_heap_.begin(), dijkstra_heap_.end(),
+                    std::greater<>());
+      const auto [d, u] = dijkstra_heap_.back();
+      dijkstra_heap_.pop_back();
+      if (d > dijkstra_dist_[u]) continue;
+      for (const Edge& e : adjacency_[u]) {
         const std::uint32_t v = e.to.value();
         const std::int64_t nd = d + e.link->config().propagation_delay.ns();
-        auto it = dist.find(v);
-        if (it == dist.end() || nd < it->second) {
-          dist[v] = nd;
+        if (nd < dijkstra_dist_[v]) {
+          dijkstra_dist_[v] = nd;
           first_link[v] = (u == src) ? e.link.get() : first_link[u];
-          pq.emplace(nd, v);
+          dijkstra_heap_.emplace_back(nd, v);
+          std::push_heap(dijkstra_heap_.begin(), dijkstra_heap_.end(),
+                         std::greater<>());
         }
       }
     }
-    next_hop_[src] = std::move(first_link);
   }
   routes_dirty_ = false;
 }
@@ -170,11 +177,10 @@ void Network::route(NodeId from, PacketPtr packet) {
     src.deliver(packet);
     return;
   }
-  auto src_it = next_hop_.find(from.value());
-  if (src_it != next_hop_.end()) {
-    auto dst_it = src_it->second.find(packet->dst.value());
-    if (dst_it != src_it->second.end()) {
-      dst_it->second->transmit(std::move(packet));
+  const std::uint32_t dst = packet->dst.value();
+  if (from.value() < next_hop_stride_ && dst < next_hop_stride_) {
+    if (Link* link = next_hop_[from.value() * next_hop_stride_ + dst]) {
+      link->transmit(std::move(packet));
       return;
     }
   }
@@ -223,8 +229,10 @@ Node* Network::find_node(const std::string& name) {
 
 sim::SimTime Network::path_delay(NodeId a, NodeId b) const {
   if (a == b) return sim::SimTime::zero();
-  // Re-run a tiny Dijkstra; only used in setup/analysis, not on hot paths.
-  std::unordered_map<std::uint32_t, std::int64_t> dist;
+  // Re-run a tiny Dijkstra; only used in setup/analysis, not on hot paths
+  // (const, so it keeps its own scratch rather than the members).
+  constexpr std::int64_t kUnreached = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> dist(nodes_.size() + 1, kUnreached);
   using QE = std::pair<std::int64_t, std::uint32_t>;
   std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
   dist[a.value()] = 0;
@@ -234,12 +242,10 @@ sim::SimTime Network::path_delay(NodeId a, NodeId b) const {
     pq.pop();
     if (u == b.value()) return sim::SimTime::nanoseconds(d);
     if (d > dist[u]) continue;
-    auto adj = adjacency_.find(u);
-    if (adj == adjacency_.end()) continue;
-    for (const Edge& e : adj->second) {
+    if (u >= adjacency_.size()) continue;
+    for (const Edge& e : adjacency_[u]) {
       const std::int64_t nd = d + e.link->config().propagation_delay.ns();
-      auto it = dist.find(e.to.value());
-      if (it == dist.end() || nd < it->second) {
+      if (nd < dist[e.to.value()]) {
         dist[e.to.value()] = nd;
         pq.emplace(nd, e.to.value());
       }
@@ -250,10 +256,10 @@ sim::SimTime Network::path_delay(NodeId a, NodeId b) const {
 
 Link* Network::first_hop_link(NodeId a, NodeId b) {
   if (routes_dirty_) compute_routes();
-  auto src_it = next_hop_.find(a.value());
-  if (src_it == next_hop_.end()) return nullptr;
-  auto dst_it = src_it->second.find(b.value());
-  return dst_it == src_it->second.end() ? nullptr : dst_it->second;
+  if (a.value() >= next_hop_stride_ || b.value() >= next_hop_stride_) {
+    return nullptr;
+  }
+  return next_hop_[a.value() * next_hop_stride_ + b.value()];
 }
 
 LinkStats Network::aggregate_link_stats() const {

@@ -153,13 +153,23 @@ class Network {
   std::vector<sim::Simulator*> shard_sims_;  // empty = serial (base only)
   std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
   std::unordered_map<std::string, NodeId> by_name_;
-  std::unordered_map<std::uint32_t, std::vector<Edge>> adjacency_;
+  /// Outgoing edges indexed by node id value (ids are 1-based; slot 0 is
+  /// unused). Dense: node ids are issued contiguously by add_node().
+  std::vector<std::vector<Edge>> adjacency_;
   /// Every directed link in creation order — the flat iteration order for
   /// aggregate_link_stats(), which runs on the per-tick sampling path.
   std::vector<const Link*> all_links_;
-  /// next_hop_[src][dst] -> link to use.
-  std::unordered_map<std::uint32_t, std::unordered_map<std::uint32_t, Link*>>
-      next_hop_;
+  /// Flat next-hop matrix: next_hop_[src * stride + dst] is the link that
+  /// carries traffic from src toward dst (null = no route), with
+  /// stride = nodes_.size() + 1. Rebuilt wholesale by compute_routes();
+  /// route() is then one multiply-add and a load.
+  std::vector<Link*> next_hop_;
+  std::size_t next_hop_stride_ = 0;
+  /// Dijkstra scratch reused across sources and recomputes, so a route
+  /// rebuild allocates nothing at steady state. compute_routes() never
+  /// runs concurrently with itself (prepare_run() precedes shard workers).
+  std::vector<std::int64_t> dijkstra_dist_;
+  std::vector<std::pair<std::int64_t, std::uint32_t>> dijkstra_heap_;
   /// One mailbox per cross-shard directed link, in creation order.
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<ShardArrivals> arrivals_by_shard_;

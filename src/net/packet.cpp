@@ -2,77 +2,102 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <new>
+
+#include "mem/slab.hpp"
 
 namespace dyncdn::net {
 
 namespace {
 
-/// Per-thread free list of fixed-size blocks. Each simulation replica runs
-/// single-threaded on its own worker, so no locking; blocks released on a
+/// Per-thread slab of Packet-sized blocks. Each simulation shard runs
+/// single-threaded between barriers, so no locking; blocks released on a
 /// different thread than they were acquired on simply migrate pools.
-struct PacketBlockPool {
-  std::vector<void*> blocks;
-  std::size_t block_size = 0;
+thread_local mem::SlabPool t_packet_slab(sizeof(Packet), 256);
 
-  ~PacketBlockPool() {
-    for (void* b : blocks) ::operator delete(b);
-  }
+/// Payload buffers are variable-size, so they are served from a small set
+/// of size-class slabs; anything larger than the top class falls back to
+/// the heap. Classes cover the common cases: ACK-less small writes and
+/// HTTP heads (256), MSS-sized segments (2048 > 1448 + header), and
+/// serialized responses (16K/64K).
+constexpr std::size_t kClassCapacity[] = {256, 2048, 16384, 65536};
+constexpr std::size_t kClassBlocksPerChunk[] = {64, 32, 8, 4};
+constexpr std::size_t kClassCount = std::size(kClassCapacity);
+constexpr std::uint8_t kHeapClass = 0xFF;
+
+struct BufferPools {
+  mem::SlabPool cls[kClassCount] = {
+      mem::SlabPool(sizeof(ByteBuf) + kClassCapacity[0],
+                    kClassBlocksPerChunk[0]),
+      mem::SlabPool(sizeof(ByteBuf) + kClassCapacity[1],
+                    kClassBlocksPerChunk[1]),
+      mem::SlabPool(sizeof(ByteBuf) + kClassCapacity[2],
+                    kClassBlocksPerChunk[2]),
+      mem::SlabPool(sizeof(ByteBuf) + kClassCapacity[3],
+                    kClassBlocksPerChunk[3]),
+  };
 };
+static_assert(kClassCount == 4, "pool initializers above track the classes");
 
-thread_local PacketBlockPool t_packet_pool;
+thread_local BufferPools t_buffer_pools;
 
-/// Recycling allocator used only via allocate_shared<Packet>: every
-/// allocation it ever sees is the single combined (control block + Packet)
-/// node type, so one fixed block size serves the whole pool.
-template <class T>
-struct PacketPoolAllocator {
-  using value_type = T;
-
-  PacketPoolAllocator() = default;
-  template <class U>
-  PacketPoolAllocator(const PacketPoolAllocator<U>&) {}  // NOLINT
-
-  T* allocate(std::size_t n) {
-    const std::size_t bytes = n * sizeof(T);
-    PacketBlockPool& pool = t_packet_pool;
-    if (n == 1 && bytes == pool.block_size && !pool.blocks.empty()) {
-      void* block = pool.blocks.back();
-      pool.blocks.pop_back();
-      return static_cast<T*>(block);
-    }
-    if (n == 1 && pool.block_size == 0) pool.block_size = bytes;
-    return static_cast<T*>(::operator new(bytes));
+std::uint8_t class_for(std::size_t size) {
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    if (size <= kClassCapacity[c]) return static_cast<std::uint8_t>(c);
   }
-
-  void deallocate(T* p, std::size_t n) {
-    constexpr std::size_t kMaxCachedBlocks = 4096;
-    const std::size_t bytes = n * sizeof(T);
-    PacketBlockPool& pool = t_packet_pool;
-    if (n == 1 && bytes == pool.block_size &&
-        pool.blocks.size() < kMaxCachedBlocks) {
-      pool.blocks.push_back(p);
-      return;
-    }
-    ::operator delete(p);
-  }
-
-  template <class U>
-  bool operator==(const PacketPoolAllocator<U>&) const {
-    return true;
-  }
-};
+  return kHeapClass;
+}
 
 }  // namespace
 
-PacketPtr acquire_packet() {
-  return std::allocate_shared<Packet>(PacketPoolAllocator<Packet>{});
+ByteBuf* allocate_bytebuf(std::size_t size) {
+  const std::uint8_t cls = class_for(size);
+  void* block = cls == kHeapClass
+                    ? ::operator new(sizeof(ByteBuf) + size)
+                    : t_buffer_pools.cls[cls].allocate();
+  auto* b = new (block) ByteBuf();
+  b->size_ = static_cast<std::uint32_t>(size);
+  b->cls_ = cls;
+  return b;
 }
 
-std::size_t packet_pool_free_count() { return t_packet_pool.blocks.size(); }
+void release_bytebuf(ByteBuf* b) noexcept {
+  const std::uint8_t cls = b->cls_;
+  b->~ByteBuf();
+  if (cls == kHeapClass) {
+    ::operator delete(b);
+  } else {
+    t_buffer_pools.cls[cls].deallocate(b);
+  }
+}
+
+Buffer make_buffer(std::span<const std::uint8_t> bytes) {
+  ByteBuf* b = allocate_bytebuf(bytes.size());
+  if (!bytes.empty()) std::memcpy(b->mutable_data(), bytes.data(), bytes.size());
+  return Buffer::adopt(b);
+}
 
 Buffer make_buffer(std::string_view text) {
-  return make_buffer(std::vector<std::uint8_t>(text.begin(), text.end()));
+  return make_buffer(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+PacketPtr acquire_packet() {
+  return PacketPtr(new (t_packet_slab.allocate()) Packet());
+}
+
+void release_packet(Packet* p) noexcept {
+  p->~Packet();
+  t_packet_slab.deallocate(p);
+}
+
+std::size_t packet_pool_free_count() { return t_packet_slab.free_count(); }
+
+std::size_t buffer_pool_free_count() {
+  std::size_t n = 0;
+  for (const mem::SlabPool& pool : t_buffer_pools.cls) n += pool.free_count();
+  return n;
 }
 
 PayloadRef PayloadRef::slice(std::size_t off, std::size_t len) const {
@@ -142,11 +167,15 @@ void PayloadRef::append(PayloadRef tail) {
 
 std::string PayloadRef::to_text() const {
   std::string out;
-  out.reserve(length);
+  append_to(out);
+  return out;
+}
+
+void PayloadRef::append_to(std::string& out) const {
+  out.reserve(out.size() + length);
   for_each_slice([&out](std::span<const std::uint8_t> span) {
     out.append(reinterpret_cast<const char*>(span.data()), span.size());
   });
-  return out;
 }
 
 std::string TcpFlags::to_string() const {

@@ -4,10 +4,19 @@
 // payload buffer. TCP segmentation slices one application buffer into many
 // segments without copying; capture taps can retain payload bytes for the
 // content analysis the paper performs on full tcpdump payloads.
+//
+// Allocation discipline (see docs/PERF.md): both the Packet and the payload
+// ByteBuf are intrusively refcounted objects served from per-thread slab
+// free lists — steady-state per-segment cost is a free-list pop, no heap
+// allocation and no shared_ptr control block. Refcounts are deliberately
+// NON-atomic: within a shard every reference is touched by one thread, and
+// cross-shard handoff only happens through mailbox flushes at window
+// barriers (or replica joins), which already synchronize. Blocks released
+// on a different thread than they were acquired on migrate to the
+// releasing thread's pool.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,13 +26,96 @@
 
 namespace dyncdn::net {
 
-/// Immutable shared byte buffer.
-using Buffer = std::shared_ptr<const std::vector<std::uint8_t>>;
+/// Immutable shared byte buffer: a slab-allocated header + inline bytes.
+/// Always reached through Buffer (below); never constructed directly.
+class ByteBuf {
+ public:
+  const std::uint8_t* data() const {
+    return reinterpret_cast<const std::uint8_t*>(this) + sizeof(ByteBuf);
+  }
+  std::size_t size() const { return size_; }
 
-inline Buffer make_buffer(std::vector<std::uint8_t> bytes) {
-  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
-}
+  /// Writable view for the producer filling a freshly allocated buffer.
+  /// Must not be used once the buffer is shared (buffers are immutable to
+  /// every reader).
+  std::uint8_t* mutable_data() {
+    return reinterpret_cast<std::uint8_t*>(this) + sizeof(ByteBuf);
+  }
+
+ private:
+  friend class Buffer;
+  friend ByteBuf* allocate_bytebuf(std::size_t size);
+  friend void release_bytebuf(ByteBuf* b) noexcept;
+
+  std::uint32_t refs_ = 1;
+  std::uint32_t size_ = 0;
+  std::uint8_t cls_ = 0;  // size-class index; kHeapClass = plain heap
+};
+
+/// Uninitialized buffer of `size` bytes with one reference (Buffer::adopt
+/// takes it over). Exposed for producers that serialize straight into the
+/// buffer; most callers want make_buffer.
+ByteBuf* allocate_bytebuf(std::size_t size);
+void release_bytebuf(ByteBuf* b) noexcept;
+
+/// Intrusive handle to an immutable shared ByteBuf. API-compatible with the
+/// shared_ptr<const vector> it replaced at the sites that mattered:
+/// `buf->data()`, `buf->size()`, truthiness and equality all behave the
+/// same; the control block and atomic refcount are gone.
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(std::nullptr_t) {}  // NOLINT: mirror shared_ptr's null literal
+  Buffer(const Buffer& o) : b_(o.b_) {
+    if (b_ != nullptr) ++b_->refs_;
+  }
+  Buffer(Buffer&& o) noexcept : b_(o.b_) { o.b_ = nullptr; }
+  Buffer& operator=(const Buffer& o) {
+    if (o.b_ != nullptr) ++o.b_->refs_;
+    reset();
+    b_ = o.b_;
+    return *this;
+  }
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      reset();
+      b_ = o.b_;
+      o.b_ = nullptr;
+    }
+    return *this;
+  }
+  ~Buffer() { reset(); }
+
+  void reset() {
+    if (b_ != nullptr && --b_->refs_ == 0) release_bytebuf(b_);
+    b_ = nullptr;
+  }
+
+  /// Adopt a reference produced by allocate_bytebuf.
+  static Buffer adopt(ByteBuf* b) {
+    Buffer out;
+    out.b_ = b;
+    return out;
+  }
+
+  const ByteBuf* operator->() const { return b_; }
+  const ByteBuf& operator*() const { return *b_; }
+  const ByteBuf* get() const { return b_; }
+  explicit operator bool() const { return b_ != nullptr; }
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.b_ == b.b_;
+  }
+
+ private:
+  ByteBuf* b_ = nullptr;
+};
+
+/// Copy bytes into a fresh slab-backed buffer.
+Buffer make_buffer(std::span<const std::uint8_t> bytes);
 Buffer make_buffer(std::string_view text);
+inline Buffer make_buffer(const std::vector<std::uint8_t>& bytes) {
+  return make_buffer(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
 
 /// One contiguous (buffer, offset, length) piece of a payload.
 struct PayloadSlice {
@@ -37,7 +129,7 @@ struct PayloadSlice {
   }
 };
 
-/// A payload view: one primary slice plus an optional chain of
+///// A payload view: one primary slice plus an optional chain of
 /// continuation slices. A TCP segment gathered across application writes
 /// keeps one slice per source buffer instead of copying into a fresh
 /// allocation, so cross-chunk segments stay zero-copy through net,
@@ -87,6 +179,8 @@ struct PayloadRef {
   /// physically adjacent views of the same buffer are merged).
   void append(PayloadRef tail);
   std::string to_text() const;
+  /// Append every payload byte to `out` (to_text without the temporary).
+  void append_to(std::string& out) const;
 };
 
 /// TCP header flags.
@@ -115,6 +209,8 @@ struct TcpHeader {
 /// (IP 20 + TCP 20, options ignored).
 inline constexpr std::size_t kHeaderOverheadBytes = 40;
 
+class PacketPtr;
+
 struct Packet {
   NodeId src;
   NodeId dst;
@@ -131,19 +227,78 @@ struct Packet {
 
   /// "5:80 -> 2:40001 seq=1448 ack=89 [ACK] 1448B"
   std::string to_string() const;
+
+ private:
+  friend class PacketPtr;
+  friend PacketPtr acquire_packet();
+  friend void release_packet(Packet* p) noexcept;
+
+  std::uint32_t refs_ = 1;  // non-atomic: see header comment
 };
 
-using PacketPtr = std::shared_ptr<Packet>;
+/// Destroy and return the block to the releasing thread's slab.
+void release_packet(Packet* p) noexcept;
 
-/// Allocate a zeroed Packet from a thread-local pool. The shared_ptr control
-/// block and the Packet come from one recycled allocation, so the per-segment
-/// cost on the TCP hot path is a free-list pop instead of two heap
-/// allocations. Returned packets are ordinary PacketPtrs: capture taps may
-/// retain them arbitrarily long; the storage goes back to the pool of the
-/// releasing thread when the last reference drops.
+/// Intrusive shared handle to a slab-allocated Packet. Drop-in for the
+/// shared_ptr<Packet> it replaced: capture taps may retain packets
+/// arbitrarily long; the storage goes back to the slab of the releasing
+/// thread when the last reference drops.
+class PacketPtr {
+ public:
+  PacketPtr() = default;
+  PacketPtr(std::nullptr_t) {}  // NOLINT: mirror shared_ptr's null literal
+  PacketPtr(const PacketPtr& o) : p_(o.p_) {
+    if (p_ != nullptr) ++p_->refs_;
+  }
+  PacketPtr(PacketPtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  PacketPtr& operator=(const PacketPtr& o) {
+    if (o.p_ != nullptr) ++o.p_->refs_;
+    reset();
+    p_ = o.p_;
+    return *this;
+  }
+  PacketPtr& operator=(PacketPtr&& o) noexcept {
+    if (this != &o) {
+      reset();
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~PacketPtr() { reset(); }
+
+  void reset() {
+    if (p_ != nullptr && --p_->refs_ == 0) release_packet(p_);
+    p_ = nullptr;
+  }
+
+  Packet* operator->() const { return p_; }
+  Packet& operator*() const { return *p_; }
+  Packet* get() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+  friend bool operator==(const PacketPtr& a, const PacketPtr& b) {
+    return a.p_ == b.p_;
+  }
+
+  /// References to the pointee (tests/debugging).
+  std::uint32_t use_count() const { return p_ == nullptr ? 0 : p_->refs_; }
+
+ private:
+  friend PacketPtr acquire_packet();
+  explicit PacketPtr(Packet* adopted) : p_(adopted) {}
+
+  Packet* p_ = nullptr;
+};
+
+/// Allocate a zeroed Packet from a thread-local slab free list. The
+/// per-segment cost on the TCP hot path is a free-list pop instead of a
+/// heap allocation, and the returned PacketPtr bumps a plain (non-atomic)
+/// intrusive count instead of a shared_ptr control block.
 PacketPtr acquire_packet();
 
 /// Pool introspection (tests): blocks currently cached on this thread.
 std::size_t packet_pool_free_count();
+/// Pool introspection (tests): cached payload-buffer blocks on this thread.
+std::size_t buffer_pool_free_count();
 
 }  // namespace dyncdn::net

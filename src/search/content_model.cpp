@@ -5,20 +5,32 @@
 namespace dyncdn::search {
 
 namespace {
-/// Deterministic printable filler derived from a tag string.
-std::string filler(std::string_view tag, std::size_t bytes) {
-  std::string out;
-  out.reserve(bytes);
+/// Deterministic printable filler derived from a tag string, appended in
+/// place. The newline cadence runs off a local counter, not out.size(), so
+/// the produced bytes are identical whether out starts empty or mid-page.
+void append_filler(std::string& out, std::string_view tag, std::size_t bytes) {
   std::uint64_t h = 0xCBF29CE484222325ULL;
   for (const char c : tag) {
     h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
   }
-  while (out.size() < bytes) {
+  std::size_t produced = 0;
+  while (produced < bytes) {
     h = h * 6364136223846793005ULL + 1442695040888963407ULL;
     out.push_back(static_cast<char>('a' + ((h >> 33) % 26)));
-    if (out.size() % 73 == 0) out.push_back('\n');
+    ++produced;
+    if (produced % 73 == 0) {
+      out.push_back('\n');
+      ++produced;
+    }
   }
-  out.resize(bytes);
+  // The trailing newline may overshoot by one byte; trim to the request.
+  out.resize(out.size() - (produced - bytes));
+}
+
+std::string filler(std::string_view tag, std::size_t bytes) {
+  std::string out;
+  out.reserve(bytes);
+  append_filler(out, tag, bytes);
   return out;
 }
 }  // namespace
@@ -63,12 +75,18 @@ std::string ContentModel::dynamic_body(const Keyword& keyword,
       256, static_cast<std::size_t>(
                static_cast<double>(expected_dynamic_bytes(keyword)) * noise));
 
+  // Everything is appended straight into `b` (no per-result temporaries):
+  // this runs once per query on the backend hot path, and the chained
+  // operator+ form cost half a dozen allocations per result entry.
   std::string b;
   b.reserve(target + 256);
   // Keyword-dependent dynamic menu (the paper: "keyword-dependent dynamic
   // menu bar, search results and ads").
-  b += "<div id=\"dynmenu\" data-q=\"" + keyword.text + "\">";
-  b += "<a>related:" + keyword.text + "</a></div>\n";
+  b += "<div id=\"dynmenu\" data-q=\"";
+  b += keyword.text;
+  b += "\"><a>related:";
+  b += keyword.text;
+  b += "</a></div>\n";
 
   const std::size_t per_result =
       (target > b.size())
@@ -76,23 +94,39 @@ std::string ContentModel::dynamic_body(const Keyword& keyword,
                                           std::max<std::size_t>(
                                               1, profile_.results_per_page))
           : 64;
+  std::string tag;  // reused filler seed: "<keyword>/<i>/<service>"
+  tag.reserve(keyword.text.size() + service_name_.size() + 8);
   for (std::size_t i = 0; i < profile_.results_per_page; ++i) {
-    std::string entry = "<div class=\"result\" rank=\"" +
-                        std::to_string(i + 1) + "\"><h3>" + keyword.text +
-                        " — result " + std::to_string(i + 1) + "</h3><p>";
-    const std::string tag =
-        keyword.text + "/" + std::to_string(i) + "/" + service_name_;
-    if (entry.size() + 10 < per_result) {
-      entry += filler(tag, per_result - entry.size() - 10);
+    const std::size_t entry_start = b.size();
+    b += "<div class=\"result\" rank=\"";
+    b += std::to_string(i + 1);
+    b += "\"><h3>";
+    b += keyword.text;
+    b += " — result ";
+    b += std::to_string(i + 1);
+    b += "</h3><p>";
+    const std::size_t entry_size = b.size() - entry_start;
+    if (entry_size + 10 < per_result) {
+      tag.clear();
+      tag += keyword.text;
+      tag += '/';
+      tag += std::to_string(i);
+      tag += '/';
+      tag += service_name_;
+      append_filler(b, tag, per_result - entry_size - 10);
     }
-    entry += "</p></div>\n";
-    b += entry;
+    b += "</p></div>\n";
   }
-  b += "<div id=\"ads\">" +
-       filler(keyword.text + "/ads", target > b.size() + 32
-                                         ? target - b.size() - 32
-                                         : 16) +
-       "</div>\n</body>\n</html>\n";
+  // The ads filler is sized off the body length *before* the ads div opens
+  // (operand evaluation order of the old chained-+ expression).
+  const std::size_t before_ads = b.size();
+  b += "<div id=\"ads\">";
+  tag.clear();
+  tag += keyword.text;
+  tag += "/ads";
+  append_filler(b, tag,
+                target > before_ads + 32 ? target - before_ads - 32 : 16);
+  b += "</div>\n</body>\n</html>\n";
   return b;
 }
 

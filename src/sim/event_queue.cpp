@@ -62,8 +62,13 @@ void EventQueue::wheel_place(Entry e) {
   for (int level = 0; level < kLevels; ++level) {
     const int shift = kWheelShift + 8 * level;
     if ((at >> shift) - (cur >> shift) < kBucketsPerLevel) {
-      wheel_[static_cast<std::size_t>(level)][(at >> shift) & kBucketMask]
-          .push_back(e);
+      auto& bucket =
+          wheel_[static_cast<std::size_t>(level)][(at >> shift) & kBucketMask];
+      // Buckets keep their capacity across cascades (clear(), not a fresh
+      // vector), but a cold bucket's first few pushes would still double
+      // through 1/2/4; start at a useful size instead.
+      if (bucket.capacity() == 0) bucket.reserve(8);
+      bucket.push_back(e);
       return;
     }
   }

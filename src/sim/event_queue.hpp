@@ -75,6 +75,15 @@ class EventQueue {
   /// path it exists to protect.
   static constexpr std::size_t kCompactSlack = 1024;
 
+  /// A fresh queue per scenario would otherwise pay a dozen
+  /// geometric-growth reallocations on each vector before reaching its
+  /// steady-state footprint.
+  EventQueue() {
+    heap_.reserve(64);
+    slots_.reserve(64);
+    free_slots_.reserve(64);
+  }
+
   /// Schedule `cb` to fire at absolute time `at`. `at` must not precede the
   /// last popped event time (no scheduling into the past).
   EventId schedule(SimTime at, Callback cb);

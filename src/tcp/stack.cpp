@@ -11,6 +11,11 @@ TcpStack::TcpStack(net::Node& node, TcpConfig default_config)
       [this](const net::PacketPtr& p) { on_packet(p); });
 }
 
+TcpStack::~TcpStack() {
+  sockets_.for_each(
+      [this](const net::FlowId&, TcpSocket* s) { socket_slab_.destroy(s); });
+}
+
 void TcpStack::listen(net::Port port, AcceptHandler handler) {
   if (!listeners_.emplace(port, std::move(handler)).second) {
     throw std::logic_error("TcpStack::listen: port already in use");
@@ -27,14 +32,13 @@ TcpSocket& TcpStack::connect(net::Endpoint remote,
                              const TcpConfig& config) {
   const net::FlowId flow{
       net::Endpoint{node_.id(), allocate_ephemeral_port()}, remote};
-  auto socket = std::make_unique<TcpSocket>(*this, flow, config,
-                                            std::move(callbacks),
-                                            /*passive=*/false);
-  TcpSocket& ref = *socket;
-  sockets_.emplace(flow, std::move(socket));
+  TcpSocket* socket = socket_slab_.create(*this, flow, config,
+                                          std::move(callbacks),
+                                          /*passive=*/false);
+  sockets_.try_emplace(flow, socket);
   ++sockets_opened_;
-  ref.start_connect();
-  return ref;
+  socket->start_connect();
+  return *socket;
 }
 
 void TcpStack::on_packet(const net::PacketPtr& packet) {
@@ -42,23 +46,21 @@ void TcpStack::on_packet(const net::PacketPtr& packet) {
   // view must be reversed to match.
   const net::FlowId flow = packet->flow_from_sender().reversed();
 
-  auto it = sockets_.find(flow);
-  if (it != sockets_.end()) {
-    it->second->on_packet(packet);
+  if (TcpSocket** existing = sockets_.find(flow)) {
+    (*existing)->on_packet(packet);
     return;
   }
 
   if (packet->tcp.flags.syn && !packet->tcp.flags.ack) {
     auto listener = listeners_.find(packet->tcp.dst_port);
     if (listener != listeners_.end()) {
-      auto socket = std::make_unique<TcpSocket>(
+      TcpSocket* socket = socket_slab_.create(
           *this, flow, default_config_, TcpSocket::Callbacks{},
           /*passive=*/true);
-      TcpSocket& ref = *socket;
-      sockets_.emplace(flow, std::move(socket));
+      sockets_.try_emplace(flow, socket);
       ++sockets_opened_;
-      listener->second(ref);  // install application callbacks
-      ref.on_syn(packet);
+      listener->second(*socket);  // install application callbacks
+      socket->on_syn(packet);
       return;
     }
     send_reset_for(packet);
@@ -89,22 +91,25 @@ void TcpStack::destroy(TcpSocket& socket) {
   // banked at reap time (not here) so aggregate_stats never double-counts
   // a socket that is both retired and still in the map.
   simulator().schedule_in(sim::SimTime::zero(), [this, flow]() {
-    const auto it = sockets_.find(flow);
-    if (it == sockets_.end()) return;
-    const SocketStats& s = it->second->stats();
+    TcpSocket** entry = sockets_.find(flow);
+    if (entry == nullptr) return;
+    TcpSocket* socket = *entry;
+    const SocketStats& s = socket->stats();
     retired_stats_.bytes_sent += s.bytes_sent;
     retired_stats_.bytes_received += s.bytes_received;
     retired_stats_.segments_sent += s.segments_sent;
     retired_stats_.retransmits_rto += s.retransmits_rto;
     retired_stats_.retransmits_fast += s.retransmits_fast;
     retired_stats_.dupacks_received += s.dupacks_received;
-    sockets_.erase(it);
+    sockets_.erase(flow);
+    socket_slab_.destroy(socket);
   });
 }
 
 SocketStats TcpStack::aggregate_stats() const {
   SocketStats total = retired_stats_;
-  for (const auto& [flow, socket] : sockets_) {
+  // Slot-order iteration: fine here, the fold is order-independent.
+  sockets_.for_each([&total](const net::FlowId&, TcpSocket* const& socket) {
     const SocketStats& s = socket->stats();
     total.bytes_sent += s.bytes_sent;
     total.bytes_received += s.bytes_received;
@@ -112,7 +117,7 @@ SocketStats TcpStack::aggregate_stats() const {
     total.retransmits_rto += s.retransmits_rto;
     total.retransmits_fast += s.retransmits_fast;
     total.dupacks_received += s.dupacks_received;
-  }
+  });
   return total;
 }
 

@@ -4,9 +4,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <unordered_map>
 
+#include "mem/flat_table.hpp"
+#include "mem/slab.hpp"
 #include "net/address.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
@@ -22,6 +23,7 @@ class TcpStack {
 
   /// Installs itself as `node`'s receive handler.
   TcpStack(net::Node& node, TcpConfig default_config = {});
+  ~TcpStack();
 
   TcpStack(const TcpStack&) = delete;
   TcpStack& operator=(const TcpStack&) = delete;
@@ -61,7 +63,11 @@ class TcpStack {
 
   net::Node& node_;
   TcpConfig default_config_;
-  std::unordered_map<net::FlowId, std::unique_ptr<TcpSocket>> sockets_;
+  /// Flat 4-tuple demux table; socket storage comes from the per-stack
+  /// slab, so open/close at steady state is a free-list pop/push and the
+  /// lookup on every received segment probes one inline array.
+  mem::FlatMap<net::FlowId, TcpSocket*> sockets_;
+  mem::TypedSlab<TcpSocket> socket_slab_;
   std::unordered_map<net::Port, AcceptHandler> listeners_;
   net::Port next_ephemeral_ = 40000;
   SocketStats retired_stats_;  // summed when destroyed sockets are reaped

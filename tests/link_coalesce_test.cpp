@@ -29,7 +29,7 @@ using sim::SimTime;
 using namespace dyncdn::sim::literals;
 
 net::PacketPtr make_packet(std::size_t payload_bytes) {
-  auto p = std::make_shared<net::Packet>();
+  auto p = net::acquire_packet();
   p->src = net::NodeId{1};
   p->dst = net::NodeId{2};
   p->payload = net::PayloadRef{

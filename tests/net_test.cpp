@@ -18,7 +18,7 @@ using sim::SimTime;
 using namespace dyncdn::sim::literals;
 
 PacketPtr make_packet(NodeId src, NodeId dst, std::size_t payload_bytes) {
-  auto p = std::make_shared<Packet>();
+  auto p = acquire_packet();
   p->src = src;
   p->dst = dst;
   if (payload_bytes > 0) {

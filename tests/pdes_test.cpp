@@ -69,7 +69,7 @@ struct ShardNet {
 
   void send_at(net::Node& from, net::Node& to, SimTime at, std::size_t bytes) {
     from.simulator().schedule_in(at, [&from, &to, bytes]() {
-      auto p = std::make_shared<net::Packet>();
+      auto p = net::acquire_packet();
       p->dst = to.id();
       p->payload = net::PayloadRef{
           net::make_buffer(std::vector<std::uint8_t>(bytes, 0x5A)), 0, bytes};
@@ -376,17 +376,28 @@ TEST(PdesScenario, EnvVarSelectsShardsAndOptionWins) {
 }
 
 TEST(PdesScenario, ComposesWithReplicaParallelism) {
-  // Shards inside each scenario, replicas stolen across workers: both
-  // layers at once must still be byte-identical to the fully serial run.
+  // Shards inside each scenario, replicas stolen across workers: every
+  // combination of 1/2/4 worker threads and 1/2/4 shards must stay
+  // byte-identical to the fully serial run. This doubles as the isolation
+  // proof for the slab/arena allocators: packet and socket state comes
+  // from per-thread slab pools, so any cross-shard reuse bug would show
+  // up here as a divergent timing or metric.
   const auto options = small_experiment();
   testbed::ReplicaPlan plan;
   plan.executor.threads = 1;
   const auto base =
       testbed::run_fixed_fe_experiment(shard_scenario(1), 0, options, plan);
-  plan.executor.threads = 2;
-  const auto both =
-      testbed::run_fixed_fe_experiment(shard_scenario(2), 0, options, plan);
-  expect_results_identical(base, both);
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      if (threads == 1 && shards == 1) continue;  // the base run itself
+      plan.executor.threads = threads;
+      const auto r = testbed::run_fixed_fe_experiment(shard_scenario(shards),
+                                                      0, options, plan);
+      expect_results_identical(base, r);
+    }
+  }
 }
 
 }  // namespace

@@ -44,8 +44,8 @@ void expect_traces_equal(const PacketTrace& a, const PacketTrace& b,
   ASSERT_EQ(a.size(), b.size());
   EXPECT_EQ(a.node(), b.node());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    const PacketRecord& x = a.records()[i];
-    const PacketRecord& y = b.records()[i];
+    const auto x = a.records()[i];
+    const auto y = b.records()[i];
     EXPECT_EQ(x.timestamp, y.timestamp) << i;
     EXPECT_EQ(x.direction, y.direction) << i;
     EXPECT_EQ(x.src, y.src) << i;

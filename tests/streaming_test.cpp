@@ -569,12 +569,14 @@ TEST(StreamingOnline, DrainKeepsBoundaryForNextPhase) {
 // 1, 2 and 4 threads.
 // ---------------------------------------------------------------------------
 
-testbed::ScenarioOptions small_scenario(bool stream) {
+testbed::ScenarioOptions small_scenario(bool stream,
+                                        std::size_t shards = 1) {
   testbed::ScenarioOptions opt;
   opt.profile = cdn::google_like_profile();
   opt.client_count = 6;
   opt.seed = 4242;
   opt.stream_analysis = stream;
+  opt.sim_shards = shards;
   return opt;
 }
 
@@ -629,12 +631,18 @@ TEST(StreamingExperiment, ByteIdenticalToCaptureAt1_2_4Threads) {
   const auto capture_run = testbed::run_fixed_fe_experiment(
       small_scenario(false), 0, options, plan);
 
+  // Streaming mode keeps its per-flow state in slab/arena-backed flat
+  // tables; the full 1/2/4-thread x 1/2/4-shard matrix must still match
+  // the serial retained-capture run byte for byte.
   for (const std::size_t threads :
        {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
-    plan.executor.threads = threads;
-    const auto streaming_run = testbed::run_fixed_fe_experiment(
-        small_scenario(true), 0, options, plan);
-    expect_results_identical(capture_run, streaming_run);
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      plan.executor.threads = threads;
+      const auto streaming_run = testbed::run_fixed_fe_experiment(
+          small_scenario(true, shards), 0, options, plan);
+      expect_results_identical(capture_run, streaming_run);
+    }
   }
 }
 

@@ -171,7 +171,7 @@ TEST(TcpStates, StrayPacketAfterTeardownGetsReset) {
   f.h.client_node->add_receive_tap([&](const net::PacketPtr& p) {
     if (p->tcp.flags.rst) ++rsts_seen;
   });
-  auto stray = std::make_shared<net::Packet>();
+  auto stray = net::acquire_packet();
   stray->dst = flow.remote.node;
   stray->tcp.src_port = flow.local.port;
   stray->tcp.dst_port = flow.remote.port;

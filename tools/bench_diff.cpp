@@ -1,7 +1,7 @@
 // Perf-regression gate over BENCH.json files.
 //
 //   bench_diff <baseline.json> <candidate.json> [--tolerance=0.10]
-//              [--mem-tolerance=0.25]
+//              [--mem-tolerance=0.25] [--alloc-tolerance=0.10]
 //
 // Walks both documents and collects every gated metric by key name:
 //
@@ -15,6 +15,13 @@
 //     when the candidate is more than `mem-tolerance` ABOVE the baseline
 //     (memory is less noisy than wall clock but RSS quantizes in pages, so
 //     it gets its own, looser knob).
+//
+//   lower-is-better (allocation counters): `allocs_per_query`. Heap
+//     allocation counts are fully deterministic under DYNCDN_MEM_TRACK, so
+//     they get the tightest knob (`--alloc-tolerance`, default 0.10): a
+//     >10% rise in allocations per query fails even when wall clock and
+//     peak memory look fine. Skipped (reported `ok`, ratio vs a zero
+//     baseline) when either side was built without allocation tracking.
 //
 //   absolute ceiling (observability cost): `overhead_pct`,
 //     `telemetry_overhead_pct`. Gated on the CANDIDATE value alone against
@@ -42,7 +49,7 @@ namespace {
 
 using dyncdn::obs::json::Value;
 
-enum class Direction { kHigherIsBetter, kLowerIsBetter, kCeiling };
+enum class Direction { kHigherIsBetter, kLowerIsBetter, kLowerIsBetterAlloc, kCeiling };
 
 bool is_throughput_metric(const std::string& key) {
   return key == "events_per_sec" || key == "queries_per_sec_serial" ||
@@ -54,6 +61,10 @@ bool is_memory_metric(const std::string& key) {
   return key == "peak_rss_bytes" || key == "peak_live_delta_bytes" ||
          key == "allocations" || key == "retained_bytes_peak" ||
          key == "analyzer_bytes_peak";
+}
+
+bool is_alloc_metric(const std::string& key) {
+  return key == "allocs_per_query";
 }
 
 bool is_ceiling_metric(const std::string& key) {
@@ -77,6 +88,9 @@ void collect(const Value& v, const std::string& prefix,
     } else if (child.type == Value::Type::kNumber && is_memory_metric(key)) {
       out.push_back(Metric{path, child.as_double(),
                            Direction::kLowerIsBetter});
+    } else if (child.type == Value::Type::kNumber && is_alloc_metric(key)) {
+      out.push_back(Metric{path, child.as_double(),
+                           Direction::kLowerIsBetterAlloc});
     } else if (child.type == Value::Type::kNumber && is_ceiling_metric(key)) {
       out.push_back(Metric{path, child.as_double(), Direction::kCeiling});
     } else {
@@ -116,6 +130,7 @@ const Metric* find(const std::vector<Metric>& metrics,
 int main(int argc, char** argv) {
   double tolerance = 0.10;
   double mem_tolerance = 0.25;
+  double alloc_tolerance = 0.10;
   double overhead_ceiling = 10.0;
   const char* base_path = nullptr;
   const char* cand_path = nullptr;
@@ -124,6 +139,8 @@ int main(int argc, char** argv) {
       tolerance = std::atof(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--mem-tolerance=", 16) == 0) {
       mem_tolerance = std::atof(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--alloc-tolerance=", 18) == 0) {
+      alloc_tolerance = std::atof(argv[i] + 18);
     } else if (std::strncmp(argv[i], "--overhead-ceiling=", 19) == 0) {
       overhead_ceiling = std::atof(argv[i] + 19);
     } else if (base_path == nullptr) {
@@ -136,11 +153,12 @@ int main(int argc, char** argv) {
     }
   }
   if (base_path == nullptr || cand_path == nullptr || tolerance < 0.0 ||
-      mem_tolerance < 0.0 || overhead_ceiling < 0.0) {
+      mem_tolerance < 0.0 || alloc_tolerance < 0.0 ||
+      overhead_ceiling < 0.0) {
     std::fprintf(stderr,
                  "usage: bench_diff <baseline.json> <candidate.json> "
                  "[--tolerance=0.10] [--mem-tolerance=0.25] "
-                 "[--overhead-ceiling=10.0]\n");
+                 "[--alloc-tolerance=0.10] [--overhead-ceiling=10.0]\n");
     return 2;
   }
 
@@ -161,15 +179,27 @@ int main(int argc, char** argv) {
       continue;
     }
     const double ratio = b.value > 0.0 ? c->value / b.value : 1.0;
-    const bool regressed =
-        b.direction == Direction::kHigherIsBetter
-            ? ratio < 1.0 - tolerance
-            : ratio > 1.0 + mem_tolerance;
+    bool regressed = false;
+    switch (b.direction) {
+      case Direction::kHigherIsBetter:
+        regressed = ratio < 1.0 - tolerance;
+        break;
+      case Direction::kLowerIsBetter:
+        regressed = ratio > 1.0 + mem_tolerance;
+        break;
+      case Direction::kLowerIsBetterAlloc:
+        // A zero candidate means allocation tracking was compiled out
+        // (sanitizer builds); there is nothing to gate.
+        regressed = c->value > 0.0 && ratio > 1.0 + alloc_tolerance;
+        break;
+      case Direction::kCeiling:
+        break;
+    }
     std::printf("%s %-45s %12.0f -> %12.0f  (%+.1f%%%s)\n",
                 regressed ? "REGRESS " : "ok      ", b.path.c_str(), b.value,
                 c->value, (ratio - 1.0) * 100.0,
-                b.direction == Direction::kLowerIsBetter ? ", lower=better"
-                                                         : "");
+                b.direction == Direction::kHigherIsBetter ? ""
+                                                          : ", lower=better");
     if (regressed) ++regressions;
   }
   for (const Metric& c : cand) {
@@ -190,12 +220,14 @@ int main(int argc, char** argv) {
   if (regressions > 0) {
     std::fprintf(stderr,
                  "bench_diff: %d metric(s) regressed beyond tolerance "
-                 "(throughput %.0f%%, memory %.0f%%)\n",
-                 regressions, tolerance * 100.0, mem_tolerance * 100.0);
+                 "(throughput %.0f%%, memory %.0f%%, allocs %.0f%%)\n",
+                 regressions, tolerance * 100.0, mem_tolerance * 100.0,
+                 alloc_tolerance * 100.0);
     return 1;
   }
   std::printf("bench_diff: all gated metrics within tolerance "
-              "(throughput %.0f%%, memory %.0f%%)\n",
-              tolerance * 100.0, mem_tolerance * 100.0);
+              "(throughput %.0f%%, memory %.0f%%, allocs %.0f%%)\n",
+              tolerance * 100.0, mem_tolerance * 100.0,
+              alloc_tolerance * 100.0);
   return 0;
 }
