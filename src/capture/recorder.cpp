@@ -1,5 +1,7 @@
 #include "capture/recorder.hpp"
 
+#include "capture/spill.hpp"
+
 namespace dyncdn::capture {
 
 TraceRecorder::TraceRecorder(net::Node& node, sim::Simulator& simulator,
@@ -11,6 +13,29 @@ TraceRecorder::TraceRecorder(net::Node& node, sim::Simulator& simulator,
   node.add_receive_tap([this](const net::PacketPtr& p) {
     record(Direction::kReceived, p);
   });
+}
+
+void TraceRecorder::clear() {
+  trace_.clear();
+  if (sink_ != nullptr) sink_->on_clear();
+  if (spill_ != nullptr && (has_spilled_ || spill_->finished())) {
+    spill_->on_clear();
+    has_spilled_ = false;
+  }
+}
+
+void TraceRecorder::set_spill(SpillWriter* spill, std::size_t budget_bytes) {
+  spill_ = spill;
+  spill_budget_ = spill != nullptr ? budget_bytes : 0;
+}
+
+PacketTrace TraceRecorder::full_trace() {
+  if (spill_ == nullptr || !has_spilled_) return trace_;
+  spill_->finish();
+  SpillReader reader(spill_->path());
+  PacketTrace full = reader.read_all();
+  for (const auto& r : trace_.records()) full.add(r);
+  return full;
 }
 
 void TraceRecorder::record(Direction direction, const net::PacketPtr& packet) {
@@ -28,7 +53,21 @@ void TraceRecorder::record(Direction direction, const net::PacketPtr& packet) {
     trace_.add(std::move(r));
     peak_retained_bytes_ =
         std::max(peak_retained_bytes_, trace_.retained_bytes());
+    if (spill_ != nullptr && spill_budget_ > 0 &&
+        trace_.retained_bytes() >= spill_budget_) {
+      spill_buffer();
+    }
   }
+}
+
+void TraceRecorder::spill_buffer() {
+  // Note the peak before the reset: under a budget the buffer saw-tooths
+  // and the true high-water is the moment just before each spill.
+  peak_retained_bytes_ =
+      std::max(peak_retained_bytes_, trace_.retained_bytes());
+  spill_->append_trace(trace_);
+  trace_.clear();
+  has_spilled_ = true;
 }
 
 }  // namespace dyncdn::capture

@@ -2,12 +2,15 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 
 #include "capture/trace.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
 
 namespace dyncdn::capture {
+
+class SpillWriter;  // capture/spill.hpp
 
 /// Observer of packets as a recorder sees them. The streaming analysis
 /// pipeline implements this to reduce traffic to timelines online without
@@ -72,24 +75,47 @@ class TraceRecorder {
   PacketSink* sink() const { return sink_; }
 
   /// Discard everything captured so far (e.g. between repetitions).
-  /// Notifies the sink so online per-flow state resets in lockstep.
-  void clear() {
-    trace_.clear();
-    if (sink_ != nullptr) sink_->on_clear();
-  }
+  /// Notifies the sink so online per-flow state resets in lockstep, and
+  /// restarts the spill file (spilled records belong to the discarded
+  /// capture).
+  void clear();
+
+  /// Attach a durable overflow target (not owned; must outlive traffic).
+  /// Once trace().retained_bytes() reaches `budget_bytes` after an append,
+  /// the buffered records are streamed to the writer and the in-memory
+  /// buffer resets — memory stays bounded by the budget while the full
+  /// capture survives on disk. A budget of 0 disables spilling.
+  void set_spill(SpillWriter* spill, std::size_t budget_bytes);
+  SpillWriter* spill() const { return spill_; }
+  std::size_t spill_budget() const { return spill_budget_; }
+  /// True once at least one budget-triggered spill has happened since the
+  /// last clear() (i.e. trace() alone is an incomplete view).
+  bool has_spilled() const { return has_spilled_; }
+
+  /// The complete capture: the spilled prefix reloaded from disk followed
+  /// by the in-memory tail. Finalizes the spill file (further capture
+  /// requires clear(), which restarts it). When nothing has spilled this
+  /// is simply a copy of trace().
+  PacketTrace full_trace();
 
   /// High-water mark of trace_.retained_bytes() across the recorder's
   /// lifetime (clear() does not rewind it) — the deterministic measure of
-  /// what full-capture retention would cost this node.
+  /// what full-capture retention would cost this node. Under a spill
+  /// budget the buffer saw-tooths; the peak is noted immediately before
+  /// each post-spill reset so it reflects the true high-water.
   std::size_t peak_retained_bytes() const { return peak_retained_bytes_; }
 
  private:
   void record(Direction direction, const net::PacketPtr& packet);
+  void spill_buffer();
 
   sim::Simulator& simulator_;
   RecorderOptions options_;
   PacketTrace trace_;
   PacketSink* sink_ = nullptr;
+  SpillWriter* spill_ = nullptr;
+  std::size_t spill_budget_ = 0;
+  bool has_spilled_ = false;
   std::size_t peak_retained_bytes_ = 0;
   bool recording_ = true;
 };

@@ -1,5 +1,7 @@
 #include "capture/serialize.hpp"
 
+#include "capture/spill.hpp"
+
 #include <charconv>
 #include <cstdio>
 #include <fstream>
@@ -127,59 +129,92 @@ PacketTrace parse_trace(std::string_view text) {
   std::optional<PacketTrace> trace;
 
   std::size_t pos = 0;
+  std::size_t line_no = 0;
+  // Re-throw any record-level error with the 1-based line number so a
+  // corrupt multi-megabyte trace points at the offending line instead of
+  // making the caller bisect the file.
+  const auto fail = [&line_no](const std::string& what) -> std::runtime_error {
+    return std::runtime_error("trace parse: line " + std::to_string(line_no) +
+                              ": " + what);
+  };
   while (pos < text.size()) {
     std::size_t eol = text.find('\n', pos);
     if (eol == std::string_view::npos) eol = text.size();
-    const std::string_view line = text.substr(pos, eol - pos);
+    std::string_view line = text.substr(pos, eol - pos);
     pos = eol + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty()) continue;
 
     if (line[0] == '#') {
-      if (line.starts_with(kHeaderPrefix) && !trace) {
-        const auto id = parse_number<std::uint32_t>(
-            line.substr(kHeaderPrefix.size()), "node id");
-        trace.emplace(net::NodeId{id});
+      if (line.starts_with(kHeaderPrefix)) {
+        if (trace) {
+          throw fail("duplicate trace header (files must hold one trace)");
+        }
+        try {
+          const auto id = parse_number<std::uint32_t>(
+              line.substr(kHeaderPrefix.size()), "node id");
+          trace.emplace(net::NodeId{id});
+        } catch (const std::runtime_error& e) {
+          throw fail(e.what());
+        }
       }
       continue;
     }
     if (!trace) {
-      throw std::runtime_error("trace parse: missing header line");
+      throw fail("record before the '# dyncdn-trace v1 node=' header line");
     }
 
     const auto tokens = tokenize(line);
     if (tokens.size() != 11 && tokens.size() != 12) {
-      throw std::runtime_error("trace parse: bad field count in line: " +
-                               std::string(line));
+      throw fail("expected 11 or 12 fields, got " +
+                 std::to_string(tokens.size()) + " in: " + std::string(line));
     }
 
-    PacketRecord r;
-    r.timestamp =
-        sim::SimTime::nanoseconds(parse_number<std::int64_t>(tokens[0], "ts"));
-    if (tokens[1] == "snd") {
-      r.direction = Direction::kSent;
-    } else if (tokens[1] == "rcv") {
-      r.direction = Direction::kReceived;
-    } else {
-      throw std::runtime_error("trace parse: bad direction");
-    }
-    r.src = net::NodeId{parse_number<std::uint32_t>(tokens[2], "src")};
-    r.tcp.src_port = parse_number<std::uint16_t>(tokens[3], "sport");
-    r.dst = net::NodeId{parse_number<std::uint32_t>(tokens[4], "dst")};
-    r.tcp.dst_port = parse_number<std::uint16_t>(tokens[5], "dport");
-    r.tcp.seq = parse_number<std::uint64_t>(tokens[6], "seq");
-    r.tcp.ack = parse_number<std::uint64_t>(tokens[7], "ack");
-    r.tcp.window = parse_number<std::uint32_t>(tokens[8], "window");
-    r.tcp.flags = flags_from_text(tokens[9]);
-    r.payload_size = parse_number<std::size_t>(tokens[10], "paylen");
-    if (tokens.size() == 12) {
-      auto bytes = parse_hex(tokens[11]);
-      if (bytes.size() != r.payload_size) {
-        throw std::runtime_error("trace parse: payload length mismatch");
+    try {
+      PacketRecord r;
+      const auto ts = parse_number<std::int64_t>(tokens[0], "ts");
+      if (ts < 0) {
+        throw std::runtime_error("negative timestamp: " +
+                                 std::string(tokens[0]));
       }
-      const std::size_t n = bytes.size();
-      r.payload = net::PayloadRef{net::make_buffer(std::move(bytes)), 0, n};
+      r.timestamp = sim::SimTime::nanoseconds(ts);
+      if (tokens[1] == "snd") {
+        r.direction = Direction::kSent;
+      } else if (tokens[1] == "rcv") {
+        r.direction = Direction::kReceived;
+      } else {
+        throw std::runtime_error("bad direction (want snd|rcv): " +
+                                 std::string(tokens[1]));
+      }
+      r.src = net::NodeId{parse_number<std::uint32_t>(tokens[2], "src")};
+      r.tcp.src_port = parse_number<std::uint16_t>(tokens[3], "sport");
+      r.dst = net::NodeId{parse_number<std::uint32_t>(tokens[4], "dst")};
+      r.tcp.dst_port = parse_number<std::uint16_t>(tokens[5], "dport");
+      r.tcp.seq = parse_number<std::uint64_t>(tokens[6], "seq");
+      r.tcp.ack = parse_number<std::uint64_t>(tokens[7], "ack");
+      r.tcp.window = parse_number<std::uint32_t>(tokens[8], "window");
+      r.tcp.flags = flags_from_text(tokens[9]);
+      r.payload_size = parse_number<std::size_t>(tokens[10], "paylen");
+      if (tokens.size() == 12) {
+        auto bytes = parse_hex(tokens[11]);
+        if (bytes.size() != r.payload_size) {
+          throw std::runtime_error(
+              "payload length mismatch: paylen says " +
+              std::to_string(r.payload_size) + " bytes, hex encodes " +
+              std::to_string(bytes.size()));
+        }
+        const std::size_t n = bytes.size();
+        r.payload = net::PayloadRef{net::make_buffer(std::move(bytes)), 0, n};
+      }
+      trace->add(std::move(r));
+    } catch (const std::runtime_error& e) {
+      const std::string_view what = e.what();
+      // Avoid double-prefixing errors thrown by the shared helpers.
+      throw fail(what.starts_with("trace parse: ")
+                     ? std::string(what.substr(13))
+                     : std::string(what));
     }
-    trace->add(std::move(r));
   }
 
   if (!trace) throw std::runtime_error("trace parse: empty input");
@@ -196,6 +231,9 @@ void save_trace(const PacketTrace& trace, const std::string& path,
 }
 
 PacketTrace load_trace(const std::string& path) {
+  // Binary .dtrc files are recognized by magic, so every consumer of
+  // load_trace (trace_inspect, --diff, examples) reads either format.
+  if (SpillReader::is_dtrc_file(path)) return load_trace_dtrc(path);
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_trace: cannot open " + path);
   std::ostringstream ss;

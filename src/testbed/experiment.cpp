@@ -26,8 +26,17 @@ std::vector<core::QueryTimings> analyze_client_trace(Scenario::Client& client,
     // multi-phase experiments reuse.
     return core::timings_from_timelines(client.analyzer->drain(boundary));
   }
-  const auto timelines = analysis::extract_all_timelines(
-      client.recorder->trace(), kServicePort, boundary);
+  // Budgeted capture may have spilled the trace prefix to disk;
+  // full_trace() reloads it and appends the in-memory tail, so the
+  // analysis input is identical to an unbudgeted capture.
+  const auto timelines = [&] {
+    if (client.recorder->has_spilled()) {
+      const capture::PacketTrace full = client.recorder->full_trace();
+      return analysis::extract_all_timelines(full, kServicePort, boundary);
+    }
+    return analysis::extract_all_timelines(client.recorder->trace(),
+                                           kServicePort, boundary);
+  }();
   client.recorder->clear();
   return core::timings_from_timelines(timelines);
 }
@@ -70,10 +79,16 @@ std::size_t discover_boundary(Scenario& scenario, std::size_t client_index,
     response_count = client.analyzer->probe_flows();
     boundary = client.analyzer->finish_boundary_probe();
   } else {
-    // Reassemble each connection's response stream.
+    // Reassemble each connection's response stream. The probe phase can
+    // itself cross a spill budget (payload capture is forced on), so read
+    // the reassembled full trace when it did.
+    const capture::PacketTrace spilled = client.recorder->has_spilled()
+                                             ? client.recorder->full_trace()
+                                             : capture::PacketTrace{};
+    const capture::PacketTrace& probe_trace =
+        client.recorder->has_spilled() ? spilled : client.recorder->trace();
     std::vector<std::string> responses;
-    for (const auto& [flow, conn] :
-         client.recorder->trace().split_by_flow(kServicePort)) {
+    for (const auto& [flow, conn] : probe_trace.split_by_flow(kServicePort)) {
       analysis::ReassembledStream stream =
           analysis::reassemble(conn, flow, capture::Direction::kReceived);
       if (!stream.empty()) responses.push_back(stream.bytes());
@@ -176,6 +191,13 @@ ExperimentResult run_experiment_subset(
     result.per_node_timings.push_back(std::move(timings));
   }
   scenario.collect_metrics(result.metrics);
+  // Budgeted capture opts its spill counters into the main registry: they
+  // are layout-invariant (see collect_spill_metrics — the subset makes
+  // every replica count only its own clients), and runs without a budget
+  // keep the exact export of previous releases.
+  if (scenario.spilling_active()) {
+    scenario.collect_spill_metrics(result.metrics, client_indices);
+  }
   scenario.collect_kernel_metrics(result.kernel_metrics);
   result.trace = scenario.shared_trace();
   result.timeseries = scenario.take_timeseries();

@@ -1,9 +1,15 @@
 #include "testbed/scenario.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace dyncdn::testbed {
 
@@ -19,10 +25,57 @@ std::size_t resolve_sim_shards(std::size_t requested) {
   return 1;
 }
 
+std::size_t resolve_capture_budget(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DYNCDN_CAPTURE_BUDGET")) {
+    if (const auto v = parse_byte_size(env); v && *v > 0) return *v;
+  }
+  return 0;
+}
+
+/// Fresh scenario-owned spill directory under the system temp dir. A
+/// process-wide counter keeps concurrent scenarios (replica fleets, test
+/// suites) from colliding.
+std::string make_temp_spill_dir() {
+  static std::atomic<std::uint64_t> counter{0};
+  namespace fs = std::filesystem;
+#if defined(__unix__) || defined(__APPLE__)
+  const unsigned long pid = static_cast<unsigned long>(::getpid());
+#else
+  const unsigned long pid = 0;
+#endif
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dyncdn-spill-" + std::to_string(pid) + "-" +
+       std::to_string(counter.fetch_add(1)));
+  fs::create_directories(dir);
+  return dir.string();
+}
+
 }  // namespace
+
+std::optional<std::size_t> parse_byte_size(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::string s(text);
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str()) return std::nullopt;
+  std::size_t mult = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': mult = 1024ull; break;
+      case 'm': case 'M': mult = 1024ull * 1024; break;
+      case 'g': case 'G': mult = 1024ull * 1024 * 1024; break;
+      default: return std::nullopt;
+    }
+    if (end[1] != '\0') return std::nullopt;
+  }
+  return static_cast<std::size_t>(v) * mult;
+}
 
 Scenario::Scenario(ScenarioOptions options) : options_(std::move(options)) {
   const std::size_t shards = resolve_sim_shards(options_.sim_shards);
+  capture_budget_ = resolve_capture_budget(options_.capture_budget);
   // Every shard kernel shares the seed: a named RNG stream yields the same
   // sequence no matter which shard its consumer landed on.
   simulator_ = std::make_unique<sim::Simulator>(options_.seed);
@@ -74,7 +127,35 @@ Scenario::Scenario(ScenarioOptions options) : options_(std::move(options)) {
         sampler_->channel("pdes_stall_wall_ms", /*runtime=*/true);
     ts_channels_.pdes_cross_shard_packets =
         sampler_->channel("pdes_cross_shard_packets", /*runtime=*/true);
+    // Spill-progress channels are registered only when budgeted capture is
+    // active, so sampled exports of every other configuration stay
+    // byte-identical to previous releases. They are application channels:
+    // flush points are a deterministic function of the captured records,
+    // which are themselves shard- and thread-invariant.
+    if (spilling_active()) {
+      ts_channels_.capture_spill_bytes =
+          sampler_->channel("capture_spill_bytes");
+      ts_channels_.capture_spill_blocks =
+          sampler_->channel("capture_spill_blocks");
+    }
   }
+}
+
+Scenario::~Scenario() {
+  if (!owns_spill_dir_) return;
+  // Close the writers before removing the directory that holds their
+  // files, then best-effort delete (teardown must not throw).
+  for (Client& c : clients_) {
+    if (c.recorder) c.recorder->set_spill(nullptr, 0);
+    c.spill.reset();
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir_, ec);
+}
+
+bool Scenario::spilling_active() const {
+  return capture_budget_ > 0 && options_.capture_clients &&
+         !options_.stream_analysis;
 }
 
 void Scenario::run() {
@@ -299,6 +380,20 @@ void Scenario::build_clients() {
             fes_.front().server->client_endpoint().port);
         c.recorder->set_sink(c.analyzer.get());
       }
+      if (spilling_active()) {
+        if (spill_dir_.empty()) {
+          if (options_.spill_dir.empty()) {
+            spill_dir_ = make_temp_spill_dir();
+            owns_spill_dir_ = true;
+          } else {
+            std::filesystem::create_directories(options_.spill_dir);
+            spill_dir_ = options_.spill_dir;
+          }
+        }
+        c.spill = std::make_unique<capture::SpillWriter>(
+            spill_dir_ + "/" + c.vantage.name + ".dtrc", c.node->id());
+        c.recorder->set_spill(c.spill.get(), capture_budget_);
+      }
     }
     c.query_client = std::make_unique<cdn::QueryClient>(*c.node, client_tcp);
     clients_.push_back(std::move(c));
@@ -400,9 +495,19 @@ void Scenario::collect_kernel_metrics(obs::MetricsRegistry& out) {
   out.add("pdes_barrier_stalls", st.barrier_stalls);
   out.add("pdes_cross_shard_packets", st.cross_shard_packets);
   out.add("pdes_serial_fallbacks", st.serial_fallbacks);
-  // stall_wall_ns is deliberately absent: it is wall-clock time, and this
-  // registry stays deterministic at a fixed shard layout. The stall timer
-  // surfaces through the time-series runtime channels instead.
+  // stall_wall_ns is deliberately absent: it is wall-clock time, and the
+  // PDES counters above stay deterministic at a fixed shard layout. The
+  // stall timer surfaces through the time-series runtime channels instead.
+
+  // Wall-clock time inside durable-trace disk flushes (capture/spill.hpp).
+  // Like the executor stats this is runtime telemetry; it lives here — not
+  // in collect_metrics/collect_memory_metrics — so the byte-identical
+  // experiment exports never see wall time.
+  std::uint64_t spill_flush_ns = 0;
+  for (Client& c : clients_) {
+    if (c.spill) spill_flush_ns += c.spill->stats().flush_ns;
+  }
+  out.add("spill_flush_ns", spill_flush_ns);
 }
 
 void Scenario::collect_metrics(obs::MetricsRegistry& out) {
@@ -518,6 +623,22 @@ void Scenario::take_sample(std::uint64_t tick) {
                        static_cast<double>(st.stall_wall_ns) / 1e6);
   ts.record_cumulative(ts_channels_.pdes_cross_shard_packets,
                        static_cast<double>(st.cross_shard_packets));
+
+  // Spill progress (only registered under budgeted capture). Cumulative
+  // writer stats never reset — on_clear keeps counting — so the per-tick
+  // deltas recorded here stay non-negative.
+  if (spilling_active()) {
+    std::uint64_t spill_bytes = 0, spill_blocks = 0;
+    for (Client& c : clients_) {
+      if (!c.spill) continue;
+      spill_bytes += c.spill->stats().bytes_written;
+      spill_blocks += c.spill->stats().blocks;
+    }
+    ts.record_cumulative(ts_channels_.capture_spill_bytes,
+                         static_cast<double>(spill_bytes));
+    ts.record_cumulative(ts_channels_.capture_spill_blocks,
+                         static_cast<double>(spill_blocks));
+  }
   ts.end_tick();
 }
 
@@ -543,6 +664,8 @@ void Scenario::collect_memory_metrics(obs::MetricsRegistry& out) {
   // replicas); counters are replica-additive.
   std::int64_t retained_peak = 0, analyzer_peak = 0;
   std::uint64_t emitted = 0, late = 0;
+  std::uint64_t spill_bytes = 0, spill_blocks = 0, spill_records = 0;
+  std::uint64_t spill_raw = 0;
   for (Client& c : clients_) {
     if (c.recorder) {
       retained_peak += static_cast<std::int64_t>(
@@ -553,11 +676,55 @@ void Scenario::collect_memory_metrics(obs::MetricsRegistry& out) {
       emitted += c.analyzer->timelines_emitted_online();
       late += c.analyzer->late_packets();
     }
+    if (c.spill) {
+      spill_bytes += c.spill->stats().bytes_written;
+      spill_blocks += c.spill->stats().blocks;
+      spill_records += c.spill->stats().records;
+      spill_raw += c.spill->stats().raw_bytes;
+    }
   }
   out.gauge_max("capture_retained_bytes_peak", retained_peak);
   out.gauge_max("analyzer_live_bytes_peak", analyzer_peak);
   out.add("stream_timelines_online", emitted);
   out.add("stream_late_packets", late);
+  collect_spill_metrics(out);
+  // The compression gauge is the ratio of the spill counters (merge rule:
+  // max across replicas, so it is informational rather than
+  // layout-invariant like the counters themselves).
+  if (spill_bytes > 0) {
+    out.gauge_max("spill_compression_x",
+                  static_cast<std::int64_t>(spill_raw / spill_bytes));
+  }
+}
+
+void Scenario::collect_spill_metrics(obs::MetricsRegistry& out,
+                                     std::span<const std::size_t> client_indices) {
+  // Durable-trace (spill) accounting. Every counter is a deterministic
+  // function of each client's captured record stream, and clients spill
+  // independently — so the replica-additive merge is byte-identical at
+  // any thread or shard count for a fixed budget. Restricting to the
+  // subset a replica owns keeps it byte-identical across replica layouts
+  // too: boundary discovery runs from client 0 in *every* replica, and
+  // only the replica that owns client 0 may count its spills. (flush wall
+  // time is deliberately not here; see collect_kernel_metrics.)
+  std::uint64_t spill_bytes = 0, spill_blocks = 0, spill_records = 0;
+  std::uint64_t spill_raw = 0;
+  const auto fold = [&](const Client& c) {
+    if (!c.spill) return;
+    spill_bytes += c.spill->stats().bytes_written;
+    spill_blocks += c.spill->stats().blocks;
+    spill_records += c.spill->stats().records;
+    spill_raw += c.spill->stats().raw_bytes;
+  };
+  if (client_indices.empty()) {
+    for (const Client& c : clients_) fold(c);
+  } else {
+    for (const std::size_t i : client_indices) fold(clients_.at(i));
+  }
+  out.add("spill_bytes_written", spill_bytes);
+  out.add("spill_blocks", spill_blocks);
+  out.add("spill_records", spill_records);
+  out.add("spill_raw_bytes", spill_raw);
 }
 
 }  // namespace dyncdn::testbed

@@ -7,11 +7,14 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/streaming.hpp"
 #include "capture/recorder.hpp"
+#include "capture/spill.hpp"
 #include "cdn/backend.hpp"
 #include "cdn/client.hpp"
 #include "cdn/deployment.hpp"
@@ -27,6 +30,11 @@
 
 namespace dyncdn::testbed {
 
+/// Parse a byte count with an optional k/m/g (or K/M/G) binary suffix,
+/// e.g. "65536", "64k", "2M". Used by --capture-budget and the
+/// DYNCDN_CAPTURE_BUDGET environment variable. nullopt on malformed input.
+std::optional<std::size_t> parse_byte_size(std::string_view text);
+
 struct ScenarioOptions {
   cdn::ServiceProfile profile;
   std::size_t client_count = 60;
@@ -36,6 +44,18 @@ struct ScenarioOptions {
   /// content-boundary discovery; large sweeps keep it off to bound memory.
   bool capture_clients = true;
   bool capture_payloads = false;
+
+  /// Per-client capture byte budget (capture/spill.hpp). When > 0 and the
+  /// scenario retains packets, each client recorder gets a SpillWriter;
+  /// once its buffer's retained_bytes reaches the budget the buffer
+  /// streams to a .dtrc file and resets, so capture memory stays bounded
+  /// while analysis still sees the complete trace (recorder full_trace()).
+  /// 0 = DYNCDN_CAPTURE_BUDGET if set, else unlimited (no spilling).
+  std::size_t capture_budget = 0;
+  /// Directory for the per-client spill files. Empty = a scenario-owned
+  /// temp directory, removed on destruction. Non-empty directories are
+  /// created if needed and left in place (the durable-trace workflow).
+  std::string spill_dir;
 
   /// Streaming analysis: attach a StreamingAnalyzer to every client
   /// recorder and stop retaining PacketRecords — flows are reduced to
@@ -113,6 +133,7 @@ struct ScenarioOptions {
 class Scenario {
  public:
   explicit Scenario(ScenarioOptions options);
+  ~Scenario();
 
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
@@ -125,6 +146,9 @@ class Scenario {
     /// Online timeline reduction (ScenarioOptions::stream_analysis); wired
     /// as the recorder's PacketSink.
     std::unique_ptr<analysis::StreamingAnalyzer> analyzer;
+    /// Durable overflow target (ScenarioOptions::capture_budget); wired as
+    /// the recorder's spill writer.
+    std::unique_ptr<capture::SpillWriter> spill;
     std::size_t default_fe = 0;  // index into fes()
   };
 
@@ -217,6 +241,14 @@ class Scenario {
   /// True when clients reduce flows online (ScenarioOptions::stream_analysis).
   bool streaming() const { return options_.stream_analysis; }
 
+  /// Resolved per-client capture budget (0 = unlimited / spilling off).
+  std::size_t capture_budget() const { return capture_budget_; }
+  /// True when budgeted spill-to-disk capture is wired (budget > 0 and the
+  /// scenario retains packets at clients).
+  bool spilling_active() const;
+  /// Directory holding the per-client spill files ("" when spilling is off).
+  const std::string& spill_dir() const { return spill_dir_; }
+
   /// Propagate a discovered static/dynamic boundary to every client
   /// analyzer, enabling online timeline emission (flows collapse at
   /// teardown instead of buffering until drain). No-op when the scenario
@@ -228,6 +260,19 @@ class Scenario {
   /// collect_metrics so experiment exports stay byte-identical between
   /// streaming and capture modes — these gauges intentionally differ.
   void collect_memory_metrics(obs::MetricsRegistry& out);
+
+  /// Deterministic durable-trace counters (spill_bytes_written /
+  /// spill_blocks / spill_records / spill_raw_bytes). Each client spills
+  /// off its own deterministic packet stream, so — unlike the rest of
+  /// collect_memory_metrics — these merge byte-identically at any
+  /// thread/shard count; budgeted experiment runs fold them into the main
+  /// metrics registry (and thus the Prometheus export). `client_indices`
+  /// restricts the sum to the listed vantage points (empty = all):
+  /// sharded campaigns pass their subset so boundary discovery — which
+  /// every replica re-runs from client 0 — is counted exactly once
+  /// fleet-wide, by the replica that owns client 0.
+  void collect_spill_metrics(obs::MetricsRegistry& out,
+                             std::span<const std::size_t> client_indices = {});
 
  private:
   void build_backend();
@@ -243,6 +288,9 @@ class Scenario {
                                      const net::GeoPoint& fe_location) const;
 
   ScenarioOptions options_;
+  std::size_t capture_budget_ = 0;
+  std::string spill_dir_;
+  bool owns_spill_dir_ = false;
   std::shared_ptr<obs::TraceSession> trace_;
   std::unique_ptr<sim::Simulator> simulator_;
   /// Shard kernels 1..S-1 (shard 0 is simulator_), same seed everywhere.
@@ -268,6 +316,8 @@ class Scenario {
     obs::TimeSeriesSampler::ChannelRef pdes_barrier_stalls;
     obs::TimeSeriesSampler::ChannelRef pdes_stall_wall_ms;
     obs::TimeSeriesSampler::ChannelRef pdes_cross_shard_packets;
+    obs::TimeSeriesSampler::ChannelRef capture_spill_bytes;
+    obs::TimeSeriesSampler::ChannelRef capture_spill_blocks;
   } ts_channels_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<search::ContentModel> content_;

@@ -139,6 +139,35 @@ TEST(TraceSerialize, ParseRejectsPayloadMismatch) {
                std::runtime_error);
 }
 
+TEST(TraceSerialize, ParseErrorsCarryLineNumbers) {
+  const std::string header = "# dyncdn-trace v1 node=1\n";
+  try {
+    parse_trace(header + "garbage\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  try {
+    parse_trace("");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("trace parse"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceSerialize, ParseRejectsDuplicateHeader) {
+  const std::string header = "# dyncdn-trace v1 node=1\n";
+  EXPECT_THROW(parse_trace(header + header), std::runtime_error);
+}
+
+TEST(TraceSerialize, ParseRejectsNegativeTimestamp) {
+  const std::string header = "# dyncdn-trace v1 node=1\n";
+  EXPECT_THROW(parse_trace(header + "-5 snd 1 2 3 4 5 6 7 S 0\n"),
+               std::runtime_error);
+}
+
 TEST(TraceSerialize, ParseToleratesCommentsAndBlankLines) {
   const std::string text =
       "# dyncdn-trace v1 node=3\n"

@@ -7,8 +7,9 @@
 //
 //   higher-is-better (throughput): `events_per_sec`,
 //     `queries_per_sec_serial`, `queries_per_sec_best`, `packets_per_sec`,
-//     `bytes_per_sec`, `stream_reduction_pct`. Fails when the candidate is
-//     more than `tolerance` below the baseline.
+//     `bytes_per_sec`, `stream_reduction_pct`, `spill_compression_x`.
+//     Fails when the candidate is more than `tolerance` below the
+//     baseline.
 //
 //   lower-is-better (memory): `peak_rss_bytes`, `peak_live_delta_bytes`,
 //     `allocations`, `retained_bytes_peak`, `analyzer_bytes_peak`. Fails
@@ -24,10 +25,12 @@
 //     baseline) when either side was built without allocation tracking.
 //
 //   absolute ceiling (observability cost): `overhead_pct`,
-//     `telemetry_overhead_pct`. Gated on the CANDIDATE value alone against
-//     `--overhead-ceiling` (default 10.0, the bench's hard limit) — these
-//     are wall-clock percentages whose baseline value is noise, and the
-//     ceiling must hold even when the baseline predates the section.
+//     `telemetry_overhead_pct`, `spill_overhead_pct`. Gated on the
+//     CANDIDATE value alone against the section's own `hard_limit_pct`
+//     sibling when the JSON emits one, else `--overhead-ceiling` (default
+//     10.0) — these are wall-clock percentages whose baseline value is
+//     noise, and the ceiling must hold even when the baseline predates
+//     the section.
 //
 // Metrics are addressed by dotted path; metrics present on only one side
 // are reported but not fatal, so the bench can grow sections without
@@ -54,7 +57,8 @@ enum class Direction { kHigherIsBetter, kLowerIsBetter, kLowerIsBetterAlloc, kCe
 bool is_throughput_metric(const std::string& key) {
   return key == "events_per_sec" || key == "queries_per_sec_serial" ||
          key == "queries_per_sec_best" || key == "packets_per_sec" ||
-         key == "bytes_per_sec" || key == "stream_reduction_pct";
+         key == "bytes_per_sec" || key == "stream_reduction_pct" ||
+         key == "spill_compression_x";
 }
 
 bool is_memory_metric(const std::string& key) {
@@ -68,13 +72,17 @@ bool is_alloc_metric(const std::string& key) {
 }
 
 bool is_ceiling_metric(const std::string& key) {
-  return key == "overhead_pct" || key == "telemetry_overhead_pct";
+  return key == "overhead_pct" || key == "telemetry_overhead_pct" ||
+         key == "spill_overhead_pct";
 }
 
 struct Metric {
   std::string path;
   double value = 0.0;
   Direction direction = Direction::kHigherIsBetter;
+  // Ceiling metrics: the section's own "hard_limit_pct" sibling, when the
+  // JSON provides one; < 0 means fall back to --overhead-ceiling.
+  double ceiling = -1.0;
 };
 
 void collect(const Value& v, const std::string& prefix,
@@ -92,7 +100,13 @@ void collect(const Value& v, const std::string& prefix,
       out.push_back(Metric{path, child.as_double(),
                            Direction::kLowerIsBetterAlloc});
     } else if (child.type == Value::Type::kNumber && is_ceiling_metric(key)) {
-      out.push_back(Metric{path, child.as_double(), Direction::kCeiling});
+      Metric m{path, child.as_double(), Direction::kCeiling};
+      for (const auto& [sibling, sv] : v.object) {
+        if (sibling == "hard_limit_pct" && sv.type == Value::Type::kNumber) {
+          m.ceiling = sv.as_double();
+        }
+      }
+      out.push_back(std::move(m));
     } else {
       collect(child, path, out);
     }
@@ -205,11 +219,13 @@ int main(int argc, char** argv) {
   for (const Metric& c : cand) {
     if (c.direction == Direction::kCeiling) {
       // Absolute gate on the candidate: these percentages are wall-clock
-      // noise run to run, so only the hard ceiling is enforced.
-      const bool over = c.value > overhead_ceiling;
+      // noise run to run, so only the hard ceiling is enforced — the
+      // section's own hard_limit_pct when it emits one.
+      const double limit = c.ceiling >= 0.0 ? c.ceiling : overhead_ceiling;
+      const bool over = c.value > limit;
       std::printf("%s %-45s %12.2f  (ceiling %.1f)\n",
                   over ? "CEILING " : "ok      ", c.path.c_str(), c.value,
-                  overhead_ceiling);
+                  limit);
       if (over) ++regressions;
     } else if (find(base, c.path) == nullptr) {
       std::printf("NEW      %-45s candidate=%.0f (not in baseline)\n",

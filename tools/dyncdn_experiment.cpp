@@ -15,8 +15,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "capture/serialize.hpp"
 #include "core/inference.hpp"
@@ -45,6 +48,7 @@ struct CliOptions {
   std::string trace_out;    // Chrome trace_event JSON; empty = off
   std::string metrics_out;  // Prometheus text dump; empty = off
   bool stream = true;       // online timeline analysis (--capture = off)
+  std::size_t capture_budget = 0;  // bytes/client before spill-to-disk; 0=off
   double ts_interval_ms = 0.0;  // 0 = default 100ms when a ts output is set
   std::string ts_out;           // time series (.csv -> CSV, else JSON)
   std::string ts_runtime_out;   // runtime channels + executor JSON
@@ -67,7 +71,8 @@ void usage() {
       "                         [--ts-runtime-out=FILE]\n"
       "                         [--attribution-out=FILE] [--slow-log=FILE]\n"
       "                         [--slow-threshold=MS]\n"
-      "                         [--stream | --capture]\n"
+      "                         [--stream | --capture] "
+      "[--capture-budget=BYTES]\n"
       "  --threads  worker threads for sharded experiments "
       "(0 = DYNCDN_THREADS or all cores)\n"
       "  --shards   replica count (0 = one per vantage point; "
@@ -79,6 +84,13 @@ void usage() {
       "memory is O(in-flight flows)\n"
       "  --capture  retain full packet traces and analyze post-hoc "
       "(results are byte-identical; --save-traces implies this)\n"
+      "  --capture-budget  per-client capture memory budget (accepts k/m/g\n"
+      "                 suffixes, e.g. 64k). Once a client's retained bytes\n"
+      "                 reach the budget the buffer spills to a binary\n"
+      "                 .dtrc trace file and resets; analysis reloads the\n"
+      "                 spilled prefix, so results stay byte-identical to\n"
+      "                 unbudgeted --capture. 0 = DYNCDN_CAPTURE_BUDGET or\n"
+      "                 unlimited. Implies --capture\n"
       "  --trace-out    write per-query span timelines as Chrome "
       "trace_event JSON (chrome://tracing, Perfetto)\n"
       "  --metrics-out  write the run's metrics registry in Prometheus "
@@ -153,6 +165,14 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opt.slow_log = *v;
     } else if (auto v = value("--slow-threshold=")) {
       opt.slow_threshold_ms = std::strtod(v->c_str(), nullptr);
+    } else if (auto v = value("--capture-budget=")) {
+      const auto bytes = testbed::parse_byte_size(*v);
+      if (!bytes) {
+        std::fprintf(stderr, "bad --capture-budget value: %s\n", v->c_str());
+        return std::nullopt;
+      }
+      opt.capture_budget = *bytes;
+      opt.stream = false;  // budgeted spill needs the retained-capture path
     } else if (arg == "--stream") {
       opt.stream = true;
     } else if (arg == "--capture") {
@@ -283,13 +303,41 @@ void write_attribution_outputs(const CliOptions& cli,
   }
 }
 
-void save_all_traces(testbed::Scenario& scenario, const std::string& dir) {
+/// Attach a streaming SpillWriter sink to every client recorder: packets
+/// encode straight into per-client binary .dtrc files (capture/spill.hpp)
+/// and nothing accumulates in memory. trace_inspect and load_trace read
+/// .dtrc transparently; `trace_inspect convert` produces the text form
+/// when grep-ability matters.
+std::vector<std::unique_ptr<capture::SpillWriter>> attach_trace_writers(
+    testbed::Scenario& scenario, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::vector<std::unique_ptr<capture::SpillWriter>> writers;
   for (auto& client : scenario.clients()) {
     if (!client.recorder) continue;
-    capture::save_trace(client.recorder->trace(),
-                        dir + "/" + client.vantage.name + ".trace");
+    writers.push_back(std::make_unique<capture::SpillWriter>(
+        dir + "/" + client.vantage.name + ".dtrc", client.node->id()));
+    client.recorder->set_retain_packets(false);
+    client.recorder->set_sink(writers.back().get());
   }
-  std::fprintf(stderr, "traces saved under %s\n", dir.c_str());
+  return writers;
+}
+
+void finish_trace_writers(
+    std::vector<std::unique_ptr<capture::SpillWriter>>& writers,
+    const std::string& dir) {
+  std::uint64_t bytes = 0, records = 0;
+  for (auto& w : writers) {
+    w->finish();
+    bytes += w->stats().bytes_written;
+    records += w->stats().records;
+  }
+  std::fprintf(stderr,
+               "traces saved under %s (%zu files, %llu records, %llu "
+               "encoded bytes)\n",
+               dir.c_str(), writers.size(),
+               static_cast<unsigned long long>(records),
+               static_cast<unsigned long long>(bytes));
 }
 
 void print_memory_summary(bool streaming) {
@@ -337,6 +385,7 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
   // --save-traces needs the raw PacketRecords on disk, so it implies the
   // retained-capture path regardless of --stream.
   so.stream_analysis = cli.stream && cli.save_traces.empty();
+  so.capture_budget = cli.capture_budget;
 
   testbed::ExperimentOptions eo;
   eo.reps_per_node = cli.reps;
@@ -348,9 +397,11 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
   if (!cli.save_traces.empty()) {
     testbed::Scenario scenario(so);
     scenario.warm_up();
-    // Capture-only mode: run the query schedule ourselves, save raw traces
-    // and skip the built-in analysis (the experiment runner frees trace
-    // memory as it analyzes). trace_inspect analyzes the files offline.
+    // Capture-only mode: run the query schedule ourselves, stream raw
+    // records to binary .dtrc files as they are captured, and skip the
+    // built-in analysis (memory stays O(one spill block) per client).
+    // trace_inspect analyzes the files offline.
+    auto writers = attach_trace_writers(scenario, cli.save_traces);
     for (std::size_t i = 0; i < scenario.clients().size(); ++i) {
       const std::size_t fe = fixed_fe ? 0 : scenario.clients()[i].default_fe;
       scenario.connect_client_to_fe(i, fe);
@@ -369,9 +420,30 @@ int run_measurement(const CliOptions& cli, bool fixed_fe) {
       }
     }
     scenario.run();
-    save_all_traces(scenario, cli.save_traces);
+    finish_trace_writers(writers, cli.save_traces);
     obs::MetricsRegistry metrics;
     scenario.collect_metrics(metrics);
+    // Spill/writer accounting rides along in the Prometheus dump: these
+    // metrics exist precisely to observe the durable-trace path, and this
+    // mode's output is not part of any byte-identity contract.
+    std::uint64_t spill_bytes = 0, spill_blocks = 0, spill_records = 0;
+    std::uint64_t spill_raw = 0, spill_flush = 0;
+    for (const auto& w : writers) {
+      spill_bytes += w->stats().bytes_written;
+      spill_blocks += w->stats().blocks;
+      spill_records += w->stats().records;
+      spill_raw += w->stats().raw_bytes;
+      spill_flush += w->stats().flush_ns;
+    }
+    metrics.add("spill_bytes_written", spill_bytes);
+    metrics.add("spill_blocks", spill_blocks);
+    metrics.add("spill_records", spill_records);
+    metrics.add("spill_raw_bytes", spill_raw);
+    metrics.add("spill_flush_ns", spill_flush);
+    if (spill_bytes > 0) {
+      metrics.gauge_max("spill_compression_x",
+                        static_cast<std::int64_t>(spill_raw / spill_bytes));
+    }
     write_obs_outputs(cli, scenario.trace(), metrics);
     if (scenario.timeseries() != nullptr) {
       write_timeseries_outputs(cli, *scenario.timeseries(), nullptr);

@@ -56,6 +56,7 @@
 #include "analysis/span_attribution.hpp"
 #include "analysis/timeline.hpp"
 #include "capture/serialize.hpp"
+#include "capture/spill.hpp"
 #include "core/inference.hpp"
 #include "core/timings.hpp"
 #include "obs/attribution.hpp"
@@ -918,12 +919,48 @@ int inspect_packets(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Convert mode: text <-> binary .dtrc
+// ---------------------------------------------------------------------------
+
+int convert_trace(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: trace_inspect convert <in> <out>\n"
+                         "  input format is sniffed (.dtrc magic vs text);\n"
+                         "  output format follows the output extension\n"
+                         "  (.dtrc = binary, anything else = text)\n");
+    return 2;
+  }
+  const std::string in = argv[2];
+  const std::string out = argv[3];
+  try {
+    const capture::PacketTrace trace = capture::load_trace(in);
+    const std::string_view out_view = out;
+    if (out_view.ends_with(".dtrc")) {
+      capture::save_trace_dtrc(trace, out);
+    } else {
+      capture::save_trace(trace, out);
+    }
+    std::fprintf(stderr, "converted %s -> %s (%zu records)\n", in.c_str(),
+                 out.c_str(), trace.size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: trace_inspect <trace-file> [boundary]\n"
+                 "         packet capture analysis; reads the text format "
+                 "or binary .dtrc\n"
+                 "       trace_inspect convert <in> <out>\n"
+                 "         translate a capture between text and binary "
+                 ".dtrc (by output extension)\n"
                  "       trace_inspect spans <trace.json> "
                  "[--diff=<capture.trace>] [--boundary=N] [--node=NAME] "
                  "[--tree]\n"
@@ -933,6 +970,7 @@ int main(int argc, char** argv) {
                  "       trace_inspect slow <slow.json> [--tree]\n");
     return 2;
   }
+  if (std::strcmp(argv[1], "convert") == 0) return convert_trace(argc, argv);
   if (std::strcmp(argv[1], "spans") == 0) return inspect_spans(argc, argv);
   if (std::strcmp(argv[1], "attribution") == 0) {
     return inspect_attribution(argc, argv);
